@@ -1,0 +1,137 @@
+//! Criterion microbenchmarks for the hot paths of the reproduction:
+//! the buddy allocator, the uffd fault round trip, WS-file build/parse,
+//! the REAP prefetch install path, and the DES timeline itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use guest_mem::{GuestMemory, PageIdx, Uffd, PAGE_SIZE};
+use guest_os::BuddyAllocator;
+use sim_core::{SimDuration, SimTime};
+use sim_storage::{Disk, FileStore};
+use vhive_core::{read_ws_file, write_reap_files, InstanceProgram, Phase, TimedStep, Timeline};
+
+fn bench_buddy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buddy");
+    g.bench_function("alloc_free_cycle_64p", |b| {
+        b.iter_batched(
+            || BuddyAllocator::new(PageIdx::new(0), 65536),
+            |mut buddy| {
+                let mut blocks = Vec::with_capacity(64);
+                for _ in 0..64 {
+                    blocks.push(buddy.alloc_pages(64).unwrap());
+                }
+                for p in blocks {
+                    buddy.free(p).unwrap();
+                }
+                buddy
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_uffd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uffd");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("fault_copy_wake_round_trip", |b| {
+        let page_data = vec![0xABu8; PAGE_SIZE];
+        let mut next = 0u64;
+        let mut uffd = Uffd::register(GuestMemory::new(1 << 30), 0x7f00_0000_0000);
+        b.iter(|| {
+            let page = PageIdx::new(next % 262_144);
+            next += 1;
+            if let guest_mem::TouchOutcome::Faulted(ev) = uffd.touch_page(page) {
+                let _ = uffd.poll();
+                let p = uffd.page_of_fault(ev);
+                let _ = uffd.copy(p, &page_data);
+                uffd.wake();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_ws_file(c: &mut Criterion) {
+    let fs = FileStore::new();
+    let mem = fs.create("mem");
+    let pages: Vec<PageIdx> = (0..2048u64).map(|i| PageIdx::new(i * 3)).collect();
+    for p in &pages {
+        fs.write_at(mem, p.file_offset(), &vec![7u8; PAGE_SIZE]);
+    }
+    let mut g = c.benchmark_group("ws_file");
+    g.throughput(Throughput::Bytes(2048 * PAGE_SIZE as u64));
+    g.bench_function("build_2048_pages", |b| {
+        b.iter(|| write_reap_files(&fs, "bench", mem, &pages))
+    });
+    let files = write_reap_files(&fs, "bench", mem, &pages);
+    g.bench_function("parse_2048_pages", |b| {
+        b.iter(|| read_ws_file(&fs, files.ws_file).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_prefetch_install(c: &mut Criterion) {
+    let fs = FileStore::new();
+    let mem_file = fs.create("mem");
+    let pages: Vec<PageIdx> = (0..2048u64).map(|i| PageIdx::new(i * 2)).collect();
+    for p in &pages {
+        fs.write_at(mem_file, p.file_offset(), &vec![3u8; PAGE_SIZE]);
+    }
+    let files = write_reap_files(&fs, "bench", mem_file, &pages);
+    let entries = read_ws_file(&fs, files.ws_file).unwrap();
+    let mut g = c.benchmark_group("prefetch");
+    g.throughput(Throughput::Bytes(2048 * PAGE_SIZE as u64));
+    g.bench_function("eager_install_2048_pages", |b| {
+        b.iter_batched(
+            || Uffd::register(GuestMemory::new(256 * 1024 * 1024), 0),
+            |mut uffd| {
+                for (page, data) in &entries {
+                    uffd.copy(*page, data).unwrap();
+                }
+                uffd.wake();
+                uffd
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    let fs = FileStore::new();
+    let file = fs.create("mem");
+    fs.set_len(file, 65536 * PAGE_SIZE as u64);
+    let mut g = c.benchmark_group("timeline");
+    g.bench_function("2000_serial_faults", |b| {
+        let steps: Vec<TimedStep> = std::iter::once(TimedStep::Phase(Phase::Processing))
+            .chain((0..2000u64).flat_map(|i| {
+                [
+                    TimedStep::Cpu(SimDuration::from_micros(50)),
+                    TimedStep::FaultRead {
+                        file,
+                        page: i * 13,
+                        file_pages: 65536,
+                    },
+                ]
+            }))
+            .collect();
+        b.iter_batched(
+            || (Timeline::new(Disk::ssd(), 48), steps.clone()),
+            |(mut tl, steps)| {
+                tl.run(vec![InstanceProgram {
+                    arrival: SimTime::ZERO,
+                    steps,
+                }])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_buddy, bench_uffd, bench_ws_file, bench_prefetch_install, bench_timeline
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §2.2 context: why snapshots exist at all — full cold boot vs snapshot
+//! restore vs REAP.
+//!
+//! Firecracker alone boots in ~125 ms, but inside a production stack the
+//! paper measures 700-1300 ms of orchestration plus up to several seconds
+//! of in-VM runtime/function bootstrap.
+
+use sim_core::Table;
+use vhive_core::report::fmt_ms0;
+use vhive_core::ColdPolicy;
+
+fn main() {
+    let mut orch = vhive_bench::orchestrator();
+    let mut t = Table::new(&[
+        "function",
+        "full boot (ms)",
+        "vanilla snapshot (ms)",
+        "REAP (ms)",
+        "boot/REAP",
+    ]);
+    t.numeric();
+    for f in vhive_bench::functions_from_args() {
+        let info = orch.register(f);
+        let vanilla = orch.invoke_cold(f, ColdPolicy::Vanilla);
+        orch.invoke_record(f);
+        let reap = orch.invoke_cold(f, ColdPolicy::Reap);
+        t.row(&[
+            f.name(),
+            &format!("{:.0}", info.boot_latency.as_millis_f64()),
+            &fmt_ms0(vanilla.latency),
+            &fmt_ms0(reap.latency),
+            &format!(
+                "{:.0}x",
+                info.boot_latency.as_secs_f64() / reap.latency.as_secs_f64()
+            ),
+        ]);
+        orch.unregister(f);
+    }
+    vhive_bench::emit(
+        "§2.2: Booting from scratch vs snapshot restoration vs REAP",
+        "Boot latency = Firecracker spawn + Containerd pod/rootfs setup +\n\
+         guest kernel boot + runtime imports + function init.",
+        &t,
+    );
+}

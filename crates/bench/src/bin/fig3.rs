@@ -1,0 +1,55 @@
+//! Fig 3: guest memory pages contiguity.
+//!
+//! Mean length of the contiguous guest-physical regions a cold invocation
+//! faults on — the paper finds 2-3 pages for all functions except
+//! lr_training (~5), which is why the host's readahead cannot help the
+//! baseline (§4.2).
+
+use sim_core::Table;
+use vhive_core::detect::contiguity;
+use vhive_core::ColdPolicy;
+
+fn main() {
+    let mut orch = vhive_bench::orchestrator();
+    let mut t = Table::new(&[
+        "function",
+        "mean region (pages)",
+        "regions",
+        "ws pages",
+        "1-page",
+        "2-3 pages",
+        "4+ pages",
+        "paper",
+    ]);
+    t.numeric();
+    for f in vhive_bench::functions_from_args() {
+        orch.register(f);
+        let out = orch.invoke_cold(f, ColdPolicy::Vanilla);
+        let stats = contiguity(&out.touched);
+        let one = stats.histogram.fraction(1);
+        let two_three = stats.histogram.fraction(2) + stats.histogram.fraction(3);
+        let four_plus: f64 = (4..33).map(|i| stats.histogram.fraction(i)).sum();
+        let paper = if f == functionbench::FunctionId::lr_training {
+            "~5"
+        } else {
+            "2-3"
+        };
+        t.row(&[
+            f.name(),
+            &format!("{:.2}", stats.mean_run),
+            &stats.regions.to_string(),
+            &stats.pages.to_string(),
+            &format!("{:.0}%", one * 100.0),
+            &format!("{:.0}%", two_three * 100.0),
+            &format!("{:.0}%", four_plus * 100.0),
+            paper,
+        ]);
+        orch.unregister(f);
+    }
+    vhive_bench::emit(
+        "Fig 3: Guest memory pages contiguity",
+        "Contiguous-region statistics over the pages faulted during one cold\n\
+         invocation (region = maximal run of consecutive guest-physical pages).",
+        &t,
+    );
+}

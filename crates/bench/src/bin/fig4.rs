@@ -1,0 +1,50 @@
+//! Fig 4: memory footprint of function instances after one invocation —
+//! freshly booted vs restored from a snapshot.
+//!
+//! The paper: booted instances occupy 148-256 MB; snapshot-restored ones
+//! touch only their working set, 8-99 MB (24 MB average) — a 61-96%
+//! reduction, because boot-time logic (guest OS bring-up, imports,
+//! initialization) is never re-executed.
+
+use sim_core::Table;
+use vhive_core::ColdPolicy;
+
+fn main() {
+    let mut orch = vhive_bench::orchestrator();
+    let mut t = Table::new(&[
+        "function",
+        "booted (MB)",
+        "restored ws (MB)",
+        "reduction",
+        "paper booted",
+    ]);
+    t.numeric();
+    let mut ws_sum = 0.0;
+    let mut n = 0u32;
+    for f in vhive_bench::functions_from_args() {
+        let info = orch.register(f);
+        let out = orch.invoke_cold(f, ColdPolicy::Vanilla);
+        let booted = info.boot_footprint_bytes as f64 / 1e6;
+        let ws = out.footprint_bytes as f64 / 1e6;
+        ws_sum += ws;
+        n += 1;
+        t.row(&[
+            f.name(),
+            &format!("{booted:.0}"),
+            &format!("{ws:.1}"),
+            &format!("{:.0}%", (1.0 - ws / booted) * 100.0),
+            &format!("{} MB", f.spec().boot_footprint_mb),
+        ]);
+        orch.unregister(f);
+    }
+    vhive_bench::emit(
+        "Fig 4: Memory footprint after one invocation (booted vs restored)",
+        "Booted footprint measured ps-style on the instance; restored footprint\n\
+         is the set of pages actually faulted in while serving the invocation.",
+        &t,
+    );
+    println!(
+        "mean restored working set: {:.1} MB (paper: 24 MB average, 8-99 MB range)",
+        ws_sum / n as f64
+    );
+}

@@ -1,0 +1,46 @@
+//! §6.3 (HDD): REAP's speedup when snapshots live on a 7200 rpm HDD
+//! instead of the SSD.
+//!
+//! The paper measures a 5.4x average speedup (vs 3.7x on the SSD): the
+//! baseline's seek-dominated serial faults hurt far more on spinning
+//! rust, while REAP's single sequential read barely cares.
+
+use sim_core::Table;
+use sim_storage::DeviceProfile;
+use vhive_core::report::{fmt_ms0, geo_mean_speedup, speedup};
+use vhive_core::{ColdPolicy, Orchestrator};
+
+fn main() {
+    let mut orch = Orchestrator::with_device(0xA5_1405, DeviceProfile::hdd_7200rpm());
+    let mut t = Table::new(&[
+        "function",
+        "baseline HDD (ms)",
+        "REAP HDD (ms)",
+        "speedup",
+    ]);
+    t.numeric();
+    let mut pairs = Vec::new();
+    for f in vhive_bench::functions_from_args() {
+        orch.register(f);
+        let vanilla = orch.invoke_cold(f, ColdPolicy::Vanilla);
+        orch.invoke_record(f);
+        let reap = orch.invoke_cold(f, ColdPolicy::Reap);
+        t.row(&[
+            f.name(),
+            &fmt_ms0(vanilla.latency),
+            &fmt_ms0(reap.latency),
+            &format!("{:.2}x", speedup(vanilla.latency, reap.latency)),
+        ]);
+        pairs.push((vanilla.latency, reap.latency));
+        orch.unregister(f);
+    }
+    vhive_bench::emit(
+        "§6.3: Baseline vs REAP with snapshots on a 7200rpm HDD",
+        "Same methodology as Fig 8; only the snapshot storage device changes\n\
+         (WD2000F9YZ-class SATA3 HDD).",
+        &t,
+    );
+    if let Some(g) = geo_mean_speedup(&pairs) {
+        println!("geometric-mean speedup on HDD: {g:.2}x (paper: 5.4x average)");
+    }
+}

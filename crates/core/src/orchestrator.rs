@@ -1,0 +1,727 @@
+//! The vHive-CRI orchestrator (§3.2, §4.1).
+//!
+//! Acts as AWS Lambda's MicroManager: the control plane (function
+//! registry, snapshot and working-set bookkeeping, instance lifecycle) and
+//! the data-plane router that forwards invocations to instances over
+//! persistent gRPC connections. Every cold invocation runs a *functional*
+//! pass (real bytes through the monitor, §5.2, verified against the
+//! snapshot) followed by a *timed* pass (the [`Timeline`] DES), exactly as
+//! described in the crate docs.
+
+use std::collections::{BTreeSet, HashMap};
+
+use functionbench::{FunctionId, GuestOp, InputGenerator};
+use guest_mem::PageIdx;
+use microvm::{
+    run_lazy, run_resident, verify_restored, BootCostModel, ExecutionTrace, FaultHandler, MicroVm,
+    Snapshot, VmConfig,
+};
+use sim_core::{SimDuration, SimTime};
+use sim_storage::{DeviceProfile, Disk, DiskStats, FileStore};
+
+use crate::costs::HostCostModel;
+use crate::detect::MispredictionReport;
+use crate::invocation::{
+    build_cold_program, build_warm_program, Breakdown, ColdPolicy, ColdRunSpec, InstanceFiles,
+    InstanceProgram,
+};
+use crate::monitor::{Monitor, MonitorMode, MonitorStats};
+use crate::timeline::Timeline;
+use crate::ws_file::{read_trace_file, ReapFiles};
+
+/// What `register` produced for a function.
+#[derive(Debug, Clone, Copy)]
+pub struct RegisterInfo {
+    /// The registered function.
+    pub function: FunctionId,
+    /// Booted-VM footprint in bytes (Fig 4, blue bars).
+    pub boot_footprint_bytes: u64,
+    /// End-to-end cold-boot latency (§2.2 model).
+    pub boot_latency: SimDuration,
+}
+
+/// The functional half of one cold invocation: real traces + correctness
+/// evidence. Produced by [`Orchestrator::functional_cold`].
+#[derive(Debug)]
+pub struct FunctionalRun {
+    /// Connection-restoration phase trace.
+    pub conn_trace: ExecutionTrace,
+    /// Function-processing phase trace.
+    pub proc_trace: ExecutionTrace,
+    /// Distinct pages the invocation touched (its working set, Fig 4 red).
+    pub touched: BTreeSet<PageIdx>,
+    /// Monitor counters.
+    pub monitor_stats: MonitorStats,
+    /// Pages verified byte-identical to the snapshot.
+    pub verified_pages: u64,
+    /// Instance footprint after the invocation, bytes.
+    pub footprint_bytes: u64,
+    /// Input sequence number used.
+    pub input_seq: u64,
+    /// REAP files written (record mode only).
+    pub recorded: Option<ReapFiles>,
+}
+
+/// Result of one invocation (functional + timed).
+#[derive(Debug, Clone)]
+pub struct InvocationOutcome {
+    /// The invoked function.
+    pub function: FunctionId,
+    /// Cold policy, or `None` for a warm invocation.
+    pub policy: Option<ColdPolicy>,
+    /// Input sequence number.
+    pub seq: u64,
+    /// Latency breakdown.
+    pub breakdown: Breakdown,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// userfaultfd faults served on the critical path.
+    pub uffd_faults: u64,
+    /// Pages installed eagerly by prefetch.
+    pub prefetched_pages: u64,
+    /// Faults after prefetch (working-set misses).
+    pub residual_faults: u64,
+    /// Distinct pages touched by the invocation.
+    pub ws_pages: u64,
+    /// Pages verified byte-identical to the snapshot (functional pass).
+    pub verified_pages: u64,
+    /// Instance memory footprint after the invocation, bytes (Fig 4 red).
+    pub footprint_bytes: u64,
+    /// The invocation's touched-page set (for Fig 3/5 analysis).
+    pub touched: BTreeSet<PageIdx>,
+    /// True if this run recorded (or re-recorded) the working set.
+    pub recorded: bool,
+    /// Prefetch accuracy (prefetch policies only).
+    pub misprediction: Option<MispredictionReport>,
+    /// Disk counters of the timed pass.
+    pub disk_stats: DiskStats,
+}
+
+#[derive(Debug)]
+struct FunctionState {
+    snapshot: Snapshot,
+    reap: Option<ReapFiles>,
+    inputs: InputGenerator,
+    next_seq: u64,
+    needs_rerecord: bool,
+    warm: Option<MicroVm>,
+    /// Snapshot generation (bumped by §7.3's periodic re-generation).
+    generation: u64,
+}
+
+/// The orchestrator: control plane + data-plane router of one worker.
+#[derive(Debug)]
+pub struct Orchestrator {
+    fs: FileStore,
+    device: DeviceProfile,
+    costs: HostCostModel,
+    seed: u64,
+    auto_rerecord: bool,
+    rerecord_threshold: f64,
+    functions: HashMap<FunctionId, FunctionState>,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator over the paper's default platform (local
+    /// SSD, 48 cores).
+    pub fn new(seed: u64) -> Self {
+        Orchestrator {
+            fs: FileStore::new(),
+            device: DeviceProfile::ssd_sata3(),
+            costs: HostCostModel::default(),
+            seed,
+            auto_rerecord: false,
+            rerecord_threshold: 0.5,
+            functions: HashMap::new(),
+        }
+    }
+
+    /// Same, with a different snapshot storage device (§6.3's HDD run,
+    /// §7.1's remote storage).
+    pub fn with_device(seed: u64, device: DeviceProfile) -> Self {
+        Orchestrator {
+            device,
+            ..Orchestrator::new(seed)
+        }
+    }
+
+    /// Enables §7.2's automatic re-record fallback: when a prefetch
+    /// invocation misses more than `threshold` of its working set, the next
+    /// REAP invocation records afresh.
+    pub fn set_auto_rerecord(&mut self, enabled: bool, threshold: f64) {
+        self.auto_rerecord = enabled;
+        self.rerecord_threshold = threshold;
+    }
+
+    /// The host cost model.
+    pub fn costs(&self) -> &HostCostModel {
+        &self.costs
+    }
+
+    /// Mutable cost model (for ablations).
+    pub fn costs_mut(&mut self) -> &mut HostCostModel {
+        &mut self.costs
+    }
+
+    /// The backing file store.
+    pub fn fs(&self) -> &FileStore {
+        &self.fs
+    }
+
+    /// The storage device profile in use.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// True if `f` has a recorded working set.
+    pub fn has_ws(&self, f: FunctionId) -> bool {
+        self.functions.get(&f).is_some_and(|s| s.reap.is_some())
+    }
+
+    /// True if `f`'s working set was flagged stale (§7.2).
+    pub fn needs_rerecord(&self, f: FunctionId) -> bool {
+        self.functions
+            .get(&f)
+            .is_some_and(|s| s.needs_rerecord)
+    }
+
+    fn vm_config(&self, f: FunctionId, generation: u64) -> VmConfig {
+        VmConfig {
+            mem_mib: 256,
+            vcpus: 1,
+            seed: self.seed ^ ((f as u64) << 8) ^ generation.wrapping_mul(0x9E37_79B9),
+        }
+    }
+
+    fn state(&self, f: FunctionId) -> &FunctionState {
+        self.functions
+            .get(&f)
+            .unwrap_or_else(|| panic!("{f} is not registered"))
+    }
+
+    fn state_mut(&mut self, f: FunctionId) -> &mut FunctionState {
+        self.functions
+            .get_mut(&f)
+            .unwrap_or_else(|| panic!("{f} is not registered"))
+    }
+
+    /// Registers a function: boots it once, pauses, and captures its
+    /// snapshot (the deployment path of §3.1).
+    pub fn register(&mut self, f: FunctionId) -> RegisterInfo {
+        self.register_generation(f, 0)
+    }
+
+    fn register_generation(&mut self, f: FunctionId, generation: u64) -> RegisterInfo {
+        let config = self.vm_config(f, generation);
+        let (mut vm, boot_trace) = MicroVm::boot(f, config);
+        let boot_latency = BootCostModel::default().total_latency(&boot_trace);
+        let boot_footprint_bytes = vm.footprint_bytes();
+        vm.pause();
+        let snapshot = Snapshot::capture(&vm, &self.fs, &format!("snapshots/{f}"));
+        drop(vm); // booted state lives on disk now; free the memory
+        self.functions.insert(
+            f,
+            FunctionState {
+                snapshot,
+                reap: None,
+                inputs: InputGenerator::new(f, self.seed),
+                next_seq: 0,
+                needs_rerecord: false,
+                warm: None,
+                generation,
+            },
+        );
+        RegisterInfo {
+            function: f,
+            boot_footprint_bytes,
+            boot_latency,
+        }
+    }
+
+    /// §7.3's security mitigation: periodically re-generate a function's
+    /// snapshot so VM clones stop sharing guest-physical layout and RNG
+    /// state. The new boot produces different page contents and placements;
+    /// stale REAP files are dropped (they describe the old layout) and must
+    /// be re-recorded.
+    pub fn regenerate_snapshot(&mut self, f: FunctionId) -> RegisterInfo {
+        let (generation, old_reap, next_seq) = {
+            let st = self.state(f);
+            (st.generation + 1, st.reap, st.next_seq)
+        };
+        if let Some(reap) = old_reap {
+            self.fs.delete(reap.trace_file);
+            self.fs.delete(reap.ws_file);
+        }
+        let info = self.register_generation(f, generation);
+        // Input sequence continues: the function's clients don't restart.
+        self.state_mut(f).next_seq = next_seq;
+        info
+    }
+
+    /// Removes a function, deleting its snapshot and REAP files (bounds
+    /// the memory the in-RAM file store holds across a long experiment).
+    pub fn unregister(&mut self, f: FunctionId) {
+        if let Some(st) = self.functions.remove(&f) {
+            self.fs.delete(st.snapshot.mem_file);
+            self.fs.delete(st.snapshot.vmm_file);
+            if let Some(reap) = st.reap {
+                self.fs.delete(reap.trace_file);
+                self.fs.delete(reap.ws_file);
+            }
+        }
+    }
+
+    /// Drops `f`'s cached warm instance, releasing its memory.
+    pub fn release_warm(&mut self, f: FunctionId) {
+        self.state_mut(f).warm = None;
+    }
+
+    /// Runs the functional pass of one cold invocation in the given
+    /// monitor mode. Record mode writes the REAP files and stores them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is unregistered, if prefetch mode is requested
+    /// without recorded files, or if restoration fails verification.
+    pub fn functional_cold(&mut self, f: FunctionId, mode: MonitorMode) -> FunctionalRun {
+        let fs = self.fs.clone();
+        let (snapshot, reap, input, seq) = {
+            let st = self.state_mut(f);
+            let input = st.inputs.input(st.next_seq);
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            (st.snapshot.clone(), st.reap, input, seq)
+        };
+        let mut vm = snapshot
+            .restore_shell(&fs)
+            .expect("snapshot restore failed");
+        let mut monitor = Monitor::new(&snapshot, &fs, mode);
+
+        // §5.2.1: the hypervisor injects the first fault at byte zero so
+        // the monitor learns the region base.
+        let first = vm.uffd_mut().inject_first_fault();
+        let polled = vm.uffd_mut().poll().expect("injected fault queued");
+        debug_assert_eq!(polled, first);
+        monitor
+            .handle_fault(vm.uffd_mut(), first)
+            .expect("first-fault handshake");
+        vm.uffd_mut().wake();
+
+        if mode == MonitorMode::Prefetch {
+            let files = reap.expect("prefetch mode requires recorded REAP files");
+            monitor
+                .prefetch(vm.uffd_mut(), &files)
+                .expect("WS file prefetch");
+        }
+
+        // Connection restoration: gRPC re-connect touches the TCP/accept
+        // path in the guest (§4.2).
+        let conn_ops: Vec<GuestOp> = vm
+            .kernel()
+            .conn_plan()
+            .into_iter()
+            .map(GuestOp::Touch)
+            .collect();
+        let conn_trace = run_lazy(&conn_ops, vm.uffd_mut(), &mut monitor);
+
+        // Function processing.
+        let ops = vm.invocation_ops(&input);
+        let proc_trace = run_lazy(&ops, vm.uffd_mut(), &mut monitor);
+
+        // Correctness gate: every resident page equals the snapshot.
+        let verified = verify_restored(&vm, &snapshot, &fs).expect("lossless restoration");
+
+        let mut touched: BTreeSet<PageIdx> = BTreeSet::new();
+        for op in &conn_ops {
+            if let GuestOp::Touch(c) = op {
+                touched.extend(c.iter());
+            }
+        }
+        touched.extend(functionbench::behavior::touched_pages(&ops));
+
+        let recorded = if mode == MonitorMode::Record {
+            let files = monitor.finish_record(&format!("snapshots/{f}"));
+            let st = self.state_mut(f);
+            st.reap = Some(files);
+            st.needs_rerecord = false;
+            Some(files)
+        } else {
+            None
+        };
+
+        FunctionalRun {
+            conn_trace,
+            proc_trace,
+            touched,
+            monitor_stats: monitor.stats(),
+            verified_pages: verified,
+            footprint_bytes: vm.footprint_bytes(),
+            input_seq: seq,
+            recorded,
+        }
+    }
+
+    /// Snapshot file handles of `f` for the timed pass.
+    pub fn instance_files(&self, f: FunctionId) -> InstanceFiles {
+        let snap = &self.state(f).snapshot;
+        InstanceFiles {
+            vmm_file: snap.vmm_file,
+            vmm_bytes: self.fs.len(snap.vmm_file),
+            mem_file: snap.mem_file,
+            mem_pages: snap.mem_pages(),
+        }
+    }
+
+    /// Shadow file handles: distinct cache identities with the same sizes,
+    /// for concurrency experiments where each instance models an
+    /// *independent* function with its own snapshot (§6.5). The timed pass
+    /// never dereferences file contents, only cache keys.
+    pub fn shadow_files(&self, f: FunctionId, tag: usize) -> (InstanceFiles, Option<ReapFiles>) {
+        let real = self.instance_files(f);
+        let shadow_mem = self.fs.create(&format!("shadow/{f}/{tag}/mem"));
+        let shadow_vmm = self.fs.create(&format!("shadow/{f}/{tag}/vmm"));
+        let files = InstanceFiles {
+            vmm_file: shadow_vmm,
+            vmm_bytes: real.vmm_bytes,
+            mem_file: shadow_mem,
+            mem_pages: real.mem_pages,
+        };
+        let reap = self.state(f).reap.map(|r| ReapFiles {
+            trace_file: self.fs.create(&format!("shadow/{f}/{tag}/trace")),
+            ws_file: self.fs.create(&format!("shadow/{f}/{tag}/ws")),
+            pages: r.pages,
+        });
+        (files, reap)
+    }
+
+    /// Compiles a cold invocation into a timed program.
+    pub fn cold_program(&self, f: FunctionId, policy: ColdPolicy, record: bool, run: &FunctionalRun, files: InstanceFiles, reap: Option<ReapFiles>, arrival: SimTime) -> InstanceProgram {
+        let pf_pages = if policy == ColdPolicy::ParallelPF {
+            let real = self.state(f).reap.expect("ParallelPF needs a trace");
+            read_trace_file(&self.fs, real.trace_file)
+                .expect("trace file readable")
+                .into_iter()
+                .map(|p| p.as_u64())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        build_cold_program(&ColdRunSpec {
+            policy,
+            record,
+            costs: &self.costs,
+            files,
+            reap,
+            conn_trace: &run.conn_trace,
+            proc_trace: &run.proc_trace,
+            pf_pages,
+            arrival,
+        })
+    }
+
+    /// Runs timed programs on a fresh (cold-cache) host timeline and
+    /// returns results plus disk statistics — the page cache starts cold,
+    /// matching the paper's flush-before-measure methodology (§4.1).
+    pub fn run_timed(&self, programs: Vec<InstanceProgram>) -> (Vec<crate::timeline::InstanceResult>, DiskStats) {
+        let mut tl = Timeline::new(Disk::new(self.device.clone()), self.costs.cores);
+        let results = tl.run(programs);
+        let stats = tl.disk_stats();
+        (results, stats)
+    }
+
+    fn outcome_from(&self, f: FunctionId, policy: Option<ColdPolicy>, recorded: bool, run: FunctionalRun, result: crate::timeline::InstanceResult, disk_stats: DiskStats, misprediction: Option<MispredictionReport>) -> InvocationOutcome {
+        InvocationOutcome {
+            function: f,
+            policy,
+            seq: run.input_seq,
+            breakdown: result.breakdown,
+            latency: result.latency(),
+            uffd_faults: run.conn_trace.uffd_faults + run.proc_trace.uffd_faults,
+            prefetched_pages: run.monitor_stats.prefetched,
+            residual_faults: run.monitor_stats.residual_after_prefetch,
+            ws_pages: run.touched.len() as u64,
+            verified_pages: run.verified_pages,
+            footprint_bytes: run.footprint_bytes,
+            touched: run.touched,
+            recorded,
+            misprediction,
+            disk_stats,
+        }
+    }
+
+    /// §8.2 ablation: emulates profiling-based working-set estimation
+    /// that captures guest *background* activity beyond the invocation
+    /// window — the approach the paper argues against ("extensive
+    /// profiling may significantly bloat the captured working set, hence
+    /// slowing down loading"). Appends `extra_pages` boot-touched pages
+    /// that the invocation never uses to the recorded trace/WS files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no working set was recorded yet.
+    pub fn pad_working_set(&mut self, f: FunctionId, extra_pages: u64) -> ReapFiles {
+        let (reap, mem_file, total_pages) = {
+            let st = self.state(f);
+            let reap = st.reap.expect("record a working set before padding");
+            (reap, st.snapshot.mem_file, st.snapshot.mem_pages())
+        };
+        let mut trace =
+            read_trace_file(&self.fs, reap.trace_file).expect("trace file readable");
+        let existing: BTreeSet<PageIdx> = trace.iter().copied().collect();
+        // Pad with top-of-memory pages: boot-time filler (guest page
+        // cache) that background profiling would observe but invocations
+        // never touch.
+        let mut added = 0;
+        for p in (0..total_pages).rev() {
+            if added == extra_pages {
+                break;
+            }
+            let page = PageIdx::new(p);
+            if !existing.contains(&page) {
+                trace.push(page);
+                added += 1;
+            }
+        }
+        let files = crate::ws_file::write_reap_files(
+            &self.fs,
+            &format!("snapshots/{f}"),
+            mem_file,
+            &trace,
+        );
+        self.state_mut(f).reap = Some(files);
+        files
+    }
+
+    /// First cold invocation of a function under REAP: serves faults on
+    /// demand *and* records the working set (§5.2.1). Subsequent
+    /// [`invoke_cold`](Self::invoke_cold) calls with prefetch policies use
+    /// the recorded files.
+    pub fn invoke_record(&mut self, f: FunctionId) -> InvocationOutcome {
+        let run = self.functional_cold(f, MonitorMode::Record);
+        let reap = run.recorded;
+        let files = self.instance_files(f);
+        let program =
+            self.cold_program(f, ColdPolicy::Vanilla, true, &run, files, reap, SimTime::ZERO);
+        let (results, disk) = self.run_timed(vec![program]);
+        self.outcome_from(f, Some(ColdPolicy::Vanilla), true, run, results[0], disk, None)
+    }
+
+    /// One cold invocation under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is unregistered or a prefetch policy is used
+    /// before [`invoke_record`](Self::invoke_record).
+    pub fn invoke_cold(&mut self, f: FunctionId, policy: ColdPolicy) -> InvocationOutcome {
+        if policy.uses_ws() && self.auto_rerecord && self.needs_rerecord(f) {
+            // §7.2 fallback: refresh the stale working set.
+            return self.invoke_record(f);
+        }
+        let mode = if policy.uses_ws() {
+            assert!(
+                self.has_ws(f),
+                "{f}: record a working set first (invoke_record)"
+            );
+            MonitorMode::Prefetch
+        } else {
+            MonitorMode::OnDemand
+        };
+        let run = self.functional_cold(f, mode);
+        let reap = self.state(f).reap;
+        let misprediction = if policy.uses_ws() {
+            let recorded_pages: BTreeSet<PageIdx> = read_trace_file(
+                &self.fs,
+                reap.expect("ws present").trace_file,
+            )
+            .expect("trace file readable")
+            .into_iter()
+            .collect();
+            let report = MispredictionReport::compute(
+                &recorded_pages,
+                &run.touched,
+                run.monitor_stats.residual_after_prefetch,
+            );
+            if report.should_rerecord(self.rerecord_threshold) {
+                self.state_mut(f).needs_rerecord = true;
+            }
+            Some(report)
+        } else {
+            None
+        };
+        let files = self.instance_files(f);
+        let program = self.cold_program(f, policy, false, &run, files, reap, SimTime::ZERO);
+        let (results, disk) = self.run_timed(vec![program]);
+        self.outcome_from(f, Some(policy), false, run, results[0], disk, misprediction)
+    }
+
+    /// One warm invocation: the instance is memory-resident; no VMM load,
+    /// no connection restoration, no uffd faults (Fig 2's warm bars).
+    pub fn invoke_warm(&mut self, f: FunctionId) -> InvocationOutcome {
+        let config = self.vm_config(f, self.state(f).generation);
+        let (input, seq) = {
+            let st = self.state_mut(f);
+            let input = st.inputs.input(st.next_seq);
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            (input, seq)
+        };
+        // Boot (or reuse) the warm instance.
+        if self.state(f).warm.is_none() {
+            let (vm, _) = MicroVm::boot(f, config);
+            self.state_mut(f).warm = Some(vm);
+        }
+        let st = self.state_mut(f);
+        let vm = st.warm.as_mut().expect("warm instance cached");
+        let ops = vm.invocation_ops(&input);
+        let label = vm.content_label();
+        let trace = run_resident(&ops, vm.uffd_mut().memory_mut(), label);
+        let touched = functionbench::behavior::touched_pages(&ops);
+        let footprint = vm.footprint_bytes();
+
+        let program = build_warm_program(&self.costs, &trace, SimTime::ZERO);
+        let (results, disk) = self.run_timed(vec![program]);
+        let run = FunctionalRun {
+            conn_trace: ExecutionTrace::default(),
+            proc_trace: trace,
+            touched,
+            monitor_stats: MonitorStats::default(),
+            verified_pages: 0,
+            footprint_bytes: footprint,
+            input_seq: seq,
+            recorded: None,
+        };
+        self.outcome_from(f, None, false, run, results[0], disk, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orch_with(f: FunctionId) -> Orchestrator {
+        let mut o = Orchestrator::new(7);
+        o.register(f);
+        o
+    }
+
+    #[test]
+    fn register_reports_boot_footprint() {
+        let mut o = Orchestrator::new(1);
+        let info = o.register(FunctionId::helloworld);
+        let mb = info.boot_footprint_bytes as f64 / (1024.0 * 1024.0);
+        assert!((135.0..160.0).contains(&mb), "got {mb:.0} MB");
+        assert!(info.boot_latency > SimDuration::from_millis(1000));
+    }
+
+    #[test]
+    fn vanilla_cold_matches_paper_shape() {
+        let mut o = orch_with(FunctionId::helloworld);
+        let out = o.invoke_cold(FunctionId::helloworld, ColdPolicy::Vanilla);
+        let ms = out.latency.as_millis_f64();
+        // Paper Fig 2: helloworld vanilla cold ~232 ms.
+        assert!((170.0..300.0).contains(&ms), "vanilla cold {ms:.0} ms");
+        assert!(out.uffd_faults > 1800, "faults {}", out.uffd_faults);
+        assert_eq!(out.verified_pages, out.uffd_faults + 1 /* injected */);
+        assert!(out.breakdown.load_vmm > SimDuration::from_millis(20));
+        assert!(out.breakdown.conn_restore > SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn record_then_reap_speeds_up() {
+        let mut o = orch_with(FunctionId::helloworld);
+        let vanilla = o.invoke_cold(FunctionId::helloworld, ColdPolicy::Vanilla);
+        let record = o.invoke_record(FunctionId::helloworld);
+        assert!(record.recorded);
+        assert!(o.has_ws(FunctionId::helloworld));
+        // §6.4: record costs more than a plain cold start.
+        assert!(record.latency > vanilla.latency);
+        let reap = o.invoke_cold(FunctionId::helloworld, ColdPolicy::Reap);
+        let speedup = vanilla.latency.as_secs_f64() / reap.latency.as_secs_f64();
+        assert!(
+            speedup > 2.5,
+            "REAP should be >2.5x faster on helloworld, got {speedup:.2}"
+        );
+        // Nearly all faults eliminated (97% on average, §6).
+        assert!(reap.residual_faults * 10 < reap.prefetched_pages);
+        // Connection restoration collapses (45x, §6.3).
+        assert!(reap.breakdown.conn_restore < SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "record a working set first")]
+    fn prefetch_without_record_panics() {
+        let mut o = orch_with(FunctionId::helloworld);
+        let _ = o.invoke_cold(FunctionId::helloworld, ColdPolicy::Reap);
+    }
+
+    #[test]
+    fn warm_is_orders_of_magnitude_faster() {
+        let mut o = orch_with(FunctionId::helloworld);
+        let cold = o.invoke_cold(FunctionId::helloworld, ColdPolicy::Vanilla);
+        let warm = o.invoke_warm(FunctionId::helloworld);
+        assert!(warm.latency.as_millis_f64() < 3.0);
+        assert!(cold.latency.as_secs_f64() > 50.0 * warm.latency.as_secs_f64());
+        assert_eq!(warm.uffd_faults, 0);
+        o.release_warm(FunctionId::helloworld);
+    }
+
+    #[test]
+    fn footprints_match_fig4_shape() {
+        let mut o = orch_with(FunctionId::helloworld);
+        let info = o.register(FunctionId::helloworld);
+        let cold = o.invoke_cold(FunctionId::helloworld, ColdPolicy::Vanilla);
+        // Restored footprint is a few percent of the booted one.
+        assert!(cold.footprint_bytes * 5 < info.boot_footprint_bytes);
+        let ws_mb = cold.footprint_bytes as f64 / 1e6;
+        assert!((6.0..12.0).contains(&ws_mb), "helloworld ws {ws_mb:.1} MB");
+    }
+
+    #[test]
+    fn unregister_removes_files() {
+        let mut o = orch_with(FunctionId::helloworld);
+        o.invoke_record(FunctionId::helloworld);
+        let files_before = o.fs().list().len();
+        o.unregister(FunctionId::helloworld);
+        assert!(o.fs().list().len() < files_before);
+        assert!(!o.has_ws(FunctionId::helloworld));
+    }
+
+    #[test]
+    fn regenerate_snapshot_rotates_layout_and_drops_ws() {
+        // §7.3: periodic snapshot re-generation as a mitigation for
+        // cloned-VM state. Contents and layout change; REAP files are
+        // invalidated and must be re-recorded.
+        let f = FunctionId::helloworld;
+        let mut o = orch_with(f);
+        o.invoke_record(f);
+        assert!(o.has_ws(f));
+        let mem_old = o.fs().open(&format!("snapshots/{f}/guest_mem")).unwrap();
+        let page_old = o.fs().read_at(mem_old, 0, 4096);
+
+        o.regenerate_snapshot(f);
+        assert!(!o.has_ws(f), "stale WS files must be dropped");
+        let mem_new = o.fs().open(&format!("snapshots/{f}/guest_mem")).unwrap();
+        let page_new = o.fs().read_at(mem_new, 0, 4096);
+        assert_ne!(page_old, page_new, "regeneration must change contents");
+
+        // The pipeline still works end-to-end on the new generation.
+        let vanilla = o.invoke_cold(f, ColdPolicy::Vanilla);
+        assert!(vanilla.verified_pages > 0);
+        o.invoke_record(f);
+        let reap = o.invoke_cold(f, ColdPolicy::Reap);
+        assert!(reap.latency < vanilla.latency);
+    }
+
+    #[test]
+    fn shadow_files_have_distinct_ids_same_sizes() {
+        let mut o = orch_with(FunctionId::helloworld);
+        o.invoke_record(FunctionId::helloworld);
+        let real = o.instance_files(FunctionId::helloworld);
+        let (s1, r1) = o.shadow_files(FunctionId::helloworld, 1);
+        let (s2, _) = o.shadow_files(FunctionId::helloworld, 2);
+        assert_ne!(s1.mem_file, real.mem_file);
+        assert_ne!(s1.mem_file, s2.mem_file);
+        assert_eq!(s1.mem_pages, real.mem_pages);
+        assert!(r1.is_some());
+    }
+}

@@ -1,0 +1,262 @@
+//! §7.3: guest-memory layout re-randomization.
+//!
+//! Snapshots clone VMs with *identical* guest-physical layouts, weakening
+//! ASLR: an attacker who learns one clone's layout knows them all. The
+//! paper proposes that "the orchestrator can dynamically re-randomize the
+//! guest memory placement while loading the VM's working set from the
+//! snapshot … modifying the guest page tables, with the hypervisor
+//! support".
+//!
+//! This module implements that mitigation: a per-instance
+//! [`LayoutPermutation`] over the dynamic (heap) region. While loading, a
+//! page whose snapshot position is `p` is installed at `π(p)`, and the
+//! guest's page tables are updated so accesses follow — in the replay
+//! model, touch addresses are mapped through `π` too. Clones with
+//! different permutation seeds share no heap layout, while contents remain
+//! verifiable modulo `π`.
+
+use std::collections::HashMap;
+
+use functionbench::GuestOp;
+use guest_mem::{PageIdx, TouchOutcome};
+use guest_os::RegionKind;
+use microvm::{MicroVm, Snapshot};
+use sim_core::DetRng;
+use sim_storage::FileStore;
+
+/// A bijection over the pages of one guest region (identity elsewhere).
+#[derive(Debug, Clone)]
+pub struct LayoutPermutation {
+    forward: HashMap<u64, u64>,
+    inverse: HashMap<u64, u64>,
+}
+
+impl LayoutPermutation {
+    /// The identity permutation (no re-randomization).
+    pub fn identity() -> Self {
+        LayoutPermutation {
+            forward: HashMap::new(),
+            inverse: HashMap::new(),
+        }
+    }
+
+    /// A random bijection over `[first, first + pages)`, deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0`.
+    pub fn random_over(first: PageIdx, pages: u64, seed: u64) -> Self {
+        assert!(pages > 0, "empty permutation range");
+        let mut targets: Vec<u64> =
+            (first.as_u64()..first.as_u64() + pages).collect();
+        let mut rng = DetRng::new(seed ^ 0x5EC0_0DE5);
+        rng.shuffle(&mut targets);
+        let mut forward = HashMap::with_capacity(pages as usize);
+        let mut inverse = HashMap::with_capacity(pages as usize);
+        for (i, &t) in targets.iter().enumerate() {
+            let src = first.as_u64() + i as u64;
+            forward.insert(src, t);
+            inverse.insert(t, src);
+        }
+        LayoutPermutation { forward, inverse }
+    }
+
+    /// Where page `p` lives in the re-randomized layout.
+    pub fn apply(&self, p: PageIdx) -> PageIdx {
+        self.forward
+            .get(&p.as_u64())
+            .map(|&t| PageIdx::new(t))
+            .unwrap_or(p)
+    }
+
+    /// Which snapshot page occupies re-randomized position `p`.
+    pub fn invert(&self, p: PageIdx) -> PageIdx {
+        self.inverse
+            .get(&p.as_u64())
+            .map(|&s| PageIdx::new(s))
+            .unwrap_or(p)
+    }
+
+    /// Number of remapped pages.
+    pub fn remapped(&self) -> u64 {
+        self.forward
+            .iter()
+            .filter(|(&s, &t)| s != t)
+            .count() as u64
+    }
+}
+
+/// Result of a re-randomized restore + invocation replay.
+#[derive(Debug)]
+pub struct RerandomizedRun {
+    /// The restored instance (memory populated at permuted positions).
+    pub vm: MicroVm,
+    /// The permutation used.
+    pub permutation: LayoutPermutation,
+    /// Pages installed.
+    pub installed: u64,
+    /// Pages verified byte-identical to the snapshot modulo `π`.
+    pub verified: u64,
+}
+
+/// Restores a VM from `snapshot`, replaying `ops` with guest-physical heap
+/// placement re-randomized by a fresh permutation derived from `seed`.
+/// Every installed page is verified: the page at `π(p)` must hold the
+/// snapshot contents of `p`.
+///
+/// # Panics
+///
+/// Panics on restore failure or any content mismatch (which would be a
+/// page-table corruption bug in a real hypervisor).
+pub fn restore_rerandomized(snapshot: &Snapshot, fs: &FileStore, ops: &[GuestOp], seed: u64) -> RerandomizedRun {
+    let mut vm = snapshot.restore_shell(fs).expect("restore shell");
+    let heap = {
+        let space = guest_os::AddressSpace::new(
+            snapshot.mem_pages(),
+            guest_os::LayoutSpec::default(),
+        );
+        space.region(RegionKind::Heap)
+    };
+    let permutation = LayoutPermutation::random_over(heap.first, heap.pages, seed);
+
+    let mut installed = 0u64;
+    for op in ops {
+        let GuestOp::Touch(chunk) = op else { continue };
+        for page in chunk.iter() {
+            // The guest "accesses" page `page`; with rewritten page tables
+            // the access lands at π(page).
+            let target = permutation.apply(page);
+            match vm.uffd_mut().touch_page(target) {
+                TouchOutcome::Resident => {}
+                TouchOutcome::Faulted(_ev) => {
+                    let _ = vm.uffd_mut().poll();
+                    // The monitor serves π(page) with the *snapshot*
+                    // contents of `page` (§7.3's record-phase remap).
+                    let bytes = snapshot.read_page(fs, page);
+                    vm.uffd_mut()
+                        .copy(target, &bytes)
+                        .expect("install at permuted position");
+                    vm.uffd_mut().wake();
+                    installed += 1;
+                }
+            }
+        }
+    }
+
+    // Verify: each resident page at π(p) equals snapshot page p.
+    let mut verified = 0u64;
+    for target in vm.memory().resident_iter().collect::<Vec<_>>() {
+        let src = permutation.invert(target);
+        let expect = snapshot.read_page(fs, src);
+        let got = vm.memory().page_bytes(target).expect("resident");
+        assert_eq!(
+            guest_mem::fnv1a64(got),
+            guest_mem::fnv1a64(&expect),
+            "permuted page {target} must hold snapshot page {src}"
+        );
+        verified += 1;
+    }
+    RerandomizedRun {
+        vm,
+        permutation,
+        installed,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use functionbench::{FunctionId, InputGenerator};
+    use microvm::VmConfig;
+
+    fn fixture() -> (Snapshot, FileStore, Vec<GuestOp>) {
+        let f = FunctionId::helloworld;
+        let fs = FileStore::new();
+        let (mut vm, _) = MicroVm::boot(f, VmConfig::default());
+        vm.pause();
+        let snap = Snapshot::capture(&vm, &fs, "snap/hw");
+        vm.resume();
+        let input = InputGenerator::new(f, 3).input(1);
+        let ops = vm.invocation_ops(&input);
+        (snap, fs, ops)
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let p = LayoutPermutation::random_over(PageIdx::new(100), 500, 7);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 100..600 {
+            let t = p.apply(PageIdx::new(i));
+            assert!((100..600).contains(&t.as_u64()), "target in range");
+            assert!(seen.insert(t), "no collisions");
+            assert_eq!(p.invert(t), PageIdx::new(i), "inverse consistent");
+        }
+        // Pages outside the range are untouched.
+        assert_eq!(p.apply(PageIdx::new(5)), PageIdx::new(5));
+        assert!(p.remapped() > 480, "a random shuffle moves nearly all");
+    }
+
+    #[test]
+    fn identity_permutation_changes_nothing() {
+        let p = LayoutPermutation::identity();
+        assert_eq!(p.apply(PageIdx::new(42)), PageIdx::new(42));
+        assert_eq!(p.remapped(), 0);
+    }
+
+    #[test]
+    fn rerandomized_restore_is_correct_modulo_permutation() {
+        let (snap, fs, ops) = fixture();
+        let run = restore_rerandomized(&snap, &fs, &ops, 11);
+        assert!(run.installed > 1500);
+        assert_eq!(run.verified, run.installed);
+        assert!(run.permutation.remapped() > 0);
+    }
+
+    #[test]
+    fn clones_with_different_seeds_share_no_heap_layout() {
+        let (snap, fs, ops) = fixture();
+        let a = restore_rerandomized(&snap, &fs, &ops, 1);
+        let b = restore_rerandomized(&snap, &fs, &ops, 2);
+        // Compare where each clone placed the same snapshot heap pages.
+        let heap_first = {
+            let space = guest_os::AddressSpace::new(
+                snap.mem_pages(),
+                guest_os::LayoutSpec::default(),
+            );
+            space.region(RegionKind::Heap).first
+        };
+        let mut same = 0u64;
+        let mut total = 0u64;
+        for op in &ops {
+            let GuestOp::Touch(c) = op else { continue };
+            for page in c.iter() {
+                if page >= heap_first {
+                    total += 1;
+                    if a.permutation.apply(page) == b.permutation.apply(page) {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 10, "helloworld touches some heap pages");
+        assert!(
+            same * 10 < total,
+            "different seeds must diverge: {same}/{total} positions equal"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_layout() {
+        let (snap, fs, ops) = fixture();
+        let a = restore_rerandomized(&snap, &fs, &ops, 9);
+        let b = restore_rerandomized(&snap, &fs, &ops, 9);
+        for op in &ops {
+            let GuestOp::Touch(c) = op else { continue };
+            for page in c.iter() {
+                assert_eq!(a.permutation.apply(page), b.permutation.apply(page));
+            }
+        }
+    }
+}

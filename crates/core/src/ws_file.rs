@@ -1,0 +1,296 @@
+//! REAP's two on-disk artifacts (§5.1):
+//!
+//! * the **trace file** — the offsets of the recorded working-set pages
+//!   inside the guest memory file, in fault order;
+//! * the **working-set (WS) file** — a compact, contiguous copy of those
+//!   pages, fetchable with a *single* read.
+//!
+//! Both are real byte formats with magic numbers and validation, stored in
+//! the [`FileStore`] next to the snapshot.
+
+use bytes::{BufMut, BytesMut};
+use guest_mem::{PageIdx, PAGE_SIZE};
+use sim_storage::{FileId, FileStore};
+use std::fmt;
+
+const TRACE_MAGIC: &[u8; 8] = b"REAPTRC1";
+const WS_MAGIC: &[u8; 8] = b"REAPWSF1";
+
+/// Errors from parsing REAP files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsError {
+    /// File does not start with the expected magic.
+    BadMagic,
+    /// File shorter than its header claims.
+    Truncated {
+        /// Bytes expected from the header.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// An offset is not page-aligned.
+    MisalignedOffset(u64),
+}
+
+impl fmt::Display for WsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsError::BadMagic => write!(f, "bad magic in REAP file"),
+            WsError::Truncated { expected, actual } => {
+                write!(f, "truncated REAP file: expected {expected} bytes, found {actual}")
+            }
+            WsError::MisalignedOffset(o) => write!(f, "misaligned page offset {o:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for WsError {}
+
+/// Handles + metadata of one function's recorded REAP artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReapFiles {
+    /// The trace file (offsets in fault order).
+    pub trace_file: FileId,
+    /// The working-set file (offsets + page contents).
+    pub ws_file: FileId,
+    /// Number of recorded pages.
+    pub pages: u64,
+}
+
+impl ReapFiles {
+    /// Size in bytes of the WS file.
+    pub fn ws_bytes(&self) -> u64 {
+        16 + self.pages * 8 + self.pages * PAGE_SIZE as u64
+    }
+
+    /// Size in bytes of the trace file.
+    pub fn trace_bytes(&self) -> u64 {
+        16 + self.pages * 8
+    }
+}
+
+/// Writes the trace + WS files for `trace` (recorded fault order), copying
+/// page contents out of the snapshot's guest memory file.
+///
+/// Returns the stored file handles. Existing files under the same prefix
+/// are replaced (re-record, §7.2).
+pub fn write_reap_files(fs: &FileStore, prefix: &str, mem_file: FileId, trace: &[PageIdx]) -> ReapFiles {
+    let count = trace.len() as u64;
+
+    let mut trace_buf = BytesMut::with_capacity(16 + trace.len() * 8);
+    trace_buf.put_slice(TRACE_MAGIC);
+    trace_buf.put_u64_le(count);
+    for page in trace {
+        trace_buf.put_u64_le(page.file_offset());
+    }
+    let trace_file = fs.create(&format!("{prefix}/ws_trace"));
+    fs.write_at(trace_file, 0, &trace_buf);
+
+    let mut ws_buf = BytesMut::with_capacity(16 + trace.len() * (8 + PAGE_SIZE));
+    ws_buf.put_slice(WS_MAGIC);
+    ws_buf.put_u64_le(count);
+    for page in trace {
+        ws_buf.put_u64_le(page.file_offset());
+    }
+    for page in trace {
+        let bytes = fs.read_at(mem_file, page.file_offset(), PAGE_SIZE);
+        ws_buf.put_slice(&bytes);
+    }
+    let ws_file = fs.create(&format!("{prefix}/ws_pages"));
+    fs.write_at(ws_file, 0, &ws_buf);
+
+    ReapFiles {
+        trace_file,
+        ws_file,
+        pages: count,
+    }
+}
+
+fn parse_header(fs: &FileStore, file: FileId, magic: &[u8; 8]) -> Result<u64, WsError> {
+    let len = fs.len(file);
+    if len < 16 {
+        return Err(WsError::Truncated {
+            expected: 16,
+            actual: len,
+        });
+    }
+    let head = fs.read_at(file, 0, 16);
+    if &head[..8] != magic {
+        return Err(WsError::BadMagic);
+    }
+    Ok(u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")))
+}
+
+fn read_offsets(fs: &FileStore, file: FileId, count: u64) -> Result<Vec<PageIdx>, WsError> {
+    let bytes = fs.read_at(file, 16, (count * 8) as usize);
+    let mut pages = Vec::with_capacity(count as usize);
+    for chunk in bytes.chunks_exact(8) {
+        let off = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        if off % PAGE_SIZE as u64 != 0 {
+            return Err(WsError::MisalignedOffset(off));
+        }
+        pages.push(PageIdx::new(off / PAGE_SIZE as u64));
+    }
+    Ok(pages)
+}
+
+/// Parses a trace file into page indices (fault order).
+///
+/// # Errors
+///
+/// Returns [`WsError`] on magic/length/alignment violations.
+pub fn read_trace_file(fs: &FileStore, trace_file: FileId) -> Result<Vec<PageIdx>, WsError> {
+    let count = parse_header(fs, trace_file, TRACE_MAGIC)?;
+    let expected = 16 + count * 8;
+    let actual = fs.len(trace_file);
+    if actual < expected {
+        return Err(WsError::Truncated { expected, actual });
+    }
+    read_offsets(fs, trace_file, count)
+}
+
+/// Parses a WS file into `(page, contents)` pairs.
+///
+/// # Errors
+///
+/// Returns [`WsError`] on magic/length/alignment violations.
+pub fn read_ws_file(fs: &FileStore, ws_file: FileId) -> Result<Vec<(PageIdx, Vec<u8>)>, WsError> {
+    let count = parse_header(fs, ws_file, WS_MAGIC)?;
+    let expected = 16 + count * 8 + count * PAGE_SIZE as u64;
+    let actual = fs.len(ws_file);
+    if actual < expected {
+        return Err(WsError::Truncated { expected, actual });
+    }
+    let pages = read_offsets(fs, ws_file, count)?;
+    let data_base = 16 + count * 8;
+    let mut out = Vec::with_capacity(count as usize);
+    for (i, page) in pages.into_iter().enumerate() {
+        let data = fs.read_at(ws_file, data_base + i as u64 * PAGE_SIZE as u64, PAGE_SIZE);
+        out.push((page, data));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with_pages(fs: &FileStore, pages: &[u64]) -> FileId {
+        let mem = fs.create("snap/mem");
+        for &p in pages {
+            let mut data = vec![0u8; PAGE_SIZE];
+            guest_mem::checksum::fill_deterministic(&mut data, 11, p);
+            fs.write_at(mem, p * PAGE_SIZE as u64, &data);
+        }
+        mem
+    }
+
+    #[test]
+    fn round_trip_preserves_order_and_contents() {
+        let fs = FileStore::new();
+        let pages = [5u64, 2, 9, 100, 3];
+        let mem = mem_with_pages(&fs, &pages);
+        let trace: Vec<PageIdx> = pages.iter().map(|&p| PageIdx::new(p)).collect();
+        let files = write_reap_files(&fs, "snap", mem, &trace);
+        assert_eq!(files.pages, 5);
+
+        let trace_back = read_trace_file(&fs, files.trace_file).unwrap();
+        assert_eq!(trace_back, trace, "fault order preserved");
+
+        let ws = read_ws_file(&fs, files.ws_file).unwrap();
+        assert_eq!(ws.len(), 5);
+        for (i, (page, data)) in ws.iter().enumerate() {
+            assert_eq!(*page, trace[i]);
+            let expect = fs.read_at(mem, page.file_offset(), PAGE_SIZE);
+            assert_eq!(data, &expect, "page {page} contents");
+        }
+    }
+
+    #[test]
+    fn sizes_are_exact() {
+        let fs = FileStore::new();
+        let mem = mem_with_pages(&fs, &[1, 2]);
+        let trace = vec![PageIdx::new(1), PageIdx::new(2)];
+        let files = write_reap_files(&fs, "s", mem, &trace);
+        assert_eq!(fs.len(files.ws_file), files.ws_bytes());
+        assert_eq!(fs.len(files.trace_file), files.trace_bytes());
+        assert_eq!(files.ws_bytes(), 16 + 16 + 2 * 4096);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let fs = FileStore::new();
+        let mem = fs.create("m");
+        let files = write_reap_files(&fs, "s", mem, &[]);
+        assert_eq!(read_trace_file(&fs, files.trace_file).unwrap(), vec![]);
+        assert!(read_ws_file(&fs, files.ws_file).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let fs = FileStore::new();
+        let f = fs.create("junk");
+        fs.write_at(f, 0, b"NOTMAGIC\0\0\0\0\0\0\0\0");
+        assert_eq!(read_trace_file(&fs, f), Err(WsError::BadMagic));
+        assert_eq!(read_ws_file(&fs, f), Err(WsError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let fs = FileStore::new();
+        let mem = mem_with_pages(&fs, &[1]);
+        let files = write_reap_files(&fs, "s", mem, &[PageIdx::new(1)]);
+        fs.set_len(files.ws_file, 100);
+        assert!(matches!(
+            read_ws_file(&fs, files.ws_file),
+            Err(WsError::Truncated { .. })
+        ));
+        fs.set_len(files.trace_file, 17);
+        assert!(matches!(
+            read_trace_file(&fs, files.trace_file),
+            Err(WsError::Truncated { .. })
+        ));
+        let tiny = fs.create("tiny");
+        fs.write_at(tiny, 0, b"ab");
+        assert!(matches!(
+            read_trace_file(&fs, tiny),
+            Err(WsError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn misaligned_offset_detected() {
+        let fs = FileStore::new();
+        let f = fs.create("bad");
+        let mut buf = BytesMut::new();
+        buf.put_slice(TRACE_MAGIC);
+        buf.put_u64_le(1);
+        buf.put_u64_le(123); // not page aligned
+        fs.write_at(f, 0, &buf);
+        assert_eq!(read_trace_file(&fs, f), Err(WsError::MisalignedOffset(123)));
+    }
+
+    #[test]
+    fn rerecord_replaces_files() {
+        let fs = FileStore::new();
+        let mem = mem_with_pages(&fs, &[1, 2, 3]);
+        let first = write_reap_files(&fs, "s", mem, &[PageIdx::new(1)]);
+        let second = write_reap_files(
+            &fs,
+            "s",
+            mem,
+            &[PageIdx::new(2), PageIdx::new(3)],
+        );
+        assert_eq!(first.trace_file, second.trace_file, "same path, same id");
+        assert_eq!(read_trace_file(&fs, second.trace_file).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(WsError::BadMagic.to_string(), "bad magic in REAP file");
+        assert!(WsError::Truncated { expected: 10, actual: 2 }
+            .to_string()
+            .contains("truncated"));
+        assert!(WsError::MisalignedOffset(3).to_string().contains("misaligned"));
+    }
+}

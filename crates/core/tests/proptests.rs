@@ -1,0 +1,118 @@
+//! Property tests for REAP's file formats and the timeline invariants.
+
+use guest_mem::{PageIdx, PAGE_SIZE};
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
+use sim_storage::{Disk, FileStore};
+use vhive_core::{
+    read_trace_file, read_ws_file, write_reap_files, InstanceProgram, Phase, TimedStep, Timeline,
+};
+
+proptest! {
+    /// Trace/WS files round-trip arbitrary page sequences: order and
+    /// contents are preserved exactly.
+    #[test]
+    fn reap_files_round_trip(pages in proptest::collection::vec(0u64..65536, 0..200)) {
+        let fs = FileStore::new();
+        let mem = fs.create("mem");
+        // Give every referenced page distinctive contents.
+        for &p in &pages {
+            let mut data = vec![0u8; PAGE_SIZE];
+            guest_mem::checksum::fill_deterministic(&mut data, 99, p);
+            fs.write_at(mem, p * PAGE_SIZE as u64, &data);
+        }
+        let trace: Vec<PageIdx> = pages.iter().map(|&p| PageIdx::new(p)).collect();
+        let files = write_reap_files(&fs, "t", mem, &trace);
+        prop_assert_eq!(files.pages, trace.len() as u64);
+
+        let trace_back = read_trace_file(&fs, files.trace_file).unwrap();
+        prop_assert_eq!(&trace_back, &trace);
+
+        let ws = read_ws_file(&fs, files.ws_file).unwrap();
+        prop_assert_eq!(ws.len(), trace.len());
+        for (i, (page, data)) in ws.iter().enumerate() {
+            prop_assert_eq!(*page, trace[i]);
+            let expect = fs.read_at(mem, page.file_offset(), PAGE_SIZE);
+            prop_assert_eq!(data, &expect);
+        }
+    }
+
+    /// Corrupting any single byte of the WS header is always detected.
+    #[test]
+    fn ws_header_corruption_detected(byte in 0usize..8, value in 0u8..255) {
+        let fs = FileStore::new();
+        let mem = fs.create("mem");
+        let files = write_reap_files(&fs, "t", mem, &[PageIdx::new(1)]);
+        let original = fs.read_at(files.ws_file, byte as u64, 1)[0];
+        prop_assume!(original != value);
+        fs.write_at(files.ws_file, byte as u64, &[value]);
+        prop_assert!(read_ws_file(&fs, files.ws_file).is_err());
+    }
+
+    /// Timeline: total latency always equals the sum of phase durations,
+    /// and serial CPU-only programs take exactly their compute time.
+    #[test]
+    fn breakdown_sums_to_latency(durations in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let mut steps = vec![TimedStep::Phase(Phase::Processing)];
+        let mut total = SimDuration::ZERO;
+        for (i, &us) in durations.iter().enumerate() {
+            if i % 3 == 0 {
+                steps.push(TimedStep::Phase(if i % 2 == 0 {
+                    Phase::ConnRestore
+                } else {
+                    Phase::Processing
+                }));
+            }
+            let d = SimDuration::from_micros(us);
+            total += d;
+            steps.push(TimedStep::Cpu(d));
+        }
+        let mut tl = Timeline::new(Disk::ssd(), 4);
+        let r = tl
+            .run(vec![InstanceProgram { arrival: SimTime::ZERO, steps }])
+            .remove(0);
+        prop_assert_eq!(r.latency(), total);
+        prop_assert_eq!(r.breakdown.total(), total);
+    }
+
+    /// Timeline with N identical disk-free programs on C cores finishes in
+    /// ceil(N/C) * T — the CPU pool is work-conserving.
+    #[test]
+    fn cpu_pool_is_work_conserving(n in 1usize..20, cores in 1usize..8, work_us in 100u64..5000) {
+        let d = SimDuration::from_micros(work_us);
+        let programs: Vec<InstanceProgram> = (0..n)
+            .map(|_| InstanceProgram {
+                arrival: SimTime::ZERO,
+                steps: vec![TimedStep::Phase(Phase::Processing), TimedStep::Cpu(d)],
+            })
+            .collect();
+        let mut tl = Timeline::new(Disk::ssd(), cores);
+        let results = tl.run(programs);
+        let makespan = results.iter().map(|r| r.end).max().unwrap();
+        let waves = n.div_ceil(cores) as u64;
+        prop_assert_eq!(makespan, SimTime::ZERO + d * waves);
+    }
+
+    /// Fault reads through the timeline are monotone: a later-arriving
+    /// instance doing equivalent *independent* work (distinct pages, so no
+    /// page-cache sharing) never finishes before an earlier one.
+    #[test]
+    fn arrival_order_preserved_for_identical_work(gap_us in 0u64..10_000) {
+        let fs = FileStore::new();
+        let file = fs.create("mem");
+        let mk = |arrival: SimTime, page: u64| InstanceProgram {
+            arrival,
+            steps: vec![
+                TimedStep::Phase(Phase::Processing),
+                TimedStep::FaultRead { file, page, file_pages: 65536 },
+                TimedStep::Cpu(SimDuration::from_micros(100)),
+            ],
+        };
+        let mut tl = Timeline::new(Disk::ssd(), 2);
+        let results = tl.run(vec![
+            mk(SimTime::ZERO, 0),
+            mk(SimTime::ZERO + SimDuration::from_micros(gap_us), 10_000),
+        ]);
+        prop_assert!(results[1].end >= results[0].end);
+    }
+}

@@ -1,0 +1,144 @@
+//! Invocation input generation.
+//!
+//! Per the paper's methodology, functions are invoked with *different
+//! inputs* across invocations (Fig 5 measures page overlap "across
+//! invocations with different inputs"). Inputs are deterministic functions
+//! of `(function, invocation index)` so every experiment is reproducible.
+
+use sim_core::DetRng;
+
+use crate::spec::{FunctionId, FunctionSpec};
+
+/// The input of one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationInput {
+    /// Which function this input targets.
+    pub function: FunctionId,
+    /// Invocation sequence number (0 = the recording invocation).
+    pub seq: u64,
+    /// Raw input size in KB (drawn from the spec's range).
+    pub size_kb: u64,
+    /// Input "shape" selector. For `video_processing` this is the aspect
+    /// ratio class that shifts OpenCV's allocation pattern (§6.3); other
+    /// functions ignore it.
+    pub shape: u64,
+    /// Seed for input-content-dependent behaviour.
+    pub content_seed: u64,
+}
+
+impl InvocationInput {
+    /// Transient guest pages this input expands into (decoded data,
+    /// parse trees, tensors).
+    pub fn derived_pages(&self, spec: &FunctionSpec) -> u64 {
+        ((self.size_kb as f64 * spec.input_expansion) / 4.0).max(1.0) as u64
+    }
+}
+
+/// Deterministic input generator for a function.
+///
+/// # Example
+///
+/// ```
+/// use functionbench::{FunctionId, InputGenerator};
+///
+/// let gen = InputGenerator::new(FunctionId::image_rotate, 42);
+/// let a = gen.input(0);
+/// let b = gen.input(0);
+/// assert_eq!(a, b, "same seq, same input");
+/// let c = gen.input(1);
+/// assert!(a.size_kb != c.size_kb || a.content_seed != c.content_seed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InputGenerator {
+    function: FunctionId,
+    seed: u64,
+}
+
+impl InputGenerator {
+    /// Creates a generator for `function` with a base `seed`.
+    pub fn new(function: FunctionId, seed: u64) -> Self {
+        InputGenerator { function, seed }
+    }
+
+    /// The input of invocation `seq`.
+    pub fn input(&self, seq: u64) -> InvocationInput {
+        let spec = self.function.spec();
+        let mut rng = DetRng::new(self.seed ^ (self.function as u64) << 32).fork(seq);
+        let (lo, hi) = spec.input_kb;
+        let size_kb = if lo == hi {
+            lo
+        } else {
+            lo + rng.gen_range(hi - lo + 1)
+        };
+        // Two aspect-ratio classes; only video_processing cares.
+        let shape = rng.gen_range(2);
+        InvocationInput {
+            function: self.function,
+            seq,
+            size_kb,
+            shape,
+            content_seed: rng.next_u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_deterministic() {
+        let g1 = InputGenerator::new(FunctionId::pyaes, 7);
+        let g2 = InputGenerator::new(FunctionId::pyaes, 7);
+        for seq in 0..20 {
+            assert_eq!(g1.input(seq), g2.input(seq));
+        }
+    }
+
+    #[test]
+    fn inputs_vary_across_sequence() {
+        let g = InputGenerator::new(FunctionId::json_serdes, 9);
+        let distinct: std::collections::HashSet<u64> =
+            (0..50).map(|s| g.input(s).content_seed).collect();
+        assert!(distinct.len() > 45, "content seeds should vary");
+        let sizes: std::collections::HashSet<u64> =
+            (0..50).map(|s| g.input(s).size_kb).collect();
+        assert!(sizes.len() > 5, "input sizes should vary");
+    }
+
+    #[test]
+    fn sizes_respect_spec_range() {
+        for f in FunctionId::ALL {
+            let g = InputGenerator::new(f, 3);
+            let (lo, hi) = f.spec().input_kb;
+            for seq in 0..100 {
+                let s = g.input(seq).size_kb;
+                assert!((lo..=hi).contains(&s), "{f}: size {s} outside {lo}..={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_pages_scale_with_expansion() {
+        let f = FunctionId::image_rotate;
+        let input = InputGenerator::new(f, 1).input(0);
+        let pages = input.derived_pages(f.spec());
+        let expect = (input.size_kb as f64 * f.spec().input_expansion / 4.0) as u64;
+        assert_eq!(pages, expect);
+        assert!(pages >= 1);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = InputGenerator::new(FunctionId::chameleon, 1).input(0);
+        let b = InputGenerator::new(FunctionId::chameleon, 2).input(0);
+        assert_ne!(a.content_seed, b.content_seed);
+    }
+
+    #[test]
+    fn shapes_cover_both_classes() {
+        let g = InputGenerator::new(FunctionId::video_processing, 11);
+        let shapes: std::collections::HashSet<u64> = (0..40).map(|s| g.input(s).shape).collect();
+        assert_eq!(shapes.len(), 2, "both aspect classes should appear");
+    }
+}

@@ -1,0 +1,498 @@
+//! The function suite and its calibration constants.
+//!
+//! One [`FunctionSpec`] per Table 1 entry. The behavioural constants
+//! (working-set composition, input sizes, contiguity, warm latency) are
+//! calibrated so that the simulated platform reproduces the *shapes* of the
+//! paper's Figures 2–5 and 7–9; each spec also carries the paper's reported
+//! numbers ([`PaperTargets`]) so the benchmark harness can print
+//! paper-vs-measured tables in `EXPERIMENTS.md`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Pages of the stable per-invocation *infrastructure* working set (gRPC
+/// server, in-VM agents, guest network stack): ≈8 MB per §4.4. This is the
+/// page count produced by [`guest_os::GuestKernel::rpc_plan`] under the
+/// default layout; specs build on top of it.
+pub const INFRA_PAGES: u64 = 1903;
+
+/// The ten studied functions (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(non_camel_case_types)]
+pub enum FunctionId {
+    /// Minimal function.
+    helloworld,
+    /// HTML table rendering.
+    chameleon,
+    /// Text encryption with an AES block-cipher.
+    pyaes,
+    /// JPEG image rotation.
+    image_rotate,
+    /// JSON serialization and de-serialization.
+    json_serdes,
+    /// Review analysis, serving (logistic regression, Scikit).
+    lr_serving,
+    /// Image classification (CNN, TensorFlow).
+    cnn_serving,
+    /// Name sequence generation (RNN, PyTorch).
+    rnn_serving,
+    /// Review analysis, training (logistic regression, Scikit).
+    lr_training,
+    /// Applies a gray-scale effect (OpenCV).
+    video_processing,
+}
+
+impl FunctionId {
+    /// All functions in the paper's presentation order.
+    pub const ALL: [FunctionId; 10] = [
+        FunctionId::helloworld,
+        FunctionId::chameleon,
+        FunctionId::pyaes,
+        FunctionId::image_rotate,
+        FunctionId::json_serdes,
+        FunctionId::lr_serving,
+        FunctionId::cnn_serving,
+        FunctionId::rnn_serving,
+        FunctionId::lr_training,
+        FunctionId::video_processing,
+    ];
+
+    /// The function's name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// The calibrated behaviour spec.
+    pub fn spec(self) -> &'static FunctionSpec {
+        &SPECS[self as usize]
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for parsing an unknown function name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFunctionError(pub String);
+
+impl fmt::Display for ParseFunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown function name: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFunctionError {}
+
+impl FromStr for FunctionId {
+    type Err = ParseFunctionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FunctionId::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| ParseFunctionError(s.to_string()))
+    }
+}
+
+/// The paper's reported numbers for one function, for paper-vs-measured
+/// reporting (not used by the simulation itself).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperTargets {
+    /// Fig 2/8: warm invocation latency, ms.
+    pub warm_ms: f64,
+    /// Fig 2/8: baseline-snapshot cold-start latency, ms.
+    pub cold_ms: f64,
+    /// Fig 8: REAP cold-start latency, ms.
+    pub reap_ms: f64,
+}
+
+/// Calibrated behaviour of one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Which function this is.
+    pub id_name: &'static str,
+    /// Paper name.
+    pub name: &'static str,
+    /// Table 1 description.
+    pub description: &'static str,
+    /// Warm (memory-resident) function-processing time, ms (Fig 2).
+    pub warm_ms: f64,
+    /// Booted-VM footprint target in MB (Fig 4, blue bars). Drives the
+    /// amount of init-only heap the boot phase touches.
+    pub boot_footprint_mb: u64,
+    /// Stable per-invocation working set *beyond* the ~8 MB infrastructure
+    /// set, in pages: runtime code actually exercised, loaded models,
+    /// persistent buffers.
+    pub stable_extra_pages: u64,
+    /// Request input size range in KB (inclusive), varied per invocation.
+    pub input_kb: (u64, u64),
+    /// Ratio of input-derived transient data (decoded bitmaps, parsed
+    /// trees) to raw input size.
+    pub input_expansion: f64,
+    /// Small per-invocation allocator-variance pages (timers, logging,
+    /// arena slop) that differ between invocations even with equal inputs.
+    pub variance_pages: u64,
+    /// Mean contiguous-touch run length in pages (Fig 3: 2–3 typical,
+    /// ~5 for `lr_training`).
+    pub contiguity_run: u64,
+    /// `video_processing` quirk (§6.3): inputs with different aspect ratios
+    /// flip the order/size of large allocations, shifting the
+    /// guest-physical layout and defeating the recorded working set.
+    pub layout_shift: bool,
+    /// The paper's reported latencies for comparison tables.
+    pub paper: PaperTargets,
+}
+
+impl FunctionSpec {
+    /// Mean pages of unique (input-dependent + variance) data per
+    /// invocation.
+    pub fn mean_unique_pages(&self) -> u64 {
+        let mean_kb = (self.input_kb.0 + self.input_kb.1) / 2;
+        (mean_kb as f64 * self.input_expansion / 4.0) as u64 + self.variance_pages
+    }
+
+    /// Expected working-set pages for an average invocation (infra +
+    /// stable + unique) — the Fig 4 red bars.
+    pub fn expected_ws_pages(&self) -> u64 {
+        INFRA_PAGES + self.stable_extra_pages + self.mean_unique_pages()
+    }
+
+    /// Expected unique-page fraction across invocations (Fig 5).
+    pub fn expected_unique_fraction(&self) -> f64 {
+        self.mean_unique_pages() as f64 / self.expected_ws_pages() as f64
+    }
+}
+
+/// Calibrated spec table, in [`FunctionId::ALL`] order.
+///
+/// Working-set sizes are derived from the paper's cold-start latencies
+/// (Fig 2/8) under the serial-page-fault cost model, and cross-checked
+/// against the Fig 4 footprint ranges (8–99 MB, ≈24 MB average) and the
+/// Fig 5 reuse fractions (>97% for 7 of 10 functions, >76% for the
+/// large-input ones).
+static SPECS: [FunctionSpec; 10] = [
+    FunctionSpec {
+        id_name: "helloworld",
+        name: "helloworld",
+        description: "Minimal function",
+        warm_ms: 1.0,
+        boot_footprint_mb: 148,
+        stable_extra_pages: 12,
+        input_kb: (4, 16),
+        input_expansion: 1.0,
+        variance_pages: 27,
+        contiguity_run: 2,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 1.0,
+            cold_ms: 232.0,
+            reap_ms: 60.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "chameleon",
+        name: "chameleon",
+        description: "HTML table rendering",
+        warm_ms: 29.0,
+        boot_footprint_mb: 165,
+        stable_extra_pages: 1765,
+        input_kb: (100, 200),
+        input_expansion: 1.5,
+        variance_pages: 54,
+        contiguity_run: 3,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 29.0,
+            cold_ms: 437.0,
+            reap_ms: 97.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "pyaes",
+        name: "pyaes",
+        description: "Text encryption with an AES block-cipher",
+        warm_ms: 3.0,
+        boot_footprint_mb: 155,
+        stable_extra_pages: 740,
+        input_kb: (16, 64),
+        input_expansion: 1.0,
+        variance_pages: 50,
+        contiguity_run: 2,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 3.0,
+            cold_ms: 309.0,
+            reap_ms: 55.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "image_rotate",
+        name: "image_rotate",
+        description: "JPEG image rotation",
+        warm_ms: 37.0,
+        boot_footprint_mb: 180,
+        stable_extra_pages: 2353,
+        input_kb: (1000, 3000),
+        input_expansion: 1.8,
+        variance_pages: 190,
+        contiguity_run: 3,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 37.0,
+            cold_ms: 594.0,
+            reap_ms: 207.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "json_serdes",
+        name: "json_serdes",
+        description: "JSON serialization and de-serialization",
+        warm_ms: 27.0,
+        boot_footprint_mb: 185,
+        stable_extra_pages: 2187,
+        input_kb: (1500, 2500),
+        input_expansion: 1.4,
+        variance_pages: 40,
+        contiguity_run: 2,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 27.0,
+            cold_ms: 535.0,
+            reap_ms: 127.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "lr_serving",
+        name: "lr_serving",
+        description: "Review analysis, serving (logistic regr., Scikit)",
+        warm_ms: 2.0,
+        boot_footprint_mb: 200,
+        stable_extra_pages: 4241,
+        input_kb: (4, 16),
+        input_expansion: 2.0,
+        variance_pages: 123,
+        contiguity_run: 2,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 2.0,
+            cold_ms: 647.0,
+            reap_ms: 66.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "cnn_serving",
+        name: "cnn_serving",
+        description: "Image classification (CNN, TensorFlow)",
+        warm_ms: 192.0,
+        boot_footprint_mb: 256,
+        stable_extra_pages: 10358,
+        input_kb: (100, 300),
+        input_expansion: 1.5,
+        variance_pages: 115,
+        contiguity_run: 3,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 192.0,
+            cold_ms: 1424.0,
+            reap_ms: 237.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "rnn_serving",
+        name: "rnn_serving",
+        description: "Names sequence generation (RNN, PyTorch)",
+        warm_ms: 25.0,
+        boot_footprint_mb: 230,
+        stable_extra_pages: 2497,
+        input_kb: (2, 8),
+        input_expansion: 1.0,
+        variance_pages: 113,
+        contiguity_run: 2,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 25.0,
+            cold_ms: 503.0,
+            reap_ms: 82.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "lr_training",
+        name: "lr_training",
+        description: "Review analysis, training (logistic regr., Scikit)",
+        warm_ms: 4991.0,
+        boot_footprint_mb: 210,
+        stable_extra_pages: 17244,
+        input_kb: (8000, 12000),
+        input_expansion: 2.4,
+        variance_pages: 220,
+        contiguity_run: 5,
+        layout_shift: false,
+        paper: PaperTargets {
+            warm_ms: 4991.0,
+            cold_ms: 8057.0,
+            reap_ms: 6090.0,
+        },
+    },
+    FunctionSpec {
+        id_name: "video_processing",
+        name: "video_processing",
+        description: "Applies gray-scale effect (OpenCV)",
+        warm_ms: 1476.0,
+        boot_footprint_mb: 220,
+        // Lower than its cold-latency-derived working set because the
+        // transient OpenCV mats (layout_shift) contribute ~2300 touched
+        // pages on top of the stable set.
+        stable_extra_pages: 6493,
+        input_kb: (3000, 5000),
+        input_expansion: 0.95,
+        variance_pages: 20,
+        contiguity_run: 3,
+        layout_shift: true,
+        paper: PaperTargets {
+            warm_ms: 1476.0,
+            cold_ms: 2642.0,
+            reap_ms: 2540.0,
+        },
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_functions_present() {
+        assert_eq!(FunctionId::ALL.len(), 10);
+        for f in FunctionId::ALL {
+            assert_eq!(f.spec().name, f.name());
+            assert_eq!(f.spec().id_name, f.name());
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for f in FunctionId::ALL {
+            assert_eq!(f.name().parse::<FunctionId>().unwrap(), f);
+        }
+        assert!("nonsense".parse::<FunctionId>().is_err());
+        assert_eq!(
+            "nope".parse::<FunctionId>().unwrap_err().to_string(),
+            "unknown function name: nope"
+        );
+    }
+
+    #[test]
+    fn working_sets_match_paper_ranges() {
+        // Fig 4: restored working sets span 8-99 MB.
+        for f in FunctionId::ALL {
+            let ws_mb = f.spec().expected_ws_pages() as f64 * 4096.0 / 1e6;
+            assert!(
+                (7.0..105.0).contains(&ws_mb),
+                "{f}: ws {ws_mb:.1} MB out of the paper's 8-99 MB range"
+            );
+        }
+        // Largest working set belongs to lr_training (~99 MB, the Fig 4 max).
+        let max = FunctionId::ALL
+            .into_iter()
+            .max_by_key(|f| f.spec().expected_ws_pages())
+            .unwrap();
+        assert_eq!(max, FunctionId::lr_training);
+    }
+
+    #[test]
+    fn mean_working_set_near_24_mb() {
+        // Fig 4: "24 MB on average". Our working sets are derived from the
+        // Fig 2/8 cold latencies under the serial-fault model, which puts
+        // the mean slightly above Fig 4's own average (the paper's figures
+        // are not perfectly mutually consistent); the shape — small sets
+        // for most functions, lr_training as the ~99 MB maximum — holds.
+        let mean_mb: f64 = FunctionId::ALL
+            .into_iter()
+            .map(|f| f.spec().expected_ws_pages() as f64 * 4096.0 / 1e6)
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            (18.0..34.0).contains(&mean_mb),
+            "mean ws {mean_mb:.1} MB should be near the paper's 24 MB"
+        );
+    }
+
+    #[test]
+    fn unique_fractions_match_fig5_structure() {
+        // Fig 5: the large-input functions (image_rotate, json_serdes,
+        // lr_training, video_processing) have lower reuse; everyone stays
+        // above 76% reuse (unique < 24%).
+        let lower_reuse = [
+            FunctionId::image_rotate,
+            FunctionId::json_serdes,
+            FunctionId::lr_training,
+            FunctionId::video_processing,
+        ];
+        for f in FunctionId::ALL {
+            let u = f.spec().expected_unique_fraction();
+            assert!(u < 0.26, "{f}: unique fraction {u:.2} exceeds Fig 5 bounds");
+            if lower_reuse.contains(&f) {
+                assert!(u > 0.05, "{f}: large-input function should have >5% unique");
+            } else {
+                assert!(u < 0.04, "{f}: small-input function should reuse >96%");
+            }
+        }
+    }
+
+    #[test]
+    fn boot_footprints_in_paper_range() {
+        // Fig 4: booted instances occupy 148-256 MB.
+        for f in FunctionId::ALL {
+            let mb = f.spec().boot_footprint_mb;
+            assert!(
+                (148..=256).contains(&mb),
+                "{f}: boot footprint {mb} MB outside 148-256 MB"
+            );
+        }
+    }
+
+    #[test]
+    fn contiguity_matches_fig3() {
+        for f in FunctionId::ALL {
+            let run = f.spec().contiguity_run;
+            if f == FunctionId::lr_training {
+                assert_eq!(run, 5, "lr_training shows ~5-page runs in Fig 3");
+            } else {
+                assert!((2..=3).contains(&run), "{f}: Fig 3 runs are 2-3 pages");
+            }
+        }
+    }
+
+    #[test]
+    fn only_video_processing_shifts_layout() {
+        for f in FunctionId::ALL {
+            assert_eq!(
+                f.spec().layout_shift,
+                f == FunctionId::video_processing,
+                "{f}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_speedups_average_near_3_7x() {
+        let speedups: Vec<f64> = FunctionId::ALL
+            .into_iter()
+            .map(|f| f.spec().paper.cold_ms / f.spec().paper.reap_ms)
+            .collect();
+        let g = sim_core::stats::geo_mean(&speedups).unwrap();
+        assert!(
+            (3.3..4.2).contains(&g),
+            "paper targets should geo-mean near 3.7x, got {g:.2}"
+        );
+        let max = speedups.iter().cloned().fold(0.0, f64::max);
+        let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((9.0..10.5).contains(&max), "max speedup ~9.7x, got {max:.1}");
+        assert!((1.0..1.1).contains(&min), "min speedup ~1.04x, got {min:.2}");
+    }
+}

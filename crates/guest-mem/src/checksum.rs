@@ -1,0 +1,74 @@
+//! Content fingerprints for correctness checking.
+//!
+//! The functional layer verifies that a restored instance's resident pages
+//! are byte-identical to the snapshot (and that REAP's working-set file
+//! round-trips losslessly) by comparing FNV-1a fingerprints.
+
+/// 64-bit FNV-1a hash.
+///
+/// # Example
+///
+/// ```
+/// use guest_mem::fnv1a64;
+///
+/// assert_ne!(fnv1a64(b"page A"), fnv1a64(b"page B"));
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Deterministically fills `buf` with content derived from a label and an
+/// index — used to give every synthetic guest page distinctive,
+/// verifiable contents.
+pub fn fill_deterministic(buf: &mut [u8], label: u64, index: u64) {
+    let mut state = fnv1a64(&label.to_le_bytes()) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for chunk in buf.chunks_mut(8) {
+        // xorshift64* step per 8 bytes.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let bytes = v.to_le_bytes();
+        chunk.copy_from_slice(&bytes[..chunk.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_distinct() {
+        let mut a = [0u8; 4096];
+        let mut b = [0u8; 4096];
+        fill_deterministic(&mut a, 7, 42);
+        fill_deterministic(&mut b, 7, 42);
+        assert_eq!(a, b);
+        fill_deterministic(&mut b, 7, 43);
+        assert_ne!(a.to_vec(), b.to_vec());
+        fill_deterministic(&mut b, 8, 42);
+        assert_ne!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn fill_handles_non_multiple_of_eight() {
+        let mut buf = [0u8; 13];
+        fill_deterministic(&mut buf, 1, 2);
+        // No panic, and the tail is filled too (nonzero with overwhelming
+        // probability for this label/index pair).
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

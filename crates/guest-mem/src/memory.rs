@@ -1,0 +1,445 @@
+//! Sparse guest physical memory.
+//!
+//! Frames are allocated on install, so a freshly "restored" VM occupies no
+//! memory until pages are faulted or prefetched in — exactly the property
+//! the paper measures in Fig 4 (snapshot-restored instances touch 8–99 MB
+//! of their 256 MB guest memory).
+
+use std::fmt;
+
+use crate::checksum::fnv1a64;
+use crate::page::{GuestAddr, PageIdx, PAGE_SIZE};
+
+/// Errors raised by guest memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Access touched a page that is not resident (would page-fault).
+    NotResident(PageIdx),
+    /// Access fell outside the guest memory region.
+    OutOfBounds(GuestAddr),
+    /// `UFFDIO_COPY` target page is already mapped (kernel returns EEXIST).
+    AlreadyResident(PageIdx),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::NotResident(p) => write!(f, "page {p} is not resident"),
+            MemError::OutOfBounds(a) => write!(f, "address {a} is out of bounds"),
+            MemError::AlreadyResident(p) => write!(f, "page {p} is already resident"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Guest physical memory: a fixed-size region of lazily-populated 4 KB
+/// frames, with KVM-style dirty-page tracking (the mechanism behind
+/// Firecracker's *diff snapshots*).
+///
+/// # Example
+///
+/// ```
+/// use guest_mem::{GuestAddr, GuestMemory, MemError, PageIdx};
+///
+/// let mut mem = GuestMemory::new(16 * 4096);
+/// assert_eq!(
+///     mem.read(GuestAddr::new(0), 4).unwrap_err(),
+///     MemError::NotResident(PageIdx::new(0))
+/// );
+/// mem.install_page(PageIdx::new(0), &[7u8; 4096]).unwrap();
+/// assert_eq!(mem.read(GuestAddr::new(0), 2).unwrap(), vec![7, 7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestMemory {
+    frames: Vec<Option<Box<[u8]>>>,
+    resident: usize,
+    /// Pages written since the last [`clear_dirty`](Self::clear_dirty)
+    /// (installs count as writes, as KVM's dirty log sees them).
+    dirty: std::collections::BTreeSet<u64>,
+    dirty_tracking: bool,
+}
+
+impl GuestMemory {
+    /// Creates a region of `bytes` (rounded up to whole pages), fully
+    /// non-resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn new(bytes: u64) -> Self {
+        assert!(bytes > 0, "guest memory must be non-empty");
+        let pages = bytes.div_ceil(PAGE_SIZE as u64) as usize;
+        GuestMemory {
+            frames: (0..pages).map(|_| None).collect(),
+            resident: 0,
+            dirty: std::collections::BTreeSet::new(),
+            dirty_tracking: false,
+        }
+    }
+
+    /// Enables KVM-style dirty logging: subsequent installs and writes are
+    /// recorded until [`clear_dirty`](Self::clear_dirty).
+    pub fn set_dirty_tracking(&mut self, enabled: bool) {
+        self.dirty_tracking = enabled;
+    }
+
+    /// True if dirty logging is on.
+    pub fn dirty_tracking(&self) -> bool {
+        self.dirty_tracking
+    }
+
+    /// Pages dirtied since tracking was last cleared, ascending.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = PageIdx> + '_ {
+        self.dirty.iter().map(|&p| PageIdx::new(p))
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_count(&self) -> u64 {
+        self.dirty.len() as u64
+    }
+
+    /// Clears the dirty log (after capturing a diff snapshot).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    fn mark_dirty(&mut self, page: PageIdx) {
+        if self.dirty_tracking {
+            self.dirty.insert(page.as_u64());
+        }
+    }
+
+    /// Region size in pages.
+    pub fn num_pages(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Region size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.num_pages() * PAGE_SIZE as u64
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident as u64
+    }
+
+    /// Resident set size in bytes — the `ps`-style footprint the paper
+    /// reports in Fig 4.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.resident as u64 * PAGE_SIZE as u64
+    }
+
+    /// True if `page` is resident.
+    pub fn is_resident(&self, page: PageIdx) -> bool {
+        self.frames
+            .get(page.as_u64() as usize)
+            .map(|f| f.is_some())
+            .unwrap_or(false)
+    }
+
+    /// True if `page` lies within the region.
+    pub fn contains_page(&self, page: PageIdx) -> bool {
+        (page.as_u64() as usize) < self.frames.len()
+    }
+
+    fn check_range(&self, addr: GuestAddr, len: u64) -> Result<(), MemError> {
+        if addr.as_u64() + len > self.size_bytes() {
+            return Err(MemError::OutOfBounds(addr));
+        }
+        Ok(())
+    }
+
+    /// Installs page contents (the `UFFDIO_COPY` destination operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AlreadyResident`] if the page is mapped (kernel
+    /// EEXIST) and [`MemError::OutOfBounds`] if outside the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one page.
+    pub fn install_page(&mut self, page: PageIdx, data: &[u8]) -> Result<(), MemError> {
+        assert_eq!(data.len(), PAGE_SIZE, "install needs exactly one page");
+        let idx = page.as_u64() as usize;
+        if idx >= self.frames.len() {
+            return Err(MemError::OutOfBounds(page.base_addr()));
+        }
+        if self.frames[idx].is_some() {
+            return Err(MemError::AlreadyResident(page));
+        }
+        self.frames[idx] = Some(data.to_vec().into_boxed_slice());
+        self.resident += 1;
+        self.mark_dirty(page);
+        Ok(())
+    }
+
+    /// Installs a zero page (`UFFDIO_ZEROPAGE`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`install_page`](Self::install_page).
+    pub fn install_zero_page(&mut self, page: PageIdx) -> Result<(), MemError> {
+        self.install_page(page, &[0u8; PAGE_SIZE])
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotResident`] naming the *first* missing page —
+    /// the fault the VM would take — or [`MemError::OutOfBounds`].
+    pub fn read(&self, addr: GuestAddr, len: u64) -> Result<Vec<u8>, MemError> {
+        self.check_range(addr, len)?;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cur = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let page = cur.page();
+            let frame = self.frames[page.as_u64() as usize]
+                .as_ref()
+                .ok_or(MemError::NotResident(page))?;
+            let off = cur.page_offset();
+            let take = ((PAGE_SIZE - off) as u64).min(remaining) as usize;
+            out.extend_from_slice(&frame[off..off + take]);
+            cur = cur.add(take as u64);
+            remaining -= take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Writes `bytes` at `addr` (pages must be resident: real hardware
+    /// faults on write to an unmapped page just like on read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotResident`] for the first missing page or
+    /// [`MemError::OutOfBounds`].
+    pub fn write(&mut self, addr: GuestAddr, bytes: &[u8]) -> Result<(), MemError> {
+        self.check_range(addr, bytes.len() as u64)?;
+        // Verify residency of the whole range first so a failed write does
+        // not partially apply.
+        let mut cur = addr;
+        let mut remaining = bytes.len() as u64;
+        while remaining > 0 {
+            let page = cur.page();
+            if !self.is_resident(page) {
+                return Err(MemError::NotResident(page));
+            }
+            let take = ((PAGE_SIZE - cur.page_offset()) as u64).min(remaining);
+            cur = cur.add(take);
+            remaining -= take;
+        }
+        let mut cur = addr;
+        let mut written = 0usize;
+        while written < bytes.len() {
+            let page = cur.page();
+            let off = cur.page_offset();
+            let take = (PAGE_SIZE - off).min(bytes.len() - written);
+            let frame = self.frames[page.as_u64() as usize]
+                .as_mut()
+                .expect("residency checked above");
+            frame[off..off + take].copy_from_slice(&bytes[written..written + take]);
+            cur = cur.add(take as u64);
+            written += take;
+            self.mark_dirty(page);
+        }
+        Ok(())
+    }
+
+    /// Borrow of a resident page's bytes.
+    pub fn page_bytes(&self, page: PageIdx) -> Option<&[u8]> {
+        self.frames
+            .get(page.as_u64() as usize)
+            .and_then(|f| f.as_deref())
+    }
+
+    /// FNV-1a fingerprint of a resident page.
+    pub fn page_checksum(&self, page: PageIdx) -> Option<u64> {
+        self.page_bytes(page).map(fnv1a64)
+    }
+
+    /// Evicts a page (used when modelling snapshot-time memory release).
+    /// Returns true if the page was resident.
+    pub fn evict_page(&mut self, page: PageIdx) -> bool {
+        if let Some(slot) = self.frames.get_mut(page.as_u64() as usize) {
+            if slot.take().is_some() {
+                self.resident -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Iterates over resident page indices in ascending order.
+    pub fn resident_iter(&self) -> impl Iterator<Item = PageIdx> + '_ {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_some())
+            .map(|(i, _)| PageIdx::new(i as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE]
+    }
+
+    #[test]
+    fn fresh_memory_is_empty() {
+        let mem = GuestMemory::new(256 * 1024 * 1024);
+        assert_eq!(mem.num_pages(), 65536);
+        assert_eq!(mem.resident_pages(), 0);
+        assert_eq!(mem.footprint_bytes(), 0);
+        assert!(!mem.is_resident(PageIdx::new(0)));
+    }
+
+    #[test]
+    fn size_rounds_up_to_pages() {
+        let mem = GuestMemory::new(4097);
+        assert_eq!(mem.num_pages(), 2);
+        assert_eq!(mem.size_bytes(), 8192);
+    }
+
+    #[test]
+    fn install_then_read() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        mem.install_page(PageIdx::new(3), &page_of(0xAB)).unwrap();
+        assert_eq!(mem.resident_pages(), 1);
+        assert_eq!(mem.footprint_bytes(), 4096);
+        let got = mem.read(PageIdx::new(3).base_addr(), 8).unwrap();
+        assert_eq!(got, vec![0xAB; 8]);
+    }
+
+    #[test]
+    fn double_install_is_eexist() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        mem.install_page(PageIdx::new(0), &page_of(1)).unwrap();
+        assert_eq!(
+            mem.install_page(PageIdx::new(0), &page_of(2)),
+            Err(MemError::AlreadyResident(PageIdx::new(0)))
+        );
+        // Original contents preserved.
+        assert_eq!(mem.read(GuestAddr::new(0), 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn read_unmapped_reports_first_missing_page() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        mem.install_page(PageIdx::new(0), &page_of(9)).unwrap();
+        // Crossing from resident page 0 into missing page 1.
+        let err = mem.read(GuestAddr::new(4090), 10).unwrap_err();
+        assert_eq!(err, MemError::NotResident(PageIdx::new(1)));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mem = GuestMemory::new(2 * 4096);
+        let err = mem.read(GuestAddr::new(2 * 4096 - 1), 2).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds(_)));
+        assert!(!mem.contains_page(PageIdx::new(2)));
+        assert!(mem.contains_page(PageIdx::new(1)));
+    }
+
+    #[test]
+    fn install_out_of_bounds() {
+        let mut mem = GuestMemory::new(4096);
+        let err = mem.install_page(PageIdx::new(5), &page_of(0)).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds(_)));
+    }
+
+    #[test]
+    fn write_spanning_pages() {
+        let mut mem = GuestMemory::new(4 * 4096);
+        mem.install_page(PageIdx::new(0), &page_of(0)).unwrap();
+        mem.install_page(PageIdx::new(1), &page_of(0)).unwrap();
+        let data: Vec<u8> = (0..100).collect();
+        mem.write(GuestAddr::new(4050), &data).unwrap();
+        assert_eq!(mem.read(GuestAddr::new(4050), 100).unwrap(), data);
+    }
+
+    #[test]
+    fn failed_write_does_not_partially_apply() {
+        let mut mem = GuestMemory::new(4 * 4096);
+        mem.install_page(PageIdx::new(0), &page_of(0x11)).unwrap();
+        // Page 1 missing: write spanning 0->1 must fail and leave page 0
+        // untouched.
+        let err = mem.write(GuestAddr::new(4000), &[0xFF; 200]).unwrap_err();
+        assert_eq!(err, MemError::NotResident(PageIdx::new(1)));
+        assert_eq!(mem.read(GuestAddr::new(4000), 8).unwrap(), vec![0x11; 8]);
+    }
+
+    #[test]
+    fn zero_page_and_checksum() {
+        let mut mem = GuestMemory::new(2 * 4096);
+        mem.install_zero_page(PageIdx::new(1)).unwrap();
+        assert_eq!(mem.read(GuestAddr::new(4096), 3).unwrap(), vec![0, 0, 0]);
+        let zeros = mem.page_checksum(PageIdx::new(1)).unwrap();
+        assert_eq!(zeros, fnv1a64(&[0u8; PAGE_SIZE]));
+        assert_eq!(mem.page_checksum(PageIdx::new(0)), None);
+    }
+
+    #[test]
+    fn evict_and_resident_iter() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        for i in [1u64, 4, 6] {
+            mem.install_page(PageIdx::new(i), &page_of(i as u8)).unwrap();
+        }
+        let resident: Vec<u64> = mem.resident_iter().map(|p| p.as_u64()).collect();
+        assert_eq!(resident, vec![1, 4, 6]);
+        assert!(mem.evict_page(PageIdx::new(4)));
+        assert!(!mem.evict_page(PageIdx::new(4)));
+        assert_eq!(mem.resident_pages(), 2);
+        assert!(!mem.evict_page(PageIdx::new(100)), "oob evict is a no-op");
+    }
+
+    #[test]
+    fn dirty_tracking_records_installs_and_writes() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        mem.install_page(PageIdx::new(0), &page_of(1)).unwrap();
+        assert_eq!(mem.dirty_count(), 0, "tracking off by default");
+        mem.set_dirty_tracking(true);
+        assert!(mem.dirty_tracking());
+        mem.install_page(PageIdx::new(2), &page_of(2)).unwrap();
+        mem.write(GuestAddr::new(5), &[9, 9]).unwrap(); // page 0
+        let dirty: Vec<u64> = mem.dirty_pages().map(|p| p.as_u64()).collect();
+        assert_eq!(dirty, vec![0, 2]);
+        mem.clear_dirty();
+        assert_eq!(mem.dirty_count(), 0);
+        // Writes after clearing are tracked afresh.
+        mem.write(GuestAddr::new(2 * 4096), &[1]).unwrap();
+        assert_eq!(mem.dirty_count(), 1);
+    }
+
+    #[test]
+    fn dirty_tracking_spanning_write_marks_all_pages() {
+        let mut mem = GuestMemory::new(4 * 4096);
+        mem.install_page(PageIdx::new(0), &page_of(0)).unwrap();
+        mem.install_page(PageIdx::new(1), &page_of(0)).unwrap();
+        mem.set_dirty_tracking(true);
+        mem.write(GuestAddr::new(4090), &[7u8; 20]).unwrap();
+        let dirty: Vec<u64> = mem.dirty_pages().map(|p| p.as_u64()).collect();
+        assert_eq!(dirty, vec![0, 1]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            MemError::NotResident(PageIdx::new(3)).to_string(),
+            "page pfn:3 is not resident"
+        );
+        assert_eq!(
+            MemError::AlreadyResident(PageIdx::new(1)).to_string(),
+            "page pfn:1 is already resident"
+        );
+        assert!(MemError::OutOfBounds(GuestAddr::new(16))
+            .to_string()
+            .contains("out of bounds"));
+    }
+}

@@ -1,0 +1,354 @@
+//! `userfaultfd` simulation.
+//!
+//! Reproduces the Linux user-level page-fault handling mechanism the paper
+//! builds REAP on (§5.2):
+//!
+//! * the hypervisor registers the guest memory region (a range of *host
+//!   virtual addresses*) and hands the fault channel to a monitor;
+//! * first-touch accesses raise [`FaultEvent`]s carrying the faulting host
+//!   virtual address;
+//! * the monitor resolves the address to an offset in the guest memory
+//!   file, retrieves the page from any source (local file, WS file, remote
+//!   store) and installs it with [`Uffd::copy`] (`UFFDIO_COPY` semantics,
+//!   including EEXIST on double-install), then wakes the faulting vCPU.
+//!
+//! The paper's Firecracker patch injects the *first* fault at the first
+//! byte of guest memory so the monitor can learn the region base and derive
+//! every later file offset by subtraction (§5.2.1); [`Uffd::inject_first_fault`]
+//! models exactly that handshake.
+
+use std::collections::VecDeque;
+
+use crate::memory::{GuestMemory, MemError};
+use crate::page::{GuestAddr, PageIdx};
+
+/// A pending page-fault event as read from the user-fault file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Faulting *host* virtual address (region base + guest-physical
+    /// offset), as the kernel reports it.
+    pub host_vaddr: u64,
+    /// Monotone sequence number of the fault.
+    pub seq: u64,
+}
+
+/// Outcome of a VM-side access attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TouchOutcome {
+    /// The page was resident; no fault.
+    Resident,
+    /// A fault was raised and queued for the monitor; the vCPU blocks.
+    Faulted(FaultEvent),
+}
+
+/// Counters the REAP evaluation reports (faults eliminated, §6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UffdStats {
+    /// Faults raised by the VM.
+    pub faults: u64,
+    /// Successful `UFFDIO_COPY` installs.
+    pub copies: u64,
+    /// Installs that hit an already-resident page (EEXIST).
+    pub copy_eexist: u64,
+    /// `UFFDIO_ZEROPAGE` installs.
+    pub zero_pages: u64,
+    /// vCPU wake-ups.
+    pub wakes: u64,
+}
+
+/// A guest memory region registered with the (simulated) userfaultfd.
+///
+/// # Example
+///
+/// ```
+/// use guest_mem::{GuestMemory, PageIdx, TouchOutcome, Uffd, PAGE_SIZE};
+///
+/// let mem = GuestMemory::new(4 * 4096);
+/// let mut uffd = Uffd::register(mem, 0x7f00_0000_0000);
+/// // VM touches page 2 -> fault.
+/// let TouchOutcome::Faulted(ev) = uffd.touch_page(PageIdx::new(2)) else {
+///     panic!("expected fault");
+/// };
+/// // Monitor resolves the host address to a page and installs it.
+/// let page = uffd.page_of_fault(ev);
+/// uffd.copy(page, &[5u8; PAGE_SIZE]).unwrap();
+/// uffd.wake();
+/// assert_eq!(uffd.touch_page(PageIdx::new(2)), TouchOutcome::Resident);
+/// ```
+#[derive(Debug)]
+pub struct Uffd {
+    mem: GuestMemory,
+    /// Host virtual address where the guest memory region is mapped.
+    region_base: u64,
+    pending: VecDeque<FaultEvent>,
+    next_seq: u64,
+    stats: UffdStats,
+}
+
+impl Uffd {
+    /// Registers `mem` at the given host virtual base address and returns
+    /// the fault channel.
+    pub fn register(mem: GuestMemory, region_base: u64) -> Self {
+        Uffd {
+            mem,
+            region_base,
+            pending: VecDeque::new(),
+            next_seq: 0,
+            stats: UffdStats::default(),
+        }
+    }
+
+    /// Host virtual base address of the registered region.
+    pub fn region_base(&self) -> u64 {
+        self.region_base
+    }
+
+    /// Shared view of the guest memory.
+    pub fn memory(&self) -> &GuestMemory {
+        &self.mem
+    }
+
+    /// Mutable view of the guest memory (hypervisor-internal use).
+    pub fn memory_mut(&mut self) -> &mut GuestMemory {
+        &mut self.mem
+    }
+
+    /// Consumes the channel, returning the guest memory (deregistration).
+    pub fn into_memory(self) -> GuestMemory {
+        self.mem
+    }
+
+    /// Fault counters.
+    pub fn stats(&self) -> UffdStats {
+        self.stats
+    }
+
+    fn raise(&mut self, page: PageIdx) -> FaultEvent {
+        let ev = FaultEvent {
+            host_vaddr: self.region_base + page.file_offset(),
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.stats.faults += 1;
+        self.pending.push_back(ev);
+        ev
+    }
+
+    /// VM-side: attempts to access `page`. If non-resident, raises a fault
+    /// (the vCPU halts until the monitor installs the page and wakes it).
+    pub fn touch_page(&mut self, page: PageIdx) -> TouchOutcome {
+        if self.mem.is_resident(page) {
+            TouchOutcome::Resident
+        } else {
+            TouchOutcome::Faulted(self.raise(page))
+        }
+    }
+
+    /// VM-side: attempts to access the byte range `[addr, addr + len)`,
+    /// returning the first fault if any page is missing.
+    pub fn touch_range(&mut self, addr: GuestAddr, len: u64) -> TouchOutcome {
+        let mut cur = addr.page();
+        let last = if len == 0 {
+            return TouchOutcome::Resident;
+        } else {
+            GuestAddr::new(addr.as_u64() + len - 1).page()
+        };
+        while cur <= last {
+            if !self.mem.is_resident(cur) {
+                return TouchOutcome::Faulted(self.raise(cur));
+            }
+            cur = cur.next();
+        }
+        TouchOutcome::Resident
+    }
+
+    /// The paper's Firecracker patch: before resuming vCPUs, inject a fault
+    /// at the *first byte* of guest memory so the monitor learns the region
+    /// base address (§5.2.1).
+    pub fn inject_first_fault(&mut self) -> FaultEvent {
+        self.raise(PageIdx::new(0))
+    }
+
+    /// Monitor-side: next pending fault, if any (the `epoll` read).
+    pub fn poll(&mut self) -> Option<FaultEvent> {
+        self.pending.pop_front()
+    }
+
+    /// Monitor-side: number of queued faults.
+    pub fn pending_faults(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Monitor-side: translates a fault's host virtual address into the
+    /// guest page, given the region base learned from the injected first
+    /// fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address lies below the region base (a monitor bug).
+    pub fn page_of_fault(&self, ev: FaultEvent) -> PageIdx {
+        assert!(
+            ev.host_vaddr >= self.region_base,
+            "fault below region base"
+        );
+        GuestAddr::new(ev.host_vaddr - self.region_base).page()
+    }
+
+    /// Monitor-side `UFFDIO_COPY`: installs one page of content.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AlreadyResident`] (EEXIST) if the page is mapped —
+    /// callers treat this as benign during prefetch races, as the kernel
+    /// API does — or [`MemError::OutOfBounds`].
+    pub fn copy(&mut self, page: PageIdx, data: &[u8]) -> Result<(), MemError> {
+        match self.mem.install_page(page, data) {
+            Ok(()) => {
+                self.stats.copies += 1;
+                Ok(())
+            }
+            Err(e @ MemError::AlreadyResident(_)) => {
+                self.stats.copy_eexist += 1;
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Monitor-side `UFFDIO_ZEROPAGE`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`copy`](Self::copy).
+    pub fn zeropage(&mut self, page: PageIdx) -> Result<(), MemError> {
+        match self.mem.install_zero_page(page) {
+            Ok(()) => {
+                self.stats.zero_pages += 1;
+                Ok(())
+            }
+            Err(e @ MemError::AlreadyResident(_)) => {
+                self.stats.copy_eexist += 1;
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Monitor-side: wakes the faulting vCPU (`UFFDIO_WAKE`). The monitor
+    /// may install any number of pages before waking (§5.2 — REAP installs
+    /// the whole working set, then wakes once).
+    pub fn wake(&mut self) {
+        self.stats.wakes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    fn setup() -> Uffd {
+        Uffd::register(GuestMemory::new(16 * 4096), 0x7f00_0000_0000)
+    }
+
+    #[test]
+    fn fault_carries_host_vaddr() {
+        let mut u = setup();
+        let TouchOutcome::Faulted(ev) = u.touch_page(PageIdx::new(3)) else {
+            panic!("expected fault");
+        };
+        assert_eq!(ev.host_vaddr, 0x7f00_0000_0000 + 3 * 4096);
+        assert_eq!(u.page_of_fault(ev), PageIdx::new(3));
+        assert_eq!(u.pending_faults(), 1);
+        assert_eq!(u.poll(), Some(ev));
+        assert_eq!(u.poll(), None);
+    }
+
+    #[test]
+    fn first_fault_injection_names_byte_zero() {
+        let mut u = setup();
+        let ev = u.inject_first_fault();
+        assert_eq!(ev.host_vaddr, u.region_base());
+        assert_eq!(u.page_of_fault(ev), PageIdx::new(0));
+        assert_eq!(ev.seq, 0, "injected fault is the very first event");
+    }
+
+    #[test]
+    fn copy_resolves_fault() {
+        let mut u = setup();
+        let TouchOutcome::Faulted(ev) = u.touch_page(PageIdx::new(1)) else {
+            panic!()
+        };
+        let page = u.page_of_fault(ev);
+        u.copy(page, &[9u8; PAGE_SIZE]).unwrap();
+        u.wake();
+        assert_eq!(u.touch_page(PageIdx::new(1)), TouchOutcome::Resident);
+        let st = u.stats();
+        assert_eq!(st.faults, 1);
+        assert_eq!(st.copies, 1);
+        assert_eq!(st.wakes, 1);
+    }
+
+    #[test]
+    fn double_copy_is_eexist_and_counted() {
+        let mut u = setup();
+        u.copy(PageIdx::new(2), &[1u8; PAGE_SIZE]).unwrap();
+        let err = u.copy(PageIdx::new(2), &[2u8; PAGE_SIZE]).unwrap_err();
+        assert_eq!(err, MemError::AlreadyResident(PageIdx::new(2)));
+        assert_eq!(u.stats().copy_eexist, 1);
+        // Contents from the first copy survive.
+        assert_eq!(u.memory().page_bytes(PageIdx::new(2)).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn touch_range_faults_first_missing_page() {
+        let mut u = setup();
+        u.copy(PageIdx::new(0), &[0u8; PAGE_SIZE]).unwrap();
+        // Range spans pages 0..=2; page 1 missing.
+        let TouchOutcome::Faulted(ev) = u.touch_range(GuestAddr::new(100), 2 * 4096) else {
+            panic!("expected fault")
+        };
+        assert_eq!(u.page_of_fault(ev), PageIdx::new(1));
+        // Empty range never faults.
+        assert_eq!(u.touch_range(GuestAddr::new(0), 0), TouchOutcome::Resident);
+    }
+
+    #[test]
+    fn faults_queue_in_order() {
+        let mut u = setup();
+        u.touch_page(PageIdx::new(5));
+        u.touch_page(PageIdx::new(2));
+        u.touch_page(PageIdx::new(9));
+        let order: Vec<u64> = std::iter::from_fn(|| u.poll())
+            .map(|ev| (ev.host_vaddr - 0x7f00_0000_0000) / 4096)
+            .collect();
+        assert_eq!(order, vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn zeropage_counts() {
+        let mut u = setup();
+        u.zeropage(PageIdx::new(7)).unwrap();
+        assert_eq!(u.stats().zero_pages, 1);
+        assert!(u.zeropage(PageIdx::new(7)).is_err());
+        assert_eq!(u.stats().copy_eexist, 1);
+    }
+
+    #[test]
+    fn into_memory_returns_installed_state() {
+        let mut u = setup();
+        u.copy(PageIdx::new(4), &[3u8; PAGE_SIZE]).unwrap();
+        let mem = u.into_memory();
+        assert_eq!(mem.resident_pages(), 1);
+        assert!(mem.is_resident(PageIdx::new(4)));
+    }
+
+    #[test]
+    fn resident_touch_raises_nothing() {
+        let mut u = setup();
+        u.copy(PageIdx::new(0), &[0u8; PAGE_SIZE]).unwrap();
+        assert_eq!(u.touch_page(PageIdx::new(0)), TouchOutcome::Resident);
+        assert_eq!(u.stats().faults, 0);
+        assert_eq!(u.pending_faults(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for guest memory + uffd invariants.
+
+use guest_mem::{
+    fnv1a64, GuestAddr, GuestMemory, MemError, PageIdx, TouchOutcome, Uffd, PAGE_SIZE,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Residency count always equals the number of distinct installed pages,
+    /// and installed contents round-trip exactly.
+    #[test]
+    fn install_read_round_trip(pages in proptest::collection::btree_set(0u64..64, 1..32)) {
+        let mut mem = GuestMemory::new(64 * PAGE_SIZE as u64);
+        for &p in &pages {
+            let mut data = vec![0u8; PAGE_SIZE];
+            guest_mem::checksum::fill_deterministic(&mut data, 1, p);
+            mem.install_page(PageIdx::new(p), &data).unwrap();
+        }
+        prop_assert_eq!(mem.resident_pages(), pages.len() as u64);
+        for &p in &pages {
+            let mut expect = vec![0u8; PAGE_SIZE];
+            guest_mem::checksum::fill_deterministic(&mut expect, 1, p);
+            prop_assert_eq!(mem.page_bytes(PageIdx::new(p)).unwrap(), &expect[..]);
+            prop_assert_eq!(mem.page_checksum(PageIdx::new(p)).unwrap(), fnv1a64(&expect));
+        }
+    }
+
+    /// Reads spanning arbitrary resident ranges return exactly what writes
+    /// put there.
+    #[test]
+    fn write_read_any_span(
+        offset in 0u64..(8 * PAGE_SIZE as u64 - 512),
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let mut mem = GuestMemory::new(8 * PAGE_SIZE as u64);
+        for p in 0..8 {
+            mem.install_zero_page(PageIdx::new(p)).unwrap();
+        }
+        mem.write(GuestAddr::new(offset), &data).unwrap();
+        prop_assert_eq!(mem.read(GuestAddr::new(offset), data.len() as u64).unwrap(), data);
+    }
+
+    /// The uffd fault/copy protocol always converges: touching any page
+    /// sequence, serving each fault with a copy, ends with all touched
+    /// pages resident and fault count == distinct missing pages touched.
+    #[test]
+    fn uffd_protocol_converges(touches in proptest::collection::vec(0u64..128, 1..256)) {
+        let mem = GuestMemory::new(128 * PAGE_SIZE as u64);
+        let mut uffd = Uffd::register(mem, 0x7000_0000);
+        let mut distinct = std::collections::BTreeSet::new();
+        for &t in &touches {
+            let page = PageIdx::new(t);
+            match uffd.touch_page(page) {
+                TouchOutcome::Resident => {
+                    prop_assert!(distinct.contains(&t), "resident page never installed");
+                }
+                TouchOutcome::Faulted(ev) => {
+                    prop_assert!(distinct.insert(t), "double fault on same page");
+                    let p = uffd.page_of_fault(ev);
+                    prop_assert_eq!(p, page);
+                    uffd.copy(p, &[t as u8; PAGE_SIZE]).unwrap();
+                    uffd.wake();
+                }
+            }
+        }
+        let st = uffd.stats();
+        prop_assert_eq!(st.faults, distinct.len() as u64);
+        prop_assert_eq!(st.copies, distinct.len() as u64);
+        prop_assert_eq!(uffd.memory().resident_pages(), distinct.len() as u64);
+    }
+
+    /// Prefetch-then-touch: pages installed eagerly never fault afterwards,
+    /// and EEXIST from racing installs never corrupts contents.
+    #[test]
+    fn prefetch_prevents_faults(
+        prefetch in proptest::collection::btree_set(0u64..64, 1..64),
+        touches in proptest::collection::vec(0u64..64, 1..128),
+    ) {
+        let mem = GuestMemory::new(64 * PAGE_SIZE as u64);
+        let mut uffd = Uffd::register(mem, 0);
+        for &p in &prefetch {
+            uffd.copy(PageIdx::new(p), &[0xAA; PAGE_SIZE]).unwrap();
+        }
+        // Racing re-install: EEXIST, contents unchanged.
+        for &p in prefetch.iter().take(3) {
+            let err = uffd.copy(PageIdx::new(p), &[0xBB; PAGE_SIZE]);
+            prop_assert_eq!(err, Err(MemError::AlreadyResident(PageIdx::new(p))));
+        }
+        let mut faulted = 0u64;
+        for &t in &touches {
+            match uffd.touch_page(PageIdx::new(t)) {
+                TouchOutcome::Resident => {
+                    if prefetch.contains(&t) {
+                        prop_assert_eq!(uffd.memory().page_bytes(PageIdx::new(t)).unwrap()[0], 0xAA);
+                    }
+                }
+                TouchOutcome::Faulted(ev) => {
+                    prop_assert!(!prefetch.contains(&t), "prefetched page faulted");
+                    faulted += 1;
+                    let p = uffd.page_of_fault(ev);
+                    uffd.copy(p, &[0xCC; PAGE_SIZE]).unwrap();
+                }
+            }
+        }
+        prop_assert!(faulted <= touches.len() as u64);
+        prop_assert_eq!(uffd.stats().faults, faulted);
+    }
+}

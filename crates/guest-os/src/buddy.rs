@@ -1,0 +1,389 @@
+//! A binary buddy page allocator, as in the Linux guest kernel.
+//!
+//! The allocator's internal state (per-order free lists) is part of the VM
+//! snapshot; because restoration brings the lists back bit-identically, a
+//! deterministic function performs the *same* allocation sequence on every
+//! invocation and receives the *same* guest-physical pages — the mechanism
+//! behind the paper's working-set-stability observation (§4.4).
+//!
+//! Free blocks are kept in ordered sets so allocation is
+//! lowest-address-first and fully deterministic.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use guest_mem::PageIdx;
+
+/// Errors returned by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuddyError {
+    /// No free block large enough for the request.
+    OutOfMemory {
+        /// Pages requested.
+        requested: u64,
+    },
+    /// Freed address was not an allocated block start.
+    NotAllocated(PageIdx),
+    /// Request for zero pages.
+    ZeroSize,
+}
+
+impl fmt::Display for BuddyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuddyError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} pages")
+            }
+            BuddyError::NotAllocated(p) => write!(f, "free of unallocated block at {p}"),
+            BuddyError::ZeroSize => write!(f, "zero-size allocation"),
+        }
+    }
+}
+
+impl std::error::Error for BuddyError {}
+
+/// Max block order: 2^10 pages = 4 MiB, as in Linux.
+pub const MAX_ORDER: u32 = 10;
+
+/// A binary buddy allocator over the page range
+/// `[base, base + total_pages)`.
+///
+/// # Example
+///
+/// ```
+/// use guest_mem::PageIdx;
+/// use guest_os::BuddyAllocator;
+///
+/// let mut buddy = BuddyAllocator::new(PageIdx::new(0), 1024);
+/// let a = buddy.alloc_pages(10).unwrap(); // rounded to 16 pages
+/// buddy.free(a).unwrap();
+/// let b = buddy.alloc_pages(10).unwrap();
+/// assert_eq!(a, b, "same request after free lands on the same pages");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    base: u64,
+    total_pages: u64,
+    /// `free_lists[order]` holds start offsets (relative to base) of free
+    /// blocks of `2^order` pages, ordered so allocation is deterministic.
+    free_lists: Vec<BTreeSet<u64>>,
+    /// start offset -> order, for every live allocation.
+    allocated: HashMap<u64, u32>,
+    allocated_pages: u64,
+}
+
+fn order_for(pages: u64) -> u32 {
+    let mut order = 0;
+    while (1u64 << order) < pages {
+        order += 1;
+    }
+    order
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing `total_pages` pages starting at
+    /// `base`. The range is carved into maximal power-of-two free blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pages == 0`.
+    pub fn new(base: PageIdx, total_pages: u64) -> Self {
+        assert!(total_pages > 0, "buddy needs at least one page");
+        let mut a = BuddyAllocator {
+            base: base.as_u64(),
+            total_pages,
+            free_lists: vec![BTreeSet::new(); (MAX_ORDER + 1) as usize],
+            allocated: HashMap::new(),
+            allocated_pages: 0,
+        };
+        // Greedily cover the range with the largest aligned blocks.
+        let mut off = 0u64;
+        while off < total_pages {
+            let mut order = MAX_ORDER.min(order_for(total_pages - off + 1));
+            // Largest order that fits and is aligned at `off`.
+            while order > 0 && ((off & ((1u64 << order) - 1)) != 0 || off + (1u64 << order) > total_pages)
+            {
+                order -= 1;
+            }
+            a.free_lists[order as usize].insert(off);
+            off += 1u64 << order;
+        }
+        a
+    }
+
+    /// Total pages managed.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Pages currently allocated.
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated_pages
+    }
+
+    /// Pages currently free (by block accounting).
+    pub fn free_pages(&self) -> u64 {
+        self.free_lists
+            .iter()
+            .enumerate()
+            .map(|(order, set)| set.len() as u64 * (1u64 << order))
+            .sum()
+    }
+
+    /// Allocates a block of at least `pages` pages (rounded up to the next
+    /// power of two). Returns its first page.
+    ///
+    /// # Errors
+    ///
+    /// [`BuddyError::ZeroSize`] for `pages == 0`;
+    /// [`BuddyError::OutOfMemory`] if no block fits.
+    pub fn alloc_pages(&mut self, pages: u64) -> Result<PageIdx, BuddyError> {
+        if pages == 0 {
+            return Err(BuddyError::ZeroSize);
+        }
+        let want = order_for(pages);
+        if want > MAX_ORDER {
+            return Err(BuddyError::OutOfMemory { requested: pages });
+        }
+        // Lowest-address-first across all orders >= want: memory grows
+        // upward from the bottom of the zone, as a freshly-booted guest's
+        // allocations do. (Strictly exact-order-first, as Linux prefers,
+        // would place early small allocations in the tail remainder blocks
+        // at the *top* of a non-power-of-two zone — an artifact, not a
+        // behaviour the paper's working-set analysis depends on.)
+        let mut best: Option<(u64, u32)> = None;
+        for order in want..=MAX_ORDER {
+            if let Some(&off) = self.free_lists[order as usize].iter().next() {
+                if best.is_none_or(|(b, _)| off < b) {
+                    best = Some((off, order));
+                }
+            }
+        }
+        let Some((off, mut order)) = best else {
+            return Err(BuddyError::OutOfMemory { requested: pages });
+        };
+        self.free_lists[order as usize].remove(&off);
+        // Split down to the wanted order, keeping the low half each time.
+        while order > want {
+            order -= 1;
+            let buddy = off + (1u64 << order);
+            self.free_lists[order as usize].insert(buddy);
+        }
+        self.allocated.insert(off, want);
+        self.allocated_pages += 1u64 << want;
+        Ok(PageIdx::new(self.base + off))
+    }
+
+    /// Frees a block previously returned by
+    /// [`alloc_pages`](Self::alloc_pages), merging buddies greedily.
+    ///
+    /// # Errors
+    ///
+    /// [`BuddyError::NotAllocated`] if `start` is not a live block start.
+    pub fn free(&mut self, start: PageIdx) -> Result<(), BuddyError> {
+        let off = start
+            .as_u64()
+            .checked_sub(self.base)
+            .ok_or(BuddyError::NotAllocated(start))?;
+        let mut order = self
+            .allocated
+            .remove(&off)
+            .ok_or(BuddyError::NotAllocated(start))?;
+        self.allocated_pages -= 1u64 << order;
+        let mut off = off;
+        // Coalesce with the buddy while it is free and within range.
+        while order < MAX_ORDER {
+            let buddy = off ^ (1u64 << order);
+            if buddy + (1u64 << order) > self.total_pages
+                || !self.free_lists[order as usize].remove(&buddy)
+            {
+                break;
+            }
+            off = off.min(buddy);
+            order += 1;
+        }
+        self.free_lists[order as usize].insert(off);
+        Ok(())
+    }
+
+    /// Number of pages in the block starting at `start` (if live).
+    pub fn block_pages(&self, start: PageIdx) -> Option<u64> {
+        start
+            .as_u64()
+            .checked_sub(self.base)
+            .and_then(|off| self.allocated.get(&off))
+            .map(|&order| 1u64 << order)
+    }
+
+    /// Iterates over live allocations as `(start, pages)`.
+    pub fn allocations(&self) -> impl Iterator<Item = (PageIdx, u64)> + '_ {
+        let mut v: Vec<_> = self
+            .allocated
+            .iter()
+            .map(|(&off, &order)| (PageIdx::new(self.base + off), 1u64 << order))
+            .collect();
+        v.sort_by_key(|&(p, _)| p);
+        v.into_iter()
+    }
+
+    /// A fingerprint of the free-list state: equal fingerprints mean the
+    /// allocator will serve identical future request sequences — the
+    /// snapshot-restoration property of §4.4.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (order, set) in self.free_lists.iter().enumerate() {
+            for &off in set {
+                h ^= (order as u64) << 56 | off;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn new_buddy(pages: u64) -> BuddyAllocator {
+        BuddyAllocator::new(PageIdx::new(0), pages)
+    }
+
+    #[test]
+    fn fresh_allocator_is_fully_free() {
+        let b = new_buddy(1024);
+        assert_eq!(b.free_pages(), 1024);
+        assert_eq!(b.allocated_pages(), 0);
+        assert_eq!(b.total_pages(), 1024);
+    }
+
+    #[test]
+    fn non_power_of_two_range_covered_exactly() {
+        let b = new_buddy(1000);
+        assert_eq!(b.free_pages(), 1000);
+    }
+
+    #[test]
+    fn alloc_rounds_to_power_of_two() {
+        let mut b = new_buddy(1024);
+        let p = b.alloc_pages(5).unwrap();
+        assert_eq!(b.block_pages(p), Some(8));
+        assert_eq!(b.allocated_pages(), 8);
+        assert_eq!(b.free_pages(), 1016);
+    }
+
+    #[test]
+    fn alloc_is_lowest_address_first() {
+        let mut b = new_buddy(1024);
+        let a = b.alloc_pages(1).unwrap();
+        let c = b.alloc_pages(1).unwrap();
+        assert_eq!(a, PageIdx::new(0));
+        assert_eq!(c, PageIdx::new(1));
+    }
+
+    #[test]
+    fn free_then_realloc_returns_same_block() {
+        // The paper's §4.4 determinism property.
+        let mut b = new_buddy(4096);
+        let warmup: Vec<PageIdx> = (0..10).map(|_| b.alloc_pages(16).unwrap()).collect();
+        let target = b.alloc_pages(64).unwrap();
+        b.free(target).unwrap();
+        let again = b.alloc_pages(64).unwrap();
+        assert_eq!(target, again);
+        for p in warmup {
+            b.free(p).unwrap();
+        }
+        assert_eq!(b.allocated_pages(), 64);
+    }
+
+    #[test]
+    fn identical_state_means_identical_future() {
+        let mut b1 = new_buddy(2048);
+        let mut b2 = new_buddy(2048);
+        assert_eq!(b1.state_fingerprint(), b2.state_fingerprint());
+        // Same op sequence -> same placements and same fingerprints.
+        for req in [3u64, 17, 1, 64, 9] {
+            assert_eq!(b1.alloc_pages(req).unwrap(), b2.alloc_pages(req).unwrap());
+        }
+        assert_eq!(b1.state_fingerprint(), b2.state_fingerprint());
+    }
+
+    #[test]
+    fn buddies_merge_on_free() {
+        let mut b = new_buddy(64);
+        let a = b.alloc_pages(32).unwrap();
+        let c = b.alloc_pages(32).unwrap();
+        b.free(a).unwrap();
+        b.free(c).unwrap();
+        assert_eq!(b.free_pages(), 64);
+        // After full merge a 64-page alloc succeeds again.
+        let d = b.alloc_pages(64).unwrap();
+        assert_eq!(d, PageIdx::new(0));
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut b = new_buddy(16);
+        assert!(b.alloc_pages(16).is_ok());
+        assert_eq!(
+            b.alloc_pages(1),
+            Err(BuddyError::OutOfMemory { requested: 1 })
+        );
+        // Larger than MAX_ORDER blocks are refused outright.
+        let mut big = new_buddy(8192);
+        assert!(matches!(
+            big.alloc_pages(4096),
+            Err(BuddyError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut b = new_buddy(64);
+        let p = b.alloc_pages(4).unwrap();
+        b.free(p).unwrap();
+        assert_eq!(b.free(p), Err(BuddyError::NotAllocated(p)));
+        assert_eq!(
+            b.free(PageIdx::new(3)),
+            Err(BuddyError::NotAllocated(PageIdx::new(3)))
+        );
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        let mut b = new_buddy(64);
+        assert_eq!(b.alloc_pages(0), Err(BuddyError::ZeroSize));
+    }
+
+    #[test]
+    fn base_offset_respected() {
+        let mut b = BuddyAllocator::new(PageIdx::new(5000), 128);
+        let p = b.alloc_pages(2).unwrap();
+        assert_eq!(p, PageIdx::new(5000));
+        assert!(b.free(PageIdx::new(0)).is_err(), "below base");
+        b.free(p).unwrap();
+    }
+
+    #[test]
+    fn allocations_iterator_sorted() {
+        let mut b = new_buddy(256);
+        let mut starts: Vec<PageIdx> = (0..5).map(|_| b.alloc_pages(8).unwrap()).collect();
+        b.free(starts.remove(2)).unwrap();
+        let live: Vec<(PageIdx, u64)> = b.allocations().collect();
+        assert_eq!(live.len(), 4);
+        assert!(live.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(live.iter().all(|&(_, n)| n == 8));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            BuddyError::OutOfMemory { requested: 7 }.to_string(),
+            "out of memory allocating 7 pages"
+        );
+        assert!(BuddyError::NotAllocated(PageIdx::new(1))
+            .to_string()
+            .contains("unallocated"));
+        assert_eq!(BuddyError::ZeroSize.to_string(), "zero-size allocation");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the buddy allocator — the determinism engine behind
+//! the paper's stable-working-set observation (§4.4).
+
+use guest_mem::PageIdx;
+use guest_os::{AddressSpace, BuddyAllocator, LayoutSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    Free(usize),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..200).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::Free),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// Live blocks never overlap, accounting always balances, and
+    /// free+realloc of everything restores a fully-free allocator.
+    #[test]
+    fn buddy_no_overlap_and_conservation(ops in ops_strategy()) {
+        let total = 4096u64;
+        let mut b = BuddyAllocator::new(PageIdx::new(0), total);
+        let mut live: Vec<PageIdx> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(pages) => {
+                    if let Ok(start) = b.alloc_pages(pages) {
+                        live.push(start);
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let start = live.swap_remove(idx);
+                        b.free(start).unwrap();
+                    }
+                }
+            }
+            // Invariant: allocated + free == total.
+            prop_assert_eq!(b.allocated_pages() + b.free_pages(), total);
+            // Invariant: no two live blocks overlap.
+            let mut spans: BTreeMap<u64, u64> = BTreeMap::new();
+            for (start, pages) in b.allocations() {
+                spans.insert(start.as_u64(), pages);
+            }
+            let mut prev_end = 0u64;
+            for (start, pages) in spans {
+                prop_assert!(start >= prev_end, "blocks overlap at {start}");
+                prev_end = start + pages;
+                prop_assert!(prev_end <= total);
+            }
+        }
+        // Free everything: allocator returns to a fully-free state.
+        for start in live {
+            b.free(start).unwrap();
+        }
+        prop_assert_eq!(b.allocated_pages(), 0);
+        prop_assert_eq!(b.free_pages(), total);
+    }
+
+    /// Determinism: replaying the same op sequence on two allocators yields
+    /// identical placements and identical final fingerprints — the property
+    /// that makes function working sets recur across snapshot restores.
+    #[test]
+    fn buddy_is_deterministic(ops in ops_strategy()) {
+        let mut b1 = BuddyAllocator::new(PageIdx::new(100), 2048);
+        let mut b2 = BuddyAllocator::new(PageIdx::new(100), 2048);
+        let mut live1: Vec<PageIdx> = Vec::new();
+        let mut live2: Vec<PageIdx> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(pages) => {
+                    let r1 = b1.alloc_pages(pages);
+                    let r2 = b2.alloc_pages(pages);
+                    prop_assert_eq!(&r1, &r2);
+                    if let Ok(p) = r1 {
+                        live1.push(p);
+                        live2.push(p);
+                    }
+                }
+                Op::Free(i) => {
+                    if !live1.is_empty() {
+                        let idx = i % live1.len();
+                        prop_assert_eq!(b1.free(live1.swap_remove(idx)), b2.free(live2.swap_remove(idx)));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(b1.state_fingerprint(), b2.state_fingerprint());
+    }
+
+    /// Alloc sizes are honoured: a block holds at least the requested pages.
+    #[test]
+    fn buddy_blocks_large_enough(reqs in proptest::collection::vec(1u64..300, 1..30)) {
+        let mut b = BuddyAllocator::new(PageIdx::new(0), 8192);
+        for pages in reqs {
+            if let Ok(start) = b.alloc_pages(pages) {
+                let got = b.block_pages(start).unwrap();
+                prop_assert!(got >= pages);
+                prop_assert!(got < 2 * pages.next_power_of_two().max(1) + 1);
+            }
+        }
+    }
+
+    /// Heap allocations through an address space always stay in the heap
+    /// region.
+    #[test]
+    fn address_space_heap_containment(reqs in proptest::collection::vec(1u64..128, 1..40)) {
+        let mut s = AddressSpace::new(65536, LayoutSpec::default());
+        let heap = s.region(guest_os::RegionKind::Heap);
+        for pages in reqs {
+            if let Ok(start) = s.alloc_heap(pages) {
+                prop_assert!(heap.contains(start));
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! Events are `(SimTime, payload)` pairs popped in non-decreasing time order.
+//! Ties are broken by insertion order (FIFO) so that simulations are fully
+//! deterministic regardless of heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+}
+
+/// A time-ordered, FIFO-tiebroken event queue.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(10), 'b');
+/// q.push(SimTime::from_nanos(10), 'c'); // same time: FIFO order
+/// q.push(SimTime::from_nanos(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, u64)>>,
+    items: Vec<Option<E>>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            items: Vec::new(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.items.len() as u64;
+        self.items.push(Some(event));
+        self.heap.push(Reverse((Key { time, seq }, slot)));
+    }
+
+    /// Removes and returns the earliest event, FIFO among equal timestamps.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        let ev = self.items[slot as usize]
+            .take()
+            .expect("event slot already consumed");
+        self.len = self.len.saturating_sub(1);
+        self.maybe_compact();
+        Some((key.time, ev))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((key, _))| key.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.items.clear();
+        self.len = 0;
+        // next_seq deliberately *not* reset: determinism only needs FIFO
+        // within a queue's lifetime, and monotone seq keeps invariants simple.
+    }
+
+    fn maybe_compact(&mut self) {
+        // Reclaim the slot vector once the heap drains, so long-running
+        // simulations do not grow memory without bound.
+        if self.heap.is_empty() && self.items.len() > 1024 {
+            self.items.clear();
+        } else if self.heap.is_empty() {
+            self.items.clear();
+        }
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (t, e) in iter {
+            self.push(t, e);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.push(t(5), i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_len_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(9), 0);
+        q.push(t(4), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(4)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Pushing an earlier event after popping still sorts first.
+        q.push(t(15), "c");
+        q.push(t(20), "d"); // equal to "b" but inserted later -> after "b"
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "d");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let base = SimTime::ZERO;
+        let mut q: EventQueue<usize> = (0..4)
+            .map(|i| (base + SimDuration::from_nanos(10 - i as u64), i))
+            .collect();
+        q.extend([(base + SimDuration::from_nanos(1), 99usize)]);
+        assert_eq!(q.pop().unwrap().1, 99);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn slot_storage_reclaimed_after_drain() {
+        let mut q = EventQueue::new();
+        for round in 0..4 {
+            for i in 0..2000u64 {
+                q.push(t(i), i * round);
+            }
+            while q.pop().is_some() {}
+            assert!(q.items.is_empty(), "slots reclaimed after drain");
+        }
+    }
+}

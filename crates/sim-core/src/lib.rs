@@ -1,0 +1,47 @@
+//! # sim-core
+//!
+//! Discrete-event simulation (DES) substrate used by the vHive/REAP
+//! reproduction.
+//!
+//! The paper measures wall-clock latency on a physical host (2×24-core Xeon,
+//! SATA3 SSD). This crate provides the equivalent *virtual* clock and the
+//! shared-resource queueing machinery so that every experiment is
+//! deterministic and reproducible:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
+//! * [`EventQueue`] — a stable (FIFO-tiebroken) priority queue of timed
+//!   events, the heart of the event loop in `vhive-core::timeline`.
+//! * [`MultiServer`] — an *k*-server FIFO queueing resource used to model
+//!   SSD channels, HDD heads, and host CPU cores.
+//! * [`DetRng`] — a deterministic, dependency-free xoshiro256** RNG so that
+//!   every figure regenerates bit-identically from a seed.
+//! * [`stats`] — online statistics, percentiles and histograms used by the
+//!   benchmark harness.
+//! * [`table`] — plain-text / CSV table rendering for the figure binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_millis(2), "second");
+//! q.push(SimTime::ZERO + SimDuration::from_millis(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t.as_millis_f64(), 1.0);
+//! ```
+
+pub mod events;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use events::EventQueue;
+pub use resource::{MultiServer, TokenPool};
+pub use rng::DetRng;
+pub use stats::{Histogram, OnlineStats, Percentiles};
+pub use table::{Align, Table};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,258 @@
+//! Deterministic random number generation.
+//!
+//! The entire reproduction must regenerate every figure bit-identically from
+//! a seed, across platforms and crate-version bumps. We therefore implement
+//! a small, self-contained xoshiro256** generator (public domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64 instead of relying on an
+//! external crate whose stream might change between releases.
+
+/// Deterministic xoshiro256** PRNG.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Derives an independent child generator from this one plus a stream id.
+    ///
+    /// Used to give each (function, invocation) pair its own reproducible
+    /// stream regardless of evaluation order.
+    pub fn fork(&self, stream: u64) -> DetRng {
+        let mut sm = self.s[0] ^ self.s[2] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire's unbiased bounded generation.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_range((hi - lo) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times in the workload generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exp_f64(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Geometric-ish run length in `[1, max]` with the given mean, used for
+    /// contiguity run sampling (Fig 3 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 1.0` or `max == 0`.
+    pub fn run_length(&mut self, mean: f64, max: u64) -> u64 {
+        assert!(mean >= 1.0, "mean run length must be >= 1, got {mean}");
+        assert!(max > 0, "max run length must be positive");
+        // Geometric with success prob 1/mean, truncated at max.
+        let p = 1.0 / mean;
+        let mut len = 1;
+        while len < max && !self.gen_bool(p) {
+            len += 1;
+        }
+        len
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should differ");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let root = DetRng::new(99);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let mut c1b = root.fork(1);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(17);
+            assert!(v < 17);
+        }
+        for _ in 0..1000 {
+            let v = r.usize_in(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = DetRng::new(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} not near 0.5");
+    }
+
+    #[test]
+    fn exp_has_requested_mean() {
+        let mut r = DetRng::new(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exp_f64(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean} not near 3.0");
+    }
+
+    #[test]
+    fn run_length_mean_tracks_target() {
+        let mut r = DetRng::new(6);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.run_length(2.5, 64) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean run {mean} not near 2.5");
+        for _ in 0..1000 {
+            let l = r.run_length(3.0, 4);
+            assert!((1..=4).contains(&l));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements should move something");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = DetRng::new(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        // Out-of-range p is clamped.
+        assert!(r.gen_bool(2.0));
+        assert!(!r.gen_bool(-1.0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Calibrated device timing profiles.
+//!
+//! Constants come from the paper's own measurements (§5.2.3, §6.1, §6.3):
+//! an Intel 200 GB SATA3 SSD (850 MB/s peak; 32 MB/s @ QD1 4 KB; 360 MB/s
+//! @ 16×4 KB) and a WD 2 TB 7200 rpm SATA3 HDD. A remote, S3-like profile
+//! models the disaggregated-storage discussion in §7.1.
+
+use serde::{Deserialize, Serialize};
+use sim_core::SimDuration;
+
+/// Which physical device a profile models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskKind {
+    /// Local SATA3 SSD (the paper's default snapshot storage).
+    Ssd,
+    /// Local 7200 rpm SATA3 HDD (§6.3's secondary experiment).
+    Hdd,
+    /// Remote object store reached over the network (§7.1 discussion).
+    Remote,
+}
+
+impl DiskKind {
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskKind::Ssd => "ssd",
+            DiskKind::Hdd => "hdd",
+            DiskKind::Remote => "remote",
+        }
+    }
+}
+
+/// Timing profile of a storage device, used by [`crate::Disk`] as a tandem
+/// queue: a `channels`-wide latency stage followed by a shared
+/// bandwidth stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Which device this profile models.
+    pub kind: DiskKind,
+    /// Fixed per-request latency for a *random* access (SSD: flash read +
+    /// controller; HDD: seek + rotational latency; remote: network RTT +
+    /// service latency).
+    pub random_latency: SimDuration,
+    /// Fixed per-request latency when the request continues the previous
+    /// one sequentially (HDD: no seek; SSD/remote: same as random).
+    pub sequential_latency: SimDuration,
+    /// Number of requests the latency stage can overlap (SSD internal
+    /// parallelism; 1 for an HDD head; network parallelism for remote).
+    pub channels: usize,
+    /// Peak read bandwidth of the shared bus/flash/platter stage, bytes/s.
+    pub read_bandwidth: u64,
+    /// Peak write bandwidth, bytes/s.
+    pub write_bandwidth: u64,
+}
+
+impl DeviceProfile {
+    /// The paper's Intel SATA3 SSD.
+    ///
+    /// Calibration checks (see `fio` module tests):
+    /// QD1 4 KB: 120 µs + 4 KB/850 MB/s ≈ 125 µs → ≈32 MB/s;
+    /// 16×4 KB over 11 channels → ≈360 MB/s; large reads → ≈850 MB/s.
+    pub fn ssd_sata3() -> Self {
+        DeviceProfile {
+            kind: DiskKind::Ssd,
+            random_latency: SimDuration::from_micros(120),
+            sequential_latency: SimDuration::from_micros(120),
+            channels: 11,
+            read_bandwidth: 850 * 1_000_000,
+            write_bandwidth: 520 * 1_000_000,
+        }
+    }
+
+    /// The paper's WD2000F9YZ 7200 rpm SATA3 HDD (§6.3): ~8 ms average seek
+    /// plus ~4.2 ms average rotational latency, ~180 MB/s sequential.
+    pub fn hdd_7200rpm() -> Self {
+        DeviceProfile {
+            kind: DiskKind::Hdd,
+            random_latency: SimDuration::from_micros(12_200),
+            sequential_latency: SimDuration::from_micros(150),
+            channels: 1,
+            read_bandwidth: 180 * 1_000_000,
+            write_bandwidth: 170 * 1_000_000,
+        }
+    }
+
+    /// A disaggregated, S3-like store (§7.1): ~2 ms request latency over
+    /// the network, many parallel connections, NIC-bound bandwidth.
+    pub fn remote_s3like() -> Self {
+        DeviceProfile {
+            kind: DiskKind::Remote,
+            random_latency: SimDuration::from_micros(2_000),
+            sequential_latency: SimDuration::from_micros(2_000),
+            channels: 32,
+            read_bandwidth: 1_250 * 1_000_000, // 10 GbE
+            write_bandwidth: 1_250 * 1_000_000,
+        }
+    }
+
+    /// Time for the bandwidth stage to move `bytes` at read speed.
+    pub fn read_transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.read_bandwidth as f64)
+    }
+
+    /// Time for the bandwidth stage to move `bytes` at write speed.
+    pub fn write_transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.write_bandwidth as f64)
+    }
+}
+
+impl Default for DeviceProfile {
+    /// The paper's default: the local SSD.
+    fn default() -> Self {
+        DeviceProfile::ssd_sata3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_qd1_4k_is_about_32_mbps() {
+        let ssd = DeviceProfile::ssd_sata3();
+        let t = ssd.random_latency + ssd.read_transfer(4096);
+        let mbps = 4096.0 / t.as_secs_f64() / 1e6;
+        assert!(
+            (30.0..36.0).contains(&mbps),
+            "QD1 4K should be ~32 MB/s, got {mbps:.1}"
+        );
+    }
+
+    #[test]
+    fn ssd_16way_4k_is_about_360_mbps() {
+        let ssd = DeviceProfile::ssd_sata3();
+        // 16 outstanding requests overlap in `channels` latency slots.
+        let per_wave = ssd.random_latency + ssd.read_transfer(4096);
+        let throughput = ssd.channels as f64 * 4096.0 / per_wave.as_secs_f64() / 1e6;
+        assert!(
+            (330.0..400.0).contains(&throughput),
+            "16x4K should be ~360 MB/s, got {throughput:.1}"
+        );
+    }
+
+    #[test]
+    fn ssd_large_read_near_peak() {
+        let ssd = DeviceProfile::ssd_sata3();
+        let bytes = 8 * 1024 * 1024u64;
+        let t = ssd.random_latency + ssd.read_transfer(bytes);
+        let mbps = bytes as f64 / t.as_secs_f64() / 1e6;
+        assert!(
+            (800.0..860.0).contains(&mbps),
+            "8MB read should be near 850 MB/s, got {mbps:.1}"
+        );
+    }
+
+    #[test]
+    fn hdd_random_read_is_seek_dominated() {
+        let hdd = DeviceProfile::hdd_7200rpm();
+        let t = hdd.random_latency + hdd.read_transfer(4096);
+        assert!(t.as_millis_f64() > 10.0, "random 4K on HDD takes >10ms");
+        // Sequential continuation avoids the seek entirely.
+        let seq = hdd.sequential_latency + hdd.read_transfer(4096);
+        assert!(seq.as_micros_f64() < 300.0);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(DiskKind::Ssd.name(), "ssd");
+        assert_eq!(DiskKind::Hdd.name(), "hdd");
+        assert_eq!(DiskKind::Remote.name(), "remote");
+        assert_eq!(DeviceProfile::default().kind, DiskKind::Ssd);
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let ssd = DeviceProfile::ssd_sata3();
+        let one = ssd.read_transfer(1_000_000);
+        let two = ssd.read_transfer(2_000_000);
+        assert!((two.as_secs_f64() - 2.0 * one.as_secs_f64()).abs() < 1e-9);
+        assert!(ssd.write_transfer(1_000_000) > one, "writes slower on SSD");
+    }
+}

@@ -1,0 +1,326 @@
+//! In-memory file store holding real bytes.
+//!
+//! Snapshots, working-set files, and trace files are real byte vectors so
+//! the functional layer can verify that REAP installs exactly the contents
+//! the snapshot captured. Timing is *not* modelled here — that is
+//! [`crate::disk::Disk`]'s job; the store is the "platter".
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Identifier of a file inside a [`FileStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct FileData {
+    name: String,
+    data: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    files: HashMap<FileId, FileData>,
+    by_name: HashMap<String, FileId>,
+    next_id: u64,
+}
+
+/// A shared, in-memory "filesystem".
+///
+/// Cloning a `FileStore` yields another handle to the same files (the
+/// orchestrator and per-instance monitors share one store, like processes
+/// sharing a disk).
+///
+/// # Example
+///
+/// ```
+/// use sim_storage::FileStore;
+///
+/// let fs = FileStore::new();
+/// let f = fs.create("snapshots/helloworld.mem");
+/// fs.write_at(f, 0, b"hello");
+/// assert_eq!(fs.read_at(f, 0, 5), b"hello");
+/// assert_eq!(fs.len(f), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FileStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl FileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        FileStore::default()
+    }
+
+    /// Creates (or truncates) a file with the given name and returns its id.
+    pub fn create(&self, name: &str) -> FileId {
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(name) {
+            inner
+                .files
+                .get_mut(&id)
+                .expect("name index points at live file")
+                .data
+                .clear();
+            return id;
+        }
+        let id = FileId(inner.next_id);
+        inner.next_id += 1;
+        inner.files.insert(
+            id,
+            FileData {
+                name: name.to_string(),
+                data: Vec::new(),
+            },
+        );
+        inner.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a file by name.
+    pub fn open(&self, name: &str) -> Option<FileId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// True if a file with this name exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.read().by_name.contains_key(name)
+    }
+
+    /// The file's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn name(&self, id: FileId) -> String {
+        self.inner.read().files[&id].name.clone()
+    }
+
+    /// Current length in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn len(&self, id: FileId) -> u64 {
+        self.inner.read().files[&id].data.len() as u64
+    }
+
+    /// True if the file is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn is_empty(&self, id: FileId) -> bool {
+        self.len(id) == 0
+    }
+
+    /// Writes `bytes` at `offset`, zero-extending the file if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn write_at(&self, id: FileId, offset: u64, bytes: &[u8]) {
+        let mut inner = self.inner.write();
+        let data = &mut inner
+            .files
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("write to dead {id}"))
+            .data;
+        let end = offset as usize + bytes.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(bytes);
+    }
+
+    /// Appends `bytes` and returns the offset they were written at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn append(&self, id: FileId, bytes: &[u8]) -> u64 {
+        let mut inner = self.inner.write();
+        let data = &mut inner
+            .files
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("append to dead {id}"))
+            .data;
+        let offset = data.len() as u64;
+        data.extend_from_slice(bytes);
+        offset
+    }
+
+    /// Reads `len` bytes at `offset`. Reads past EOF return zeros, matching
+    /// the sparse-file semantics snapshot memory files rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn read_at(&self, id: FileId, offset: u64, len: usize) -> Vec<u8> {
+        let inner = self.inner.read();
+        let data = &inner.files[&id].data;
+        let mut out = vec![0u8; len];
+        let start = (offset as usize).min(data.len());
+        let end = (offset as usize + len).min(data.len());
+        if end > start {
+            out[..end - start].copy_from_slice(&data[start..end]);
+        }
+        out
+    }
+
+    /// Copies `len` bytes at `offset` into `buf` (zero-filling past EOF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn read_into(&self, id: FileId, offset: u64, buf: &mut [u8]) {
+        let inner = self.inner.read();
+        let data = &inner.files[&id].data;
+        buf.fill(0);
+        let start = (offset as usize).min(data.len());
+        let end = (offset as usize + buf.len()).min(data.len());
+        if end > start {
+            buf[..end - start].copy_from_slice(&data[start..end]);
+        }
+    }
+
+    /// Truncates (or zero-extends) the file to exactly `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn set_len(&self, id: FileId, len: u64) {
+        let mut inner = self.inner.write();
+        inner
+            .files
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("set_len on dead {id}"))
+            .data
+            .resize(len as usize, 0);
+    }
+
+    /// Deletes a file. Returns true if it existed.
+    pub fn delete(&self, id: FileId) -> bool {
+        let mut inner = self.inner.write();
+        if let Some(fd) = inner.files.remove(&id) {
+            inner.by_name.remove(&fd.name);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All file names, sorted (for reports/debugging).
+    pub fn list(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut names: Vec<String> = inner.by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total bytes stored across all files.
+    pub fn total_bytes(&self) -> u64 {
+        let inner = self.inner.read();
+        inner.files.values().map(|f| f.data.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_open_round_trip() {
+        let fs = FileStore::new();
+        let id = fs.create("a/b");
+        assert_eq!(fs.open("a/b"), Some(id));
+        assert_eq!(fs.open("missing"), None);
+        assert!(fs.exists("a/b"));
+        assert_eq!(fs.name(id), "a/b");
+        assert!(fs.is_empty(id));
+    }
+
+    #[test]
+    fn create_truncates_existing() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.write_at(id, 0, b"data");
+        let id2 = fs.create("f");
+        assert_eq!(id, id2, "same name keeps same id");
+        assert_eq!(fs.len(id), 0, "recreate truncates");
+    }
+
+    #[test]
+    fn write_read_with_extension() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.write_at(id, 10, b"xyz");
+        assert_eq!(fs.len(id), 13);
+        assert_eq!(fs.read_at(id, 0, 10), vec![0; 10]);
+        assert_eq!(fs.read_at(id, 10, 3), b"xyz");
+    }
+
+    #[test]
+    fn read_past_eof_is_zeros() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.write_at(id, 0, b"ab");
+        assert_eq!(fs.read_at(id, 0, 4), vec![b'a', b'b', 0, 0]);
+        assert_eq!(fs.read_at(id, 100, 2), vec![0, 0]);
+        let mut buf = [0xFFu8; 4];
+        fs.read_into(id, 1, &mut buf);
+        assert_eq!(buf, [b'b', 0, 0, 0]);
+    }
+
+    #[test]
+    fn append_returns_offsets() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        assert_eq!(fs.append(id, b"1234"), 0);
+        assert_eq!(fs.append(id, b"56"), 4);
+        assert_eq!(fs.len(id), 6);
+    }
+
+    #[test]
+    fn set_len_truncates_and_extends() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.write_at(id, 0, b"abcdef");
+        fs.set_len(id, 3);
+        assert_eq!(fs.read_at(id, 0, 3), b"abc");
+        fs.set_len(id, 5);
+        assert_eq!(fs.read_at(id, 0, 5), vec![b'a', b'b', b'c', 0, 0]);
+    }
+
+    #[test]
+    fn delete_and_list() {
+        let fs = FileStore::new();
+        let a = fs.create("a");
+        let _b = fs.create("b");
+        assert_eq!(fs.list(), vec!["a".to_string(), "b".to_string()]);
+        assert!(fs.delete(a));
+        assert!(!fs.delete(a));
+        assert_eq!(fs.list(), vec!["b".to_string()]);
+        assert!(!fs.exists("a"));
+    }
+
+    #[test]
+    fn shared_handles_see_writes() {
+        let fs = FileStore::new();
+        let fs2 = fs.clone();
+        let id = fs.create("shared");
+        fs2.write_at(id, 0, b"via clone");
+        assert_eq!(fs.read_at(id, 0, 9), b"via clone");
+        assert_eq!(fs.total_bytes(), 9);
+    }
+}

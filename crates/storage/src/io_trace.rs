@@ -1,0 +1,218 @@
+//! I/O request tracing: a blktrace-style recorder for the simulated disk.
+//!
+//! The characterization sections of the paper (§4.2, §5.2.3, §6.5) all
+//! hinge on *what the device actually saw* — request sizes, arrival
+//! pattern, queueing delay, effective bandwidth. [`IoTrace`] captures a
+//! request log from a [`crate::Disk`] run so harness binaries and tests
+//! can assert on the I/O shape, not just end latencies.
+
+use sim_core::{OnlineStats, SimDuration, SimTime};
+
+/// The kind of request, mirroring [`crate::Disk`]'s entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// Buffered single-page fault (lazy-paging path), cache miss.
+    FaultMiss,
+    /// Buffered fault served from the page cache.
+    FaultHit,
+    /// Synchronous buffered read.
+    Buffered,
+    /// `O_DIRECT` read.
+    Direct,
+    /// Write-back write.
+    Write,
+}
+
+impl IoKind {
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoKind::FaultMiss => "fault-miss",
+            IoKind::FaultHit => "fault-hit",
+            IoKind::Buffered => "buffered",
+            IoKind::Direct => "direct",
+            IoKind::Write => "write",
+        }
+    }
+}
+
+/// One traced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRecord {
+    /// Submission time.
+    pub at: SimTime,
+    /// Completion time.
+    pub done: SimTime,
+    /// Request kind.
+    pub kind: IoKind,
+    /// Bytes the caller asked for.
+    pub useful_bytes: u64,
+    /// Bytes moved from/to the device (readahead waste included).
+    pub device_bytes: u64,
+}
+
+impl IoRecord {
+    /// Request latency.
+    pub fn latency(&self) -> SimDuration {
+        self.done - self.at
+    }
+}
+
+/// A request log with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct IoTrace {
+    records: Vec<IoRecord>,
+}
+
+impl IoTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        IoTrace::default()
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: IoRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in submission order.
+    pub fn records(&self) -> &[IoRecord] {
+        &self.records
+    }
+
+    /// Number of requests traced.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records of one kind.
+    pub fn of_kind(&self, kind: IoKind) -> impl Iterator<Item = &IoRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Latency statistics for one kind (seconds).
+    pub fn latency_stats(&self, kind: IoKind) -> OnlineStats {
+        self.of_kind(kind)
+            .map(|r| r.latency().as_secs_f64())
+            .collect()
+    }
+
+    /// Total useful bytes across the trace.
+    pub fn useful_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.useful_bytes).sum()
+    }
+
+    /// Total device bytes across the trace.
+    pub fn device_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.device_bytes).sum()
+    }
+
+    /// Device-bytes-per-useful-byte amplification (1.0 = no waste).
+    pub fn amplification(&self) -> f64 {
+        let useful = self.useful_bytes();
+        if useful == 0 {
+            return 0.0;
+        }
+        self.device_bytes() as f64 / useful as f64
+    }
+
+    /// Useful throughput over the traced interval, bytes/second.
+    pub fn useful_bandwidth(&self) -> f64 {
+        let (Some(first), Some(last)) = (
+            self.records.iter().map(|r| r.at).min(),
+            self.records.iter().map(|r| r.done).max(),
+        ) else {
+            return 0.0;
+        };
+        let secs = (last - first).as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.useful_bytes() as f64 / secs
+        }
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_us: u64, done_us: u64, kind: IoKind, useful: u64, device: u64) -> IoRecord {
+        IoRecord {
+            at: SimTime::from_nanos(at_us * 1000),
+            done: SimTime::from_nanos(done_us * 1000),
+            kind,
+            useful_bytes: useful,
+            device_bytes: device,
+        }
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = IoTrace::new();
+        assert!(t.is_empty());
+        t.push(rec(0, 125, IoKind::FaultMiss, 4096, 131072));
+        t.push(rec(130, 132, IoKind::FaultHit, 4096, 0));
+        t.push(rec(200, 10_000, IoKind::Direct, 8 << 20, 8 << 20));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.of_kind(IoKind::FaultMiss).count(), 1);
+        assert_eq!(t.of_kind(IoKind::FaultHit).count(), 1);
+        assert_eq!(t.of_kind(IoKind::Write).count(), 0);
+    }
+
+    #[test]
+    fn amplification_shows_readahead_waste() {
+        let mut t = IoTrace::new();
+        t.push(rec(0, 125, IoKind::FaultMiss, 4096, 131072));
+        t.push(rec(130, 132, IoKind::FaultHit, 4096, 0));
+        // 8 KB useful, 128 KB moved: 16x amplification.
+        assert!((t.amplification() - 16.0).abs() < 1e-9);
+        assert_eq!(t.useful_bytes(), 8192);
+        assert_eq!(t.device_bytes(), 131072);
+    }
+
+    #[test]
+    fn latency_stats_per_kind() {
+        let mut t = IoTrace::new();
+        t.push(rec(0, 100, IoKind::FaultMiss, 4096, 4096));
+        t.push(rec(0, 300, IoKind::FaultMiss, 4096, 4096));
+        let stats = t.latency_stats(IoKind::FaultMiss);
+        assert_eq!(stats.count(), 2);
+        assert!((stats.mean() - 200e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_over_interval() {
+        let mut t = IoTrace::new();
+        // 1 MB useful over 10 ms -> 100 MB/s.
+        t.push(rec(0, 10_000, IoKind::Direct, 1 << 20, 1 << 20));
+        let bw = t.useful_bandwidth() / 1e6;
+        assert!((bw - 104.8576).abs() < 0.1, "got {bw}");
+        t.clear();
+        assert_eq!(t.useful_bandwidth(), 0.0);
+        assert_eq!(t.amplification(), 0.0);
+    }
+
+    #[test]
+    fn kind_names() {
+        for (k, n) in [
+            (IoKind::FaultMiss, "fault-miss"),
+            (IoKind::FaultHit, "fault-hit"),
+            (IoKind::Buffered, "buffered"),
+            (IoKind::Direct, "direct"),
+            (IoKind::Write, "write"),
+        ] {
+            assert_eq!(k.name(), n);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the storage substrate.
+
+use proptest::prelude::*;
+use sim_core::SimTime;
+use sim_storage::{Access, Disk, FileStore, PageCache, PAGE_SIZE};
+
+proptest! {
+    /// Read-after-write always returns the written bytes, regardless of
+    /// interleaving and offsets.
+    #[test]
+    fn file_store_read_after_write(
+        writes in proptest::collection::vec((0u64..10_000, proptest::collection::vec(any::<u8>(), 1..256)), 1..40)
+    ) {
+        let fs = FileStore::new();
+        let f = fs.create("t");
+        // Model file contents independently.
+        let mut model: Vec<u8> = Vec::new();
+        for (off, bytes) in &writes {
+            let end = *off as usize + bytes.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[*off as usize..end].copy_from_slice(bytes);
+            fs.write_at(f, *off, bytes);
+        }
+        prop_assert_eq!(fs.len(f), model.len() as u64);
+        let got = fs.read_at(f, 0, model.len());
+        prop_assert_eq!(got, model);
+    }
+
+    /// Appends never overlap: each append's bytes are recoverable at the
+    /// offset it returned.
+    #[test]
+    fn file_store_appends_are_disjoint(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..30)
+    ) {
+        let fs = FileStore::new();
+        let f = fs.create("t");
+        let mut placed = Vec::new();
+        for c in &chunks {
+            let off = fs.append(f, c);
+            placed.push((off, c.clone()));
+        }
+        for (off, c) in placed {
+            prop_assert_eq!(fs.read_at(f, off, c.len()), c);
+        }
+    }
+
+    /// The page cache never exceeds its capacity and keeps the most
+    /// recently inserted pages.
+    #[test]
+    fn page_cache_capacity_invariant(
+        cap in 1usize..64,
+        ops in proptest::collection::vec((0u64..128, any::<bool>()), 1..200)
+    ) {
+        let fs = FileStore::new();
+        let f = fs.create("x");
+        let mut c = PageCache::new(cap);
+        let mut last_inserted = None;
+        for (page, probe) in ops {
+            if probe {
+                let _ = c.probe(f, page);
+            } else {
+                c.insert(f, page);
+                last_inserted = Some(page);
+            }
+            prop_assert!(c.resident_pages() <= cap);
+        }
+        if let Some(p) = last_inserted {
+            prop_assert!(c.contains(f, p), "most recent insert must survive");
+        }
+    }
+
+    /// Disk completions move forward in time and device bytes are at least
+    /// the useful bytes for direct reads.
+    #[test]
+    fn disk_time_is_monotone(
+        pages in proptest::collection::vec(0u64..4096, 1..100),
+        direct in any::<bool>(),
+    ) {
+        let fs = FileStore::new();
+        let f = fs.create("mem");
+        let file_bytes = 4096 * PAGE_SIZE;
+        fs.set_len(f, file_bytes);
+        let mut d = Disk::ssd();
+        let mut now = SimTime::ZERO;
+        for p in pages {
+            let ready = if direct {
+                d.read_direct(now, f, p * PAGE_SIZE, PAGE_SIZE, Access::Random).ready
+            } else {
+                d.fault_read_page(now, f, p, 4096).ready
+            };
+            prop_assert!(ready > now, "I/O must take positive time");
+            now = ready;
+        }
+        let st = d.stats();
+        prop_assert!(st.device_bytes_read + st.cache_hits * PAGE_SIZE >= st.useful_bytes_read
+            || st.device_bytes_read >= st.useful_bytes_read - st.cache_hits * PAGE_SIZE);
+    }
+
+    /// Faulting the same page twice without flushing is always a cache hit
+    /// the second time.
+    #[test]
+    fn repeated_fault_hits_cache(page in 0u64..1000) {
+        let fs = FileStore::new();
+        let f = fs.create("mem");
+        fs.set_len(f, 1000 * PAGE_SIZE);
+        let mut d = Disk::ssd();
+        let a = d.fault_read_page(SimTime::ZERO, f, page, 1000);
+        prop_assert!(!a.cache_hit);
+        let b = d.fault_read_page(a.ready, f, page, 1000);
+        prop_assert!(b.cache_hit);
+        // After drop_caches it misses again.
+        d.drop_caches();
+        let c = d.fault_read_page(b.ready, f, page, 1000);
+        prop_assert!(!c.cache_hit);
+    }
+
+    /// Buffered reads of any aligned range terminate and cache the range.
+    #[test]
+    fn buffered_read_caches_range(first in 0u64..512, count in 1u64..64) {
+        let fs = FileStore::new();
+        let f = fs.create("mem");
+        fs.set_len(f, 1024 * PAGE_SIZE);
+        let mut d = Disk::ssd();
+        let out = d.read_buffered(SimTime::ZERO, f, first * PAGE_SIZE, count * PAGE_SIZE);
+        prop_assert!(!out.cache_hit);
+        let again = d.read_buffered(out.ready, f, first * PAGE_SIZE, count * PAGE_SIZE);
+        prop_assert!(again.cache_hit);
+    }
+}

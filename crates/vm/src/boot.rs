@@ -1,0 +1,97 @@
+//! Cold-boot latency model (§2.2).
+//!
+//! The paper measures that while a bare Firecracker VM boots in ~125 ms,
+//! booting inside a production orchestration stack (Containerd +
+//! firecracker-containerd) takes 700–1300 ms — pod setup, device-mapper
+//! rootfs mounting, agent startup — and the in-VM runtime/function
+//! bootstrap adds up to several seconds on top. This model turns a boot
+//! [`ExecutionTrace`] into an end-to-end boot latency for the
+//! boot-vs-snapshot ablation.
+
+use sim_core::SimDuration;
+
+use crate::vcpu::{ExecutionTrace, TimedOp};
+
+/// Fixed costs of the cold-boot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootCostModel {
+    /// Spawning the Firecracker process + API handshake.
+    pub fc_spawn: SimDuration,
+    /// Containerd pod setup and device-mapper rootfs mount (§2.2: the bulk
+    /// of the 700–1300 ms).
+    pub containerd_setup: SimDuration,
+    /// Guest kernel boot (Firecracker's headline ~125 ms).
+    pub guest_kernel_boot: SimDuration,
+    /// Cost of one anonymous-memory minor fault during boot.
+    pub minor_fault: SimDuration,
+}
+
+impl Default for BootCostModel {
+    fn default() -> Self {
+        BootCostModel {
+            fc_spawn: SimDuration::from_millis(60),
+            containerd_setup: SimDuration::from_millis(700),
+            guest_kernel_boot: SimDuration::from_millis(125),
+            minor_fault: SimDuration::from_nanos(600),
+        }
+    }
+}
+
+impl BootCostModel {
+    /// End-to-end boot latency for a boot execution trace: fixed stack
+    /// costs plus the in-VM bootstrap (compute + memory population).
+    pub fn total_latency(&self, trace: &ExecutionTrace) -> SimDuration {
+        let mut total = self.fc_spawn + self.containerd_setup + self.guest_kernel_boot;
+        for op in &trace.ops {
+            match op {
+                TimedOp::Compute(d) => total += *d,
+                TimedOp::MinorFaults { pages } => total += self.minor_fault * *pages,
+                TimedOp::Fault { .. } => {
+                    unreachable!("boot replays run memory-resident; no uffd faults")
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{MicroVm, VmConfig};
+    use functionbench::FunctionId;
+
+    #[test]
+    fn boot_latency_in_paper_range() {
+        // §2.2: stack overhead 700-1300 ms + up to seconds of in-VM
+        // bootstrap. helloworld should land near the low seconds.
+        let (_, trace) = MicroVm::boot(FunctionId::helloworld, VmConfig::default());
+        let model = BootCostModel::default();
+        let total = model.total_latency(&trace).as_millis_f64();
+        assert!(
+            (1500.0..4500.0).contains(&total),
+            "helloworld cold boot should take a few seconds, got {total:.0} ms"
+        );
+    }
+
+    #[test]
+    fn heavier_runtimes_boot_slower() {
+        let model = BootCostModel::default();
+        let (_, hello) = MicroVm::boot(FunctionId::helloworld, VmConfig::default());
+        let (_, cnn) = MicroVm::boot(FunctionId::cnn_serving, VmConfig::default());
+        assert!(
+            model.total_latency(&cnn) > model.total_latency(&hello),
+            "TensorFlow bootstrap dwarfs helloworld"
+        );
+    }
+
+    #[test]
+    fn boot_dwarfs_snapshot_restore_budget() {
+        // The motivation for snapshots: booting takes seconds while the
+        // paper's snapshot restores take 232-8057 ms (Fig 2) and REAP needs
+        // only 60 ms for helloworld.
+        let (_, trace) = MicroVm::boot(FunctionId::helloworld, VmConfig::default());
+        let total = BootCostModel::default().total_latency(&trace);
+        assert!(total > SimDuration::from_millis(1000));
+    }
+}

@@ -1,0 +1,396 @@
+//! Snapshot capture and restore (Firecracker's two-file layout, §2.3).
+//!
+//! Capture writes the VMM state file and a *plain guest memory file* whose
+//! byte at offset `o` is the guest-physical byte at address `o` (zero for
+//! never-touched pages — the file is effectively sparse). Restore loads
+//! the VMM state, then maps guest memory *lazily*: no page content moves
+//! until a fault or a REAP prefetch asks for it.
+
+use functionbench::FunctionId;
+use guest_mem::{PageIdx, PAGE_SIZE};
+use sim_storage::{FileId, FileStore};
+
+use crate::vm::{MicroVm, VmConfig};
+use crate::vmm::VmmState;
+
+/// A captured VM snapshot: handles to its two files plus metadata.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Function the snapshot holds.
+    pub function: FunctionId,
+    /// Config the VM was created with (restore must match).
+    pub config: VmConfig,
+    /// Guest memory file.
+    pub mem_file: FileId,
+    /// VMM state file.
+    pub vmm_file: FileId,
+    /// Guest memory size in bytes.
+    pub mem_bytes: u64,
+    /// Pages that were resident at capture time.
+    pub resident_at_capture: u64,
+    /// Fingerprint of the VMM state for restore validation.
+    pub vmm_checksum: u64,
+}
+
+impl Snapshot {
+    /// Captures `vm` into two files under `prefix` in `fs`.
+    ///
+    /// The VM must be paused (Firecracker refuses to snapshot a running
+    /// VM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not paused.
+    pub fn capture(vm: &MicroVm, fs: &FileStore, prefix: &str) -> Snapshot {
+        assert!(vm.is_paused(), "snapshot requires a paused VM");
+        let vmm = vm.vmm_state();
+        let vmm_file = fs.create(&format!("{prefix}/vmm_state"));
+        fs.write_at(vmm_file, 0, vmm.as_bytes());
+
+        let mem = vm.memory();
+        let mem_file = fs.create(&format!("{prefix}/guest_mem"));
+        fs.set_len(mem_file, mem.size_bytes());
+        for page in mem.resident_iter() {
+            let bytes = mem.page_bytes(page).expect("resident page has bytes");
+            fs.write_at(mem_file, page.file_offset(), bytes);
+        }
+        Snapshot {
+            function: vm.function(),
+            config: vm.config(),
+            mem_file,
+            vmm_file,
+            mem_bytes: mem.size_bytes(),
+            resident_at_capture: mem.resident_pages(),
+            vmm_checksum: vmm.checksum(),
+        }
+    }
+
+    /// Number of guest pages in the memory file.
+    pub fn mem_pages(&self) -> u64 {
+        self.mem_bytes / PAGE_SIZE as u64
+    }
+
+    /// Loads and validates the VMM state file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file is corrupt or does not match the
+    /// checksum recorded at capture.
+    pub fn load_vmm_state(&self, fs: &FileStore) -> Result<VmmState, String> {
+        let bytes = fs.read_at(self.vmm_file, 0, fs.len(self.vmm_file) as usize);
+        let state = VmmState::from_bytes(bytes)?;
+        if state.checksum() != self.vmm_checksum {
+            return Err("VMM state checksum mismatch".to_string());
+        }
+        Ok(state)
+    }
+
+    /// Reads one page's bytes from the guest memory file (what a monitor
+    /// installs when serving a fault).
+    pub fn read_page(&self, fs: &FileStore, page: PageIdx) -> Vec<u8> {
+        fs.read_at(self.mem_file, page.file_offset(), PAGE_SIZE)
+    }
+
+    /// Builds the restored VM shell: VMM state deserialized, guest memory
+    /// mapped empty for lazy paging.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the VMM state file is corrupt.
+    pub fn restore_shell(&self, fs: &FileStore) -> Result<MicroVm, String> {
+        let _vmm = self.load_vmm_state(fs)?;
+        Ok(MicroVm::restore_shell(self.function, self.config))
+    }
+}
+
+/// A diff (incremental) snapshot: only the pages dirtied since a base
+/// snapshot, as Firecracker's diff-snapshot support captures via KVM dirty
+/// logging.
+#[derive(Debug, Clone)]
+pub struct DiffSnapshot {
+    /// The base this diff applies on top of.
+    pub base_mem_file: FileId,
+    /// File holding `[count u64][offsets…][pages…]` of dirtied pages.
+    pub diff_file: FileId,
+    /// Pages captured in the diff.
+    pub dirty_pages: u64,
+    /// Updated VMM state file.
+    pub vmm_file: FileId,
+}
+
+impl Snapshot {
+    /// Captures a *diff* snapshot of `vm` on top of this (base) snapshot:
+    /// only pages dirtied since dirty tracking was last cleared are
+    /// written. The VM must be paused and have dirty tracking enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not paused or dirty tracking is disabled.
+    pub fn capture_diff(&self, vm: &MicroVm, fs: &FileStore, prefix: &str) -> DiffSnapshot {
+        assert!(vm.is_paused(), "diff snapshot requires a paused VM");
+        let mem = vm.memory();
+        assert!(
+            mem.dirty_tracking(),
+            "diff snapshot requires dirty tracking"
+        );
+        let vmm = vm.vmm_state();
+        let vmm_file = fs.create(&format!("{prefix}/vmm_state.diff"));
+        fs.write_at(vmm_file, 0, vmm.as_bytes());
+
+        let dirty: Vec<PageIdx> = mem.dirty_pages().collect();
+        let diff_file = fs.create(&format!("{prefix}/mem.diff"));
+        let mut header = Vec::with_capacity(8 + dirty.len() * 8);
+        header.extend_from_slice(&(dirty.len() as u64).to_le_bytes());
+        for p in &dirty {
+            header.extend_from_slice(&p.file_offset().to_le_bytes());
+        }
+        fs.write_at(diff_file, 0, &header);
+        let data_base = header.len() as u64;
+        for (i, p) in dirty.iter().enumerate() {
+            let bytes = mem.page_bytes(*p).expect("dirty page is resident");
+            fs.write_at(diff_file, data_base + i as u64 * PAGE_SIZE as u64, bytes);
+        }
+        DiffSnapshot {
+            base_mem_file: self.mem_file,
+            diff_file,
+            dirty_pages: dirty.len() as u64,
+            vmm_file,
+        }
+    }
+
+    /// Applies a diff snapshot onto this base's memory file, producing the
+    /// merged full snapshot state in place (Firecracker's
+    /// "rebase-snap"-style merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diff does not reference this snapshot's memory file
+    /// or is malformed.
+    pub fn apply_diff(&self, fs: &FileStore, diff: &DiffSnapshot) {
+        assert_eq!(
+            diff.base_mem_file, self.mem_file,
+            "diff applies to a different base"
+        );
+        let count_bytes = fs.read_at(diff.diff_file, 0, 8);
+        let count = u64::from_le_bytes(count_bytes.try_into().expect("8 bytes"));
+        assert_eq!(count, diff.dirty_pages, "corrupt diff header");
+        let offsets = fs.read_at(diff.diff_file, 8, (count * 8) as usize);
+        let data_base = 8 + count * 8;
+        for (i, chunk) in offsets.chunks_exact(8).enumerate() {
+            let off = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            let page = fs.read_at(
+                diff.diff_file,
+                data_base + i as u64 * PAGE_SIZE as u64,
+                PAGE_SIZE,
+            );
+            fs.write_at(self.mem_file, off, &page);
+        }
+    }
+}
+
+/// Verifies that every resident page of a restored VM is byte-identical to
+/// the snapshot's memory file — the functional-correctness check behind
+/// every experiment. Returns the number of pages verified.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatching page.
+pub fn verify_restored(vm: &MicroVm, snapshot: &Snapshot, fs: &FileStore) -> Result<u64, String> {
+    let mem = vm.memory();
+    let mut verified = 0;
+    for page in mem.resident_iter() {
+        let got = mem.page_bytes(page).expect("resident page");
+        let expect = snapshot.read_page(fs, page);
+        if got != expect.as_slice() {
+            return Err(format!(
+                "page {page} differs from snapshot (restored checksum {:x}, file {:x})",
+                guest_mem::fnv1a64(got),
+                guest_mem::fnv1a64(&expect),
+            ));
+        }
+        verified += 1;
+    }
+    Ok(verified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcpu::{run_lazy, FaultHandler};
+    use functionbench::{FunctionId, InputGenerator};
+    use guest_mem::{FaultEvent, MemError, Uffd};
+
+    /// A minimal baseline monitor: serves each fault from the memory file.
+    struct FileBacked<'a> {
+        snapshot: &'a Snapshot,
+        fs: &'a FileStore,
+    }
+    impl FaultHandler for FileBacked<'_> {
+        fn handle_fault(&mut self, uffd: &mut Uffd, ev: FaultEvent) -> Result<(), MemError> {
+            let page = uffd.page_of_fault(ev);
+            let bytes = self.snapshot.read_page(self.fs, page);
+            uffd.copy(page, &bytes)?;
+            Ok(())
+        }
+    }
+
+    fn booted_snapshot(f: FunctionId) -> (Snapshot, FileStore) {
+        let fs = FileStore::new();
+        let (mut vm, _) = MicroVm::boot(f, VmConfig::default());
+        vm.pause();
+        let snap = Snapshot::capture(&vm, &fs, &format!("snapshots/{f}"));
+        (snap, fs)
+    }
+
+    #[test]
+    fn capture_writes_both_files() {
+        let (snap, fs) = booted_snapshot(FunctionId::helloworld);
+        assert_eq!(fs.len(snap.mem_file), 256 * 1024 * 1024);
+        assert!(fs.len(snap.vmm_file) > 0);
+        assert!(snap.resident_at_capture > 30_000);
+        assert_eq!(snap.mem_pages(), 65536);
+        snap.load_vmm_state(&fs).expect("vmm state round-trips");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a paused VM")]
+    fn capture_requires_pause() {
+        let fs = FileStore::new();
+        let (vm, _) = MicroVm::boot(FunctionId::helloworld, VmConfig::default());
+        let _ = Snapshot::capture(&vm, &fs, "s");
+    }
+
+    #[test]
+    fn untouched_pages_read_as_zeros() {
+        let (snap, fs) = booted_snapshot(FunctionId::helloworld);
+        // helloworld boots to ~148 MB of 256 MB: tens of thousands of pages
+        // (e.g. the never-touched middle of the heap) must be zeros.
+        let total = snap.mem_pages();
+        let mut found_zero = false;
+        for p in (0..total).step_by(97) {
+            let bytes = snap.read_page(&fs, PageIdx::new(p));
+            if bytes.iter().all(|&b| b == 0) {
+                found_zero = true;
+                break;
+            }
+        }
+        assert!(found_zero, "some pages should be untouched zeros");
+    }
+
+    #[test]
+    fn lazy_restore_then_invoke_is_lossless() {
+        let f = FunctionId::pyaes;
+        let (snap, fs) = booted_snapshot(f);
+        let mut vm = snap.restore_shell(&fs).unwrap();
+        assert_eq!(vm.footprint_bytes(), 0);
+        let input = InputGenerator::new(f, 1).input(1);
+        let ops = vm.invocation_ops(&input);
+        let (uffd, handler_fs) = (vm.uffd_mut(), fs.clone());
+        let mut handler = FileBacked {
+            snapshot: &snap,
+            fs: &handler_fs,
+        };
+        let trace = run_lazy(&ops, uffd, &mut handler);
+        assert!(trace.uffd_faults > 2000, "pyaes ws ~2800 pages");
+        assert_eq!(trace.uffd_faults, vm.memory().resident_pages());
+        // Every installed page matches the snapshot exactly.
+        let verified = verify_restored(&vm, &snap, &fs).expect("contents must match");
+        assert_eq!(verified, trace.uffd_faults);
+    }
+
+    #[test]
+    fn diff_snapshot_captures_only_dirty_pages() {
+        let f = FunctionId::helloworld;
+        let fs = FileStore::new();
+        let (mut vm, _) = MicroVm::boot(f, VmConfig::default());
+        vm.pause();
+        let base = Snapshot::capture(&vm, &fs, "snap/base");
+        vm.resume();
+
+        // Track dirt while serving one invocation on the (warm) VM.
+        vm.uffd_mut().memory_mut().set_dirty_tracking(true);
+        let input = InputGenerator::new(f, 5).input(1);
+        let ops = vm.invocation_ops(&input);
+        let label = vm.content_label();
+        let trace = crate::vcpu::run_resident(&ops, vm.uffd_mut().memory_mut(), label);
+        assert!(trace.minor_faults > 0, "invocation populates fresh pages");
+
+        vm.pause();
+        let diff = base.capture_diff(&vm, &fs, "snap/base");
+        // The diff holds exactly the freshly-populated pages — a tiny
+        // fraction of the 150 MB base.
+        assert_eq!(diff.dirty_pages, trace.minor_faults);
+        assert!(diff.dirty_pages < 2000);
+        assert!(fs.len(diff.diff_file) < 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn diff_apply_merges_into_base() {
+        let f = FunctionId::helloworld;
+        let fs = FileStore::new();
+        let (mut vm, _) = MicroVm::boot(f, VmConfig::default());
+        vm.pause();
+        let base = Snapshot::capture(&vm, &fs, "snap/base");
+        vm.resume();
+        vm.uffd_mut().memory_mut().set_dirty_tracking(true);
+        let input = InputGenerator::new(f, 6).input(1);
+        let ops = vm.invocation_ops(&input);
+        let label = vm.content_label();
+        crate::vcpu::run_resident(&ops, vm.uffd_mut().memory_mut(), label);
+        vm.pause();
+        let diff = base.capture_diff(&vm, &fs, "snap/base");
+
+        // Before the merge, a dirty page's file content is stale (zeros);
+        // after apply_diff, the base file matches the VM exactly.
+        let first_dirty = vm.memory().dirty_pages().next().expect("dirty pages");
+        base.apply_diff(&fs, &diff);
+        let merged = base.read_page(&fs, first_dirty);
+        assert_eq!(
+            merged.as_slice(),
+            vm.memory().page_bytes(first_dirty).unwrap(),
+            "merged base must hold the dirtied contents"
+        );
+        // Every resident page of the VM now matches the merged file.
+        let verified = verify_restored(&vm, &base, &fs).unwrap();
+        assert_eq!(verified, vm.memory().resident_pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires dirty tracking")]
+    fn diff_without_tracking_panics() {
+        let fs = FileStore::new();
+        let (mut vm, _) = MicroVm::boot(FunctionId::helloworld, VmConfig::default());
+        vm.pause();
+        let base = Snapshot::capture(&vm, &fs, "s");
+        let _ = base.capture_diff(&vm, &fs, "s");
+    }
+
+    #[test]
+    fn corrupt_vmm_state_detected() {
+        let (snap, fs) = booted_snapshot(FunctionId::helloworld);
+        fs.write_at(snap.vmm_file, 10, b"corruption");
+        assert!(snap.load_vmm_state(&fs).is_err());
+        assert!(snap.restore_shell(&fs).is_err());
+    }
+
+    #[test]
+    fn footprint_after_restore_invoke_is_much_smaller_than_boot() {
+        // The Fig 4 comparison: booted ~148 MB vs restored+invoked ~8 MB.
+        let f = FunctionId::helloworld;
+        let (snap, fs) = booted_snapshot(f);
+        let boot_mb = snap.resident_at_capture * 4096 / (1024 * 1024);
+        let mut vm = snap.restore_shell(&fs).unwrap();
+        let input = InputGenerator::new(f, 1).input(1);
+        let ops = vm.invocation_ops(&input);
+        let mut handler = FileBacked {
+            snapshot: &snap,
+            fs: &fs,
+        };
+        run_lazy(&ops, vm.uffd_mut(), &mut handler);
+        let restored_mb = vm.footprint_bytes() / (1024 * 1024);
+        assert!(
+            restored_mb * 10 < boot_mb,
+            "restored ({restored_mb} MB) should be ~5% of booted ({boot_mb} MB)"
+        );
+    }
+}

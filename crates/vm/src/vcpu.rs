@@ -1,0 +1,261 @@
+//! vCPU replay engine.
+//!
+//! Executes a function's [`GuestOp`] stream against guest memory and
+//! produces the **timed op trace** the latency simulation replays:
+//! compute segments, userfaultfd faults (restored VMs), and minor faults
+//! (freshly booted VMs populating anonymous memory).
+//!
+//! Faults are handled *synchronously* by a [`FaultHandler`] — the monitor
+//! role of §5.2 — because a single-vCPU guest halts until the missing page
+//! is installed, which is exactly why serial page faults dominate cold
+//! invocations (§4.2).
+
+use std::collections::HashSet;
+
+use functionbench::GuestOp;
+use guest_mem::{FaultEvent, GuestMemory, MemError, PageIdx, TouchOutcome, Uffd};
+use sim_core::SimDuration;
+
+/// One entry of the timed trace consumed by the latency simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedOp {
+    /// Guest computes for this long.
+    Compute(SimDuration),
+    /// A userfaultfd fault on `page` was raised and served on the critical
+    /// path (baseline lazy paging / REAP residual faults).
+    Fault {
+        /// The faulted guest page.
+        page: PageIdx,
+    },
+    /// `pages` anonymous pages were populated by the guest kernel (minor
+    /// faults; no disk involved).
+    MinorFaults {
+        /// Number of pages populated.
+        pages: u64,
+    },
+}
+
+/// Result of replaying an op stream.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    /// Timed ops in execution order.
+    pub ops: Vec<TimedOp>,
+    /// userfaultfd faults served on the critical path.
+    pub uffd_faults: u64,
+    /// Anonymous-memory minor faults.
+    pub minor_faults: u64,
+    /// Distinct pages the stream touched.
+    pub pages_touched: u64,
+    /// Total guest compute in the stream.
+    pub compute: SimDuration,
+}
+
+impl ExecutionTrace {
+    /// The faulted pages, in fault order (the REAP *trace* of §5.1).
+    pub fn faulted_pages(&self) -> Vec<PageIdx> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                TimedOp::Fault { page } => Some(*page),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The monitor role: serves userfaultfd faults raised during lazy replay.
+pub trait FaultHandler {
+    /// Installs the faulted page into `uffd` (via [`Uffd::copy`]) and
+    /// performs any bookkeeping (e.g. REAP's trace recording).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] if installation fails; the replay aborts by
+    /// panicking, as a real guest would wedge.
+    fn handle_fault(&mut self, uffd: &mut Uffd, ev: FaultEvent) -> Result<(), MemError>;
+}
+
+/// Replays `ops` on a *memory-resident* VM (freshly booted or warm).
+/// Missing pages are populated directly by the guest kernel with
+/// deterministic contents derived from `content_label` — minor faults, no
+/// host I/O.
+pub fn run_resident(ops: &[GuestOp], memory: &mut GuestMemory, content_label: u64) -> ExecutionTrace {
+    let mut trace = ExecutionTrace::default();
+    let mut touched: HashSet<u64> = HashSet::new();
+    let mut buf = vec![0u8; guest_mem::PAGE_SIZE];
+    for op in ops {
+        match op {
+            GuestOp::Compute(d) => {
+                trace.ops.push(TimedOp::Compute(*d));
+                trace.compute += *d;
+            }
+            GuestOp::Touch(chunk) => {
+                let mut installed = 0u64;
+                for page in chunk.iter() {
+                    touched.insert(page.as_u64());
+                    if !memory.is_resident(page) {
+                        guest_mem::checksum::fill_deterministic(
+                            &mut buf,
+                            content_label,
+                            page.as_u64(),
+                        );
+                        memory
+                            .install_page(page, &buf)
+                            .expect("resident install cannot fail on non-resident page");
+                        installed += 1;
+                    }
+                }
+                if installed > 0 {
+                    trace.minor_faults += installed;
+                    trace.ops.push(TimedOp::MinorFaults { pages: installed });
+                }
+            }
+        }
+    }
+    trace.pages_touched = touched.len() as u64;
+    trace
+}
+
+/// Replays `ops` on a *lazily restored* VM: every first touch raises a
+/// userfaultfd fault that `handler` must serve before the vCPU continues.
+///
+/// # Panics
+///
+/// Panics if the handler fails to install a faulted page — the guest would
+/// hang forever on real hardware.
+pub fn run_lazy(ops: &[GuestOp], uffd: &mut Uffd, handler: &mut dyn FaultHandler) -> ExecutionTrace {
+    let mut trace = ExecutionTrace::default();
+    let mut touched: HashSet<u64> = HashSet::new();
+    for op in ops {
+        match op {
+            GuestOp::Compute(d) => {
+                trace.ops.push(TimedOp::Compute(*d));
+                trace.compute += *d;
+            }
+            GuestOp::Touch(chunk) => {
+                for page in chunk.iter() {
+                    touched.insert(page.as_u64());
+                    match uffd.touch_page(page) {
+                        TouchOutcome::Resident => {}
+                        TouchOutcome::Faulted(ev) => {
+                            let served = uffd.poll().expect("raised fault must be queued");
+                            debug_assert_eq!(served, ev);
+                            handler
+                                .handle_fault(uffd, ev)
+                                .unwrap_or_else(|e| panic!("monitor failed to serve {page}: {e}"));
+                            assert!(
+                                uffd.memory().is_resident(page),
+                                "handler returned without installing {page}"
+                            );
+                            uffd.wake();
+                            trace.uffd_faults += 1;
+                            trace.ops.push(TimedOp::Fault { page });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    trace.pages_touched = touched.len() as u64;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_os::TouchChunk;
+
+    struct ZeroFill;
+    impl FaultHandler for ZeroFill {
+        fn handle_fault(&mut self, uffd: &mut Uffd, ev: FaultEvent) -> Result<(), MemError> {
+            let page = uffd.page_of_fault(ev);
+            uffd.zeropage(page)?;
+            Ok(())
+        }
+    }
+
+    fn ops() -> Vec<GuestOp> {
+        vec![
+            GuestOp::Touch(TouchChunk::new(PageIdx::new(0), 3)),
+            GuestOp::Compute(SimDuration::from_millis(2)),
+            GuestOp::Touch(TouchChunk::new(PageIdx::new(1), 3)), // overlaps pages 1,2
+            GuestOp::Compute(SimDuration::from_millis(1)),
+        ]
+    }
+
+    #[test]
+    fn resident_replay_counts_minor_faults_once() {
+        let mut mem = GuestMemory::new(16 * 4096);
+        let trace = run_resident(&ops(), &mut mem, 99);
+        assert_eq!(trace.minor_faults, 4, "pages 0..=3 populated once");
+        assert_eq!(trace.pages_touched, 4);
+        assert_eq!(trace.uffd_faults, 0);
+        assert_eq!(trace.compute, SimDuration::from_millis(3));
+        assert_eq!(mem.resident_pages(), 4);
+    }
+
+    #[test]
+    fn resident_contents_are_deterministic() {
+        let mut m1 = GuestMemory::new(16 * 4096);
+        let mut m2 = GuestMemory::new(16 * 4096);
+        run_resident(&ops(), &mut m1, 7);
+        run_resident(&ops(), &mut m2, 7);
+        for p in 0..4 {
+            assert_eq!(
+                m1.page_checksum(PageIdx::new(p)),
+                m2.page_checksum(PageIdx::new(p))
+            );
+        }
+        let mut m3 = GuestMemory::new(16 * 4096);
+        run_resident(&ops(), &mut m3, 8);
+        assert_ne!(
+            m1.page_checksum(PageIdx::new(0)),
+            m3.page_checksum(PageIdx::new(0)),
+            "different labels give different contents"
+        );
+    }
+
+    #[test]
+    fn lazy_replay_faults_once_per_page() {
+        let mem = GuestMemory::new(16 * 4096);
+        let mut uffd = Uffd::register(mem, 0x7000_0000_0000);
+        let trace = run_lazy(&ops(), &mut uffd, &mut ZeroFill);
+        assert_eq!(trace.uffd_faults, 4);
+        assert_eq!(trace.pages_touched, 4);
+        assert_eq!(trace.minor_faults, 0);
+        assert_eq!(uffd.stats().wakes, 4);
+        assert_eq!(
+            trace.faulted_pages(),
+            vec![
+                PageIdx::new(0),
+                PageIdx::new(1),
+                PageIdx::new(2),
+                PageIdx::new(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn prefetched_pages_do_not_fault() {
+        let mem = GuestMemory::new(16 * 4096);
+        let mut uffd = Uffd::register(mem, 0);
+        // Prefetch pages 0-2 as REAP would.
+        for p in 0..3 {
+            uffd.copy(PageIdx::new(p), &[1u8; 4096]).unwrap();
+        }
+        let trace = run_lazy(&ops(), &mut uffd, &mut ZeroFill);
+        assert_eq!(trace.uffd_faults, 1, "only page 3 faults");
+        assert_eq!(trace.faulted_pages(), vec![PageIdx::new(3)]);
+    }
+
+    #[test]
+    fn trace_ops_preserve_order() {
+        let mut mem = GuestMemory::new(16 * 4096);
+        let trace = run_resident(&ops(), &mut mem, 1);
+        // MinorFaults, Compute, MinorFaults(1 page), Compute.
+        assert!(matches!(trace.ops[0], TimedOp::MinorFaults { pages: 3 }));
+        assert!(matches!(trace.ops[1], TimedOp::Compute(_)));
+        assert!(matches!(trace.ops[2], TimedOp::MinorFaults { pages: 1 }));
+        assert!(matches!(trace.ops[3], TimedOp::Compute(_)));
+    }
+}

@@ -1,0 +1,64 @@
+//! REAP vs baseline snapshots across the function suite (the Fig 8 view).
+//!
+//! For each function: record once, then compare a REAP-prefetched cold
+//! start against a vanilla cold start, reporting the speedup and the
+//! fraction of page faults the prefetch eliminated.
+//!
+//! Run with: `cargo run --release --example reap_speedup [function ...]`
+
+use functionbench::FunctionId;
+use sim_core::Table;
+use vhive_core::report::{faults_eliminated_pct, fmt_ms0, geo_mean_speedup, speedup};
+use vhive_core::{ColdPolicy, Orchestrator};
+
+fn main() {
+    let args: Vec<FunctionId> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    let functions = if args.is_empty() {
+        vec![
+            FunctionId::helloworld,
+            FunctionId::chameleon,
+            FunctionId::pyaes,
+            FunctionId::lr_serving,
+            FunctionId::rnn_serving,
+        ]
+    } else {
+        args
+    };
+
+    let mut orch = Orchestrator::new(3);
+    let mut t = Table::new(&[
+        "function",
+        "vanilla (ms)",
+        "REAP (ms)",
+        "speedup",
+        "faults gone",
+        "paper speedup",
+    ]);
+    t.numeric();
+
+    let mut pairs = Vec::new();
+    for f in functions {
+        orch.register(f);
+        let vanilla = orch.invoke_cold(f, ColdPolicy::Vanilla);
+        let _record = orch.invoke_record(f);
+        let reap = orch.invoke_cold(f, ColdPolicy::Reap);
+        let paper = &f.spec().paper;
+        t.row(&[
+            f.name(),
+            &fmt_ms0(vanilla.latency),
+            &fmt_ms0(reap.latency),
+            &format!("{:.1}x", speedup(vanilla.latency, reap.latency)),
+            &format!("{:.1}%", faults_eliminated_pct(&reap)),
+            &format!("{:.1}x", paper.cold_ms / paper.reap_ms),
+        ]);
+        pairs.push((vanilla.latency, reap.latency));
+        orch.unregister(f);
+    }
+    println!("{t}");
+    if let Some(g) = geo_mean_speedup(&pairs) {
+        println!("geometric-mean speedup: {g:.2}x (paper, all 10 functions: 3.7x)");
+    }
+}

@@ -1,0 +1,88 @@
+//! Failure injection: corrupt or missing artifacts must be detected, never
+//! silently served.
+
+use functionbench::FunctionId;
+use vhive_core::{read_trace_file, read_ws_file, ColdPolicy, Orchestrator, WsError};
+
+#[test]
+fn corrupt_ws_file_is_rejected() {
+    let f = FunctionId::helloworld;
+    let mut orch = Orchestrator::new(31);
+    orch.register(f);
+    orch.invoke_record(f);
+    let ws = orch.fs().open(&format!("snapshots/{f}/ws_pages")).unwrap();
+    // Clobber the magic.
+    orch.fs().write_at(ws, 0, b"GARBAGE!");
+    assert_eq!(read_ws_file(orch.fs(), ws), Err(WsError::BadMagic));
+}
+
+#[test]
+fn truncated_trace_file_is_rejected() {
+    let f = FunctionId::helloworld;
+    let mut orch = Orchestrator::new(32);
+    orch.register(f);
+    orch.invoke_record(f);
+    let trace = orch.fs().open(&format!("snapshots/{f}/ws_trace")).unwrap();
+    orch.fs().set_len(trace, 20);
+    assert!(matches!(
+        read_trace_file(orch.fs(), trace),
+        Err(WsError::Truncated { .. })
+    ));
+}
+
+#[test]
+#[should_panic(expected = "WS file prefetch")]
+fn prefetch_with_corrupt_ws_file_panics_loudly() {
+    let f = FunctionId::helloworld;
+    let mut orch = Orchestrator::new(33);
+    orch.register(f);
+    orch.invoke_record(f);
+    let ws = orch.fs().open(&format!("snapshots/{f}/ws_pages")).unwrap();
+    orch.fs().write_at(ws, 0, b"GARBAGE!");
+    let _ = orch.invoke_cold(f, ColdPolicy::Reap);
+}
+
+#[test]
+fn rerecord_replaces_corrupt_working_set() {
+    // Operator remedy for a bad WS file: record again (§7.2's fallback
+    // path); the fresh files must parse and serve prefetches again.
+    let f = FunctionId::helloworld;
+    let mut orch = Orchestrator::new(34);
+    orch.register(f);
+    orch.invoke_record(f);
+    let ws = orch.fs().open(&format!("snapshots/{f}/ws_pages")).unwrap();
+    orch.fs().write_at(ws, 0, b"GARBAGE!");
+    // Re-record overwrites both files in place.
+    orch.invoke_record(f);
+    let entries = read_ws_file(orch.fs(), ws).expect("fresh WS file parses");
+    assert!(entries.len() > 1000);
+    let reap = orch.invoke_cold(f, ColdPolicy::Reap);
+    assert!(reap.prefetched_pages > 1000);
+}
+
+#[test]
+fn corrupt_vmm_state_fails_restore() {
+    let f = FunctionId::helloworld;
+    let mut orch = Orchestrator::new(35);
+    orch.register(f);
+    let vmm = orch.fs().open(&format!("snapshots/{f}/vmm_state")).unwrap();
+    orch.fs().write_at(vmm, 100, b"flipped bits");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        orch.invoke_cold(f, ColdPolicy::Vanilla)
+    }));
+    assert!(result.is_err(), "corrupt VMM state must abort the restore");
+}
+
+#[test]
+fn zero_length_ws_file_is_detected() {
+    let f = FunctionId::helloworld;
+    let mut orch = Orchestrator::new(36);
+    orch.register(f);
+    orch.invoke_record(f);
+    let ws = orch.fs().open(&format!("snapshots/{f}/ws_pages")).unwrap();
+    orch.fs().set_len(ws, 0);
+    assert!(matches!(
+        read_ws_file(orch.fs(), ws),
+        Err(WsError::Truncated { .. })
+    ));
+}
