@@ -49,12 +49,14 @@ pub fn quick_suite() -> Vec<FunctionId> {
 /// other args name functions explicitly.
 pub fn functions_from_args() -> Vec<FunctionId> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
+        panic!("unknown flag {flag}; supported: --quick, or explicit function names");
+    }
     if args.iter().any(|a| a == "--quick") {
         return quick_suite();
     }
     let named: Vec<FunctionId> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
         .map(|a| a.parse().unwrap_or_else(|e| panic!("{e}")))
         .collect();
     if named.is_empty() {

@@ -254,17 +254,17 @@ fn push_trace(steps: &mut Vec<TimedStep>, trace: &ExecutionTrace, costs: &HostCo
 pub fn build_cold_program(spec: &ColdRunSpec<'_>) -> InstanceProgram {
     let costs = spec.costs;
     let files = &spec.files;
-    let mut steps = Vec::new();
-
     // Phase 1: spawn Firecracker, read + deserialize VMM state (§2.3).
-    steps.push(TimedStep::Phase(Phase::LoadVmm));
-    steps.push(TimedStep::Cpu(costs.process_spawn));
-    steps.push(TimedStep::BufferedRead {
-        file: files.vmm_file,
-        offset: 0,
-        len: files.vmm_bytes,
-    });
-    steps.push(TimedStep::Cpu(costs.load_vmm_fixed));
+    let mut steps = vec![
+        TimedStep::Phase(Phase::LoadVmm),
+        TimedStep::Cpu(costs.process_spawn),
+        TimedStep::BufferedRead {
+            file: files.vmm_file,
+            offset: 0,
+            len: files.vmm_bytes,
+        },
+        TimedStep::Cpu(costs.load_vmm_fixed),
+    ];
 
     // Phase 2: policy prelude.
     match spec.policy {

@@ -395,6 +395,7 @@ impl Orchestrator {
     }
 
     /// Compiles a cold invocation into a timed program.
+    #[allow(clippy::too_many_arguments)]
     pub fn cold_program(&self, f: FunctionId, policy: ColdPolicy, record: bool, run: &FunctionalRun, files: InstanceFiles, reap: Option<ReapFiles>, arrival: SimTime) -> InstanceProgram {
         let pf_pages = if policy == ColdPolicy::ParallelPF {
             let real = self.state(f).reap.expect("ParallelPF needs a trace");
@@ -429,6 +430,7 @@ impl Orchestrator {
         (results, stats)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn outcome_from(&self, f: FunctionId, policy: Option<ColdPolicy>, recorded: bool, run: FunctionalRun, result: crate::timeline::InstanceResult, disk_stats: DiskStats, misprediction: Option<MispredictionReport>) -> InvocationOutcome {
         InvocationOutcome {
             function: f,

@@ -81,12 +81,12 @@ impl WorkloadGenerator {
                     let gap = SimDuration::from_secs_f64(
                         rng.exp_f64(mean_gap.as_secs_f64().max(1e-9)),
                     );
-                    now = now + gap;
+                    now += gap;
                     now
                 }
                 ArrivalKind::Periodic { gap } => {
                     let at = now;
-                    now = now + gap;
+                    now += gap;
                     at
                 }
                 ArrivalKind::Burst { .. } => SimTime::ZERO,

@@ -34,7 +34,6 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Key, u64)>>,
     items: Vec<Option<E>>,
     next_seq: u64,
-    len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -50,7 +49,6 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             items: Vec::new(),
             next_seq: 0,
-            len: 0,
         }
     }
 
@@ -69,7 +67,6 @@ impl<E> EventQueue<E> {
         let ev = self.items[slot as usize]
             .take()
             .expect("event slot already consumed");
-        self.len = self.len.saturating_sub(1);
         self.maybe_compact();
         Some((key.time, ev))
     }
@@ -93,7 +90,6 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.items.clear();
-        self.len = 0;
         // next_seq deliberately *not* reset: determinism only needs FIFO
         // within a queue's lifetime, and monotone seq keeps invariants simple.
     }
@@ -101,9 +97,7 @@ impl<E> EventQueue<E> {
     fn maybe_compact(&mut self) {
         // Reclaim the slot vector once the heap drains, so long-running
         // simulations do not grow memory without bound.
-        if self.heap.is_empty() && self.items.len() > 1024 {
-            self.items.clear();
-        } else if self.heap.is_empty() {
+        if self.heap.is_empty() {
             self.items.clear();
         }
     }

@@ -129,11 +129,11 @@ impl Table {
                     Align::Left => {
                         out.push_str(cell);
                         if c + 1 < cols {
-                            out.extend(std::iter::repeat(' ').take(pad));
+                            out.push_str(&" ".repeat(pad));
                         }
                     }
                     Align::Right => {
-                        out.extend(std::iter::repeat(' ').take(pad));
+                        out.push_str(&" ".repeat(pad));
                         out.push_str(cell);
                     }
                 }
@@ -142,7 +142,7 @@ impl Table {
         };
         render_row(&self.headers, &mut out);
         let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
-        out.extend(std::iter::repeat('-').take(total));
+        out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
             render_row(row, &mut out);
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(fnum(2.0, 0), "2");
     }
 

@@ -1,0 +1,31 @@
+//! # reap-repro
+//!
+//! Umbrella crate for the REAP reproduction (Ustiugov et al., ASPLOS
+//! 2021: *Benchmarking, analysis, and optimization of serverless
+//! function snapshots*).
+//!
+//! The actual machinery lives in the workspace crates; this crate
+//! re-exports them under one roof so the repo-root integration tests
+//! (`tests/`) and examples (`examples/`) have a single dependency
+//! surface, and so downstream users can depend on one crate.
+//!
+//! * [`sim_core`] — discrete-event simulation substrate (virtual time,
+//!   event queue, queueing resources, deterministic RNG, stats).
+//! * [`sim_storage`] — in-memory file store plus calibrated SSD/HDD
+//!   timing models and a Linux-style page cache with readahead.
+//! * [`guest_mem`] — guest physical memory with `userfaultfd`-style
+//!   lazy paging.
+//! * [`guest_os`] — buddy allocator, guest-physical layout, and kernel
+//!   touch plans (the determinism engine behind stable working sets).
+//! * [`microvm`] — Firecracker-style microVM: boot, pause, snapshot,
+//!   restore.
+//! * [`functionbench`] — behaviour models of the paper's ten functions.
+//! * [`vhive_core`] — the vHive-CRI orchestrator and REAP itself.
+
+pub use functionbench;
+pub use guest_mem;
+pub use guest_os;
+pub use microvm;
+pub use sim_core;
+pub use sim_storage;
+pub use vhive_core;

@@ -1,0 +1,55 @@
+//! Workspace canary: every function in the suite goes through the whole
+//! stack — register (boot + snapshot), one Vanilla cold start, one
+//! record, one REAP cold start — and REAP must beat Vanilla everywhere.
+//!
+//! This intentionally touches every crate: `functionbench` specs,
+//! `guest_os` layout/boot plans, `microvm` snapshot/restore, `guest_mem`
+//! uffd, `sim_storage` snapshot files, and the `vhive_core`
+//! orchestrator + timeline. If any layer regresses, this is the first
+//! test to go red.
+
+use functionbench::FunctionId;
+use vhive_core::{ColdPolicy, Orchestrator};
+
+#[test]
+fn every_function_reap_beats_vanilla() {
+    let mut orch = Orchestrator::new(0xCA_FE);
+    for f in FunctionId::ALL {
+        let info = orch.register(f);
+        assert!(
+            info.boot_footprint_bytes > 0,
+            "{f}: registration must boot and snapshot"
+        );
+
+        let vanilla = orch.invoke_cold(f, ColdPolicy::Vanilla);
+        assert!(vanilla.uffd_faults > 0, "{f}: vanilla must lazy-fault");
+        assert_eq!(vanilla.prefetched_pages, 0, "{f}: vanilla never prefetches");
+
+        orch.invoke_record(f);
+        assert!(orch.has_ws(f), "{f}: record must persist a working set");
+
+        let reap = orch.invoke_cold(f, ColdPolicy::Reap);
+        assert!(
+            reap.latency < vanilla.latency,
+            "{f}: REAP ({reap}) must beat Vanilla ({vanilla})",
+            reap = reap.latency,
+            vanilla = vanilla.latency
+        );
+        assert!(reap.prefetched_pages > 0, "{f}: REAP must prefetch");
+        assert!(
+            reap.verified_pages > 0,
+            "{f}: functional pass must verify installed pages"
+        );
+
+        // Snapshot artifacts really exist in the shared store.
+        for file in ["guest_mem", "vmm_state", "ws_pages", "ws_trace"] {
+            assert!(
+                orch.fs().exists(&format!("snapshots/{f}/{file}")),
+                "{f}: missing snapshot artifact {file}"
+            );
+        }
+
+        // Keep the canary's memory footprint flat across 10 functions.
+        orch.unregister(f);
+    }
+}

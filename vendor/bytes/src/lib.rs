@@ -1,0 +1,128 @@
+//! Offline stub for `bytes`.
+//!
+//! `BytesMut` here is a thin wrapper over `Vec<u8>` exposing the
+//! little-endian append API the REAP file writers use. No zero-copy
+//! splitting; swap for the real crate via `[workspace.dependencies]`
+//! when networked builds are available.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Consumes the buffer, returning the underlying bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+/// Append-oriented write API (the subset of `bytes::BufMut` in use).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_deref_round_trip() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(b"MAGIC!!!");
+        b.put_u64_le(0x0102_0304_0506_0708);
+        assert_eq!(b.len(), 16);
+        assert_eq!(&b[..8], b"MAGIC!!!");
+        assert_eq!(
+            u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            0x0102_0304_0506_0708
+        );
+    }
+
+    #[test]
+    fn u8_and_u32_helpers() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32_le(0xAABB_CCDD);
+        assert_eq!(&*b, &[7, 0xDD, 0xCC, 0xBB, 0xAA]);
+    }
+
+    #[test]
+    fn vec_also_implements_bufmut() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u64_le(1);
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn into_vec() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 2, 3]);
+        let v: Vec<u8> = b.into();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_excl: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.max_excl <= self.min + 1 {
+            return self.min;
+        }
+        self.min + rng.gen_range_u64((self.max_excl - self.min) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+/// `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `BTreeSet` of values from `element` targeting a size from `size`.
+/// Duplicates are re-drawn a bounded number of times, so the realized
+/// set can be smaller than the target when the element domain is small
+/// (same caveat as real proptest).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 16 + 16 {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_len_in_range() {
+        let mut rng = TestRng::new(21);
+        let s = vec(0u64..100, 3..9);
+        for _ in 0..300 {
+            let v = s.sample(&mut rng);
+            assert!((3..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn vec_exact_len() {
+        let mut rng = TestRng::new(22);
+        assert_eq!(vec(0u8..2, 5usize).sample(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn btree_set_respects_domain_and_min() {
+        let mut rng = TestRng::new(23);
+        let s = btree_set(0u64..64, 1..32);
+        for _ in 0..300 {
+            let set = s.sample(&mut rng);
+            assert!(!set.is_empty(), "min size 1 must yield a nonempty set");
+            assert!(set.len() < 32);
+            assert!(set.iter().all(|&x| x < 64));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_vec() {
+        let mut rng = TestRng::new(24);
+        let s = vec(vec(0u8..10, 1..4), 2..5);
+        let v = s.sample(&mut rng);
+        assert!((2..5).contains(&v.len()));
+        assert!(v.iter().all(|inner| (1..4).contains(&inner.len())));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stub for `serde_derive`.
+//!
+//! The build container cannot reach crates.io, and the workspace only
+//! uses `#[derive(Serialize, Deserialize)]` as metadata (nothing is
+//! actually serialized yet), so both derives expand to nothing. When a
+//! future PR needs real serialization, point `[workspace.dependencies]`
+//! at the real `serde`/`serde_derive` and delete this crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

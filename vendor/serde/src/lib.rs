@@ -1,0 +1,33 @@
+//! Offline stub for `serde`.
+//!
+//! Provides just enough surface for `use serde::{Deserialize,
+//! Serialize};` + `#[derive(...)]` to compile: the derive macros (no-op,
+//! from the sibling `serde_derive` stub) and empty marker traits of the
+//! same names (traits and derive macros live in different namespaces,
+//! exactly like the real crate). Nothing in the workspace serializes
+//! data yet; when that changes, swap this for the real serde in the
+//! root `[workspace.dependencies]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(test)]
+mod tests {
+    // Namespacing check: deriving and bounding both resolve.
+    #[derive(Debug, Clone, PartialEq, crate::Serialize, crate::Deserialize)]
+    struct Point {
+        x: u64,
+        y: u64,
+    }
+
+    #[test]
+    fn derives_compile_and_are_inert() {
+        let p = Point { x: 1, y: 2 };
+        assert_eq!(p.clone(), p);
+    }
+}
