@@ -1,13 +1,20 @@
 //! Criterion microbenchmarks for the hot paths of the reproduction:
-//! the buddy allocator, the uffd fault round trip, WS-file build/parse,
-//! the REAP prefetch install path, and the DES timeline itself.
+//! the buddy allocator, the run-batched uffd fault path, WS-file
+//! build/parse, the REAP prefetch install path, the end-to-end
+//! record→prefetch cycle, and the DES timeline itself.
+//!
+//! The JSON twin of this suite is the `bench-json` binary, which CI runs
+//! against the checked-in `BENCH_fault_path.json` baseline.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use guest_mem::{GuestMemory, PageIdx, Uffd, PAGE_SIZE};
+use guest_mem::{GuestMemory, PageIdx, PageRun, Uffd, PAGE_SIZE};
 use guest_os::BuddyAllocator;
 use sim_core::{SimDuration, SimTime};
 use sim_storage::{Disk, FileStore};
-use vhive_core::{read_ws_file, write_reap_files, InstanceProgram, Phase, TimedStep, Timeline};
+use vhive_core::{
+    read_ws_layout, write_reap_files, write_reap_files_runs, InstanceProgram, Phase, TimedStep,
+    Timeline,
+};
 
 fn bench_buddy(c: &mut Criterion) {
     let mut g = c.benchmark_group("buddy");
@@ -30,66 +37,142 @@ fn bench_buddy(c: &mut Criterion) {
     g.finish();
 }
 
+/// 2048 pages in runs of 32, the fragmented working-set shape.
+fn ws_pages() -> Vec<PageIdx> {
+    (0..2048u64)
+        .map(|i| PageIdx::new((i / 32) * 64 + i % 32))
+        .collect()
+}
+
+fn fixture(fs: &FileStore, name: &str, pages: &[PageIdx]) -> sim_storage::FileId {
+    let mem = fs.create(name);
+    fs.set_len(mem, 256 * 1024 * 1024);
+    let mut buf = vec![0u8; PAGE_SIZE];
+    for p in pages {
+        guest_mem::checksum::fill_deterministic(&mut buf, 42, p.as_u64());
+        fs.write_at(mem, p.file_offset(), &buf);
+    }
+    mem
+}
+
+/// Serves every missing run of the windows straight from `mem`.
+fn serve(uffd: &mut Uffd, fs: &FileStore, mem: sim_storage::FileId, windows: &[PageRun]) -> u64 {
+    let mut served = 0;
+    for window in windows {
+        let mut cursor = window.first;
+        while let Some(missing) = uffd.next_missing_run(cursor, *window) {
+            let _ev = uffd.raise_run(missing);
+            fs.with_range(mem, missing.file_offset(), missing.byte_len(), |src| {
+                uffd.copy_run(missing, src).unwrap()
+            });
+            uffd.wake_run(missing.len);
+            served += missing.len;
+            cursor = missing.end();
+        }
+    }
+    served
+}
+
 fn bench_uffd(c: &mut Criterion) {
+    let fs = FileStore::new();
+    let pages = ws_pages();
+    let mem = fixture(&fs, "bench/uffd", &pages);
+    let windows = guest_mem::coalesce_ordered(pages.iter().copied());
     let mut g = c.benchmark_group("uffd");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("fault_copy_wake_round_trip", |b| {
-        let page_data = vec![0xABu8; PAGE_SIZE];
-        let mut next = 0u64;
-        let mut uffd = Uffd::register(GuestMemory::new(1 << 30), 0x7f00_0000_0000);
-        b.iter(|| {
-            let page = PageIdx::new(next % 262_144);
-            next += 1;
-            if let guest_mem::TouchOutcome::Faulted(ev) = uffd.touch_page(page) {
-                let _ = uffd.poll();
-                let p = uffd.page_of_fault(ev);
-                let _ = uffd.copy(p, &page_data);
-                uffd.wake();
-            }
-        })
+    g.throughput(Throughput::Bytes(2048 * PAGE_SIZE as u64));
+    g.bench_function("fault_serve_runs_2048_pages", |b| {
+        b.iter_batched(
+            || Uffd::register(GuestMemory::new(1 << 30), 0x7f00_0000_0000),
+            |mut uffd| {
+                assert_eq!(serve(&mut uffd, &fs, mem, &windows), 2048);
+                uffd
+            },
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 }
 
 fn bench_ws_file(c: &mut Criterion) {
     let fs = FileStore::new();
-    let mem = fs.create("mem");
-    let pages: Vec<PageIdx> = (0..2048u64).map(|i| PageIdx::new(i * 3)).collect();
-    for p in &pages {
-        fs.write_at(mem, p.file_offset(), &vec![7u8; PAGE_SIZE]);
-    }
+    let pages = ws_pages();
+    let mem = fixture(&fs, "bench/ws", &pages);
     let mut g = c.benchmark_group("ws_file");
     g.throughput(Throughput::Bytes(2048 * PAGE_SIZE as u64));
     g.bench_function("build_2048_pages", |b| {
-        b.iter(|| write_reap_files(&fs, "bench", mem, &pages))
+        b.iter(|| write_reap_files(&fs, "bench/ws", mem, &pages))
     });
-    let files = write_reap_files(&fs, "bench", mem, &pages);
+    let files = write_reap_files(&fs, "bench/ws", mem, &pages);
     g.bench_function("parse_2048_pages", |b| {
-        b.iter(|| read_ws_file(&fs, files.ws_file).unwrap())
+        b.iter(|| read_ws_layout(&fs, files.ws_file).unwrap())
     });
     g.finish();
 }
 
 fn bench_prefetch_install(c: &mut Criterion) {
     let fs = FileStore::new();
-    let mem_file = fs.create("mem");
-    let pages: Vec<PageIdx> = (0..2048u64).map(|i| PageIdx::new(i * 2)).collect();
-    for p in &pages {
-        fs.write_at(mem_file, p.file_offset(), &vec![3u8; PAGE_SIZE]);
-    }
-    let files = write_reap_files(&fs, "bench", mem_file, &pages);
-    let entries = read_ws_file(&fs, files.ws_file).unwrap();
+    let pages = ws_pages();
+    let mem_file = fixture(&fs, "bench/pf", &pages);
+    let files = write_reap_files(&fs, "bench/pf", mem_file, &pages);
+    let layout = read_ws_layout(&fs, files.ws_file).unwrap();
     let mut g = c.benchmark_group("prefetch");
     g.throughput(Throughput::Bytes(2048 * PAGE_SIZE as u64));
     g.bench_function("eager_install_2048_pages", |b| {
         b.iter_batched(
             || Uffd::register(GuestMemory::new(256 * 1024 * 1024), 0),
             |mut uffd| {
-                for (page, data) in &entries {
-                    uffd.copy(*page, data).unwrap();
+                for &(run, data_at) in &layout.extents {
+                    fs.with_range(files.ws_file, data_at, run.byte_len(), |src| {
+                        uffd.copy_run(run, src).unwrap()
+                    });
                 }
                 uffd.wake();
                 uffd
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fault_path(c: &mut Criterion) {
+    let fs = FileStore::new();
+    let pages = ws_pages();
+    let mem = fixture(&fs, "bench/e2e", &pages);
+    let windows = guest_mem::coalesce_ordered(pages.iter().copied());
+    let mut g = c.benchmark_group("fault_path");
+    g.throughput(Throughput::Bytes(2048 * PAGE_SIZE as u64));
+    g.bench_function("record_then_prefetch_2048_pages", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Uffd::register(GuestMemory::new(256 * 1024 * 1024), 0),
+                    Uffd::register(GuestMemory::new(256 * 1024 * 1024), 0),
+                )
+            },
+            |(mut rec, mut fresh)| {
+                let mut trace: Vec<PageRun> = Vec::new();
+                for window in &windows {
+                    let mut cursor = window.first;
+                    while let Some(missing) = rec.next_missing_run(cursor, *window) {
+                        let _ev = rec.raise_run(missing);
+                        fs.with_range(mem, missing.file_offset(), missing.byte_len(), |src| {
+                            rec.copy_run(missing, src).unwrap()
+                        });
+                        rec.wake_run(missing.len);
+                        guest_mem::push_coalesced(&mut trace, missing);
+                        cursor = missing.end();
+                    }
+                }
+                let files = write_reap_files_runs(&fs, "bench/e2e", mem, &trace);
+                let layout = read_ws_layout(&fs, files.ws_file).unwrap();
+                for &(run, data_at) in &layout.extents {
+                    fs.with_range(files.ws_file, data_at, run.byte_len(), |src| {
+                        fresh.copy_run(run, src).unwrap()
+                    });
+                }
+                fresh.wake();
+                (rec, fresh)
             },
             BatchSize::SmallInput,
         )
@@ -132,6 +215,6 @@ fn bench_timeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_buddy, bench_uffd, bench_ws_file, bench_prefetch_install, bench_timeline
+    targets = bench_buddy, bench_uffd, bench_ws_file, bench_prefetch_install, bench_fault_path, bench_timeline
 }
 criterion_main!(benches);

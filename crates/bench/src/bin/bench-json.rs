@@ -1,0 +1,369 @@
+//! `bench-json` — the repo's perf-regression harness.
+//!
+//! Runs the microbench groups (buddy, uffd, ws_file, prefetch, timeline)
+//! plus the end-to-end `fault_path` group and emits one JSON object with
+//! the median wall-clock ns per operation of each benchmark. CI runs this
+//! binary with `--check BENCH_fault_path.json` and fails when any group
+//! regresses more than 3x against the checked-in baseline; `--out` writes
+//! a fresh baseline.
+//!
+//! All working-set shaped groups operate on 64 MB (16384 pages) — the
+//! scale at which the paper's per-page fault overhead dominates cold
+//! starts. Two layouts model the two shapes REAP serves:
+//!
+//! * `uffd` — 8 contiguous segments of 2048 pages, the shape of the
+//!   infrastructure working set connection restoration touches (§4.4);
+//! * `ws_file`/`prefetch`/`fault_path` — 512 runs of 32 pages with equal
+//!   gaps, a fragmented function working set.
+//!
+//! Instance memory is drawn from a recycled arena pool
+//! ([`GuestMemory::recycle`]), as a warm orchestrator reuses mappings
+//! between restores instead of re-faulting 64 MB from the OS every time.
+
+use std::time::Instant;
+
+use guest_mem::{GuestMemory, PageIdx, PageRun, Uffd, PAGE_SIZE};
+use guest_os::BuddyAllocator;
+use sim_core::{SimDuration, SimTime};
+use sim_storage::{Disk, FileStore};
+use vhive_core::{
+    read_ws_layout, write_reap_files, InstanceProgram, Phase, TimedStep, Timeline,
+};
+
+/// 64 MB working set: 16384 pages.
+const WS_PAGES: u64 = 16_384;
+/// Fragmented layout: runs of 32 pages, one equal gap between them.
+const RUN_LEN: u64 = 32;
+const STRIDE: u64 = 64;
+/// Contiguous layout: 8 segments of 2048 pages (8 MB each).
+const SEG_LEN: u64 = 2048;
+const GUEST_BYTES: u64 = 256 * 1024 * 1024;
+const REGION_BASE: u64 = 0x7f00_0000_0000;
+
+/// Fragmented working set (fault-order page list).
+fn ws_layout() -> Vec<PageIdx> {
+    let mut pages = Vec::with_capacity(WS_PAGES as usize);
+    let mut first = 0u64;
+    while (pages.len() as u64) < WS_PAGES {
+        for p in first..first + RUN_LEN {
+            pages.push(PageIdx::new(p));
+            if pages.len() as u64 == WS_PAGES {
+                break;
+            }
+        }
+        first += STRIDE;
+    }
+    pages
+}
+
+/// Contiguous-segment working set (touch windows).
+fn segment_layout() -> Vec<PageRun> {
+    (0..WS_PAGES / SEG_LEN)
+        .map(|i| PageRun::new(PageIdx::new(i * SEG_LEN * 2), SEG_LEN))
+        .collect()
+}
+
+/// Measures `op` until ~600 ms of samples (5..=60 runs) and returns the
+/// median ns per run. The window is deliberately wide: these benches run
+/// on shared machines and the median over a longer span rides out noise
+/// phases.
+fn measure<F: FnMut()>(mut op: F) -> (u64, u32) {
+    op(); // warm-up, untimed
+    let mut samples: Vec<u64> = Vec::new();
+    let budget = std::time::Duration::from_millis(600);
+    let started = Instant::now();
+    while samples.len() < 60 && (samples.len() < 5 || started.elapsed() < budget) {
+        let t = Instant::now();
+        op();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], samples.len() as u32)
+}
+
+struct Report {
+    entries: Vec<(&'static str, u64, u32)>,
+}
+
+impl Report {
+    fn add<F: FnMut()>(&mut self, name: &'static str, op: F) {
+        let (median, n) = measure(op);
+        eprintln!("  {name}: {median} ns/op ({n} samples)");
+        self.entries.push((name, median, n));
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"groups\": {\n");
+        for (i, (name, median, n)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {n}}}{comma}\n"
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// A file-store file holding deterministic contents for every WS page.
+fn mem_fixture(fs: &FileStore, name: &str, pages: impl Iterator<Item = PageIdx>) -> sim_storage::FileId {
+    let mem = fs.create(name);
+    fs.set_len(mem, GUEST_BYTES);
+    let mut buf = vec![0u8; PAGE_SIZE];
+    for p in pages {
+        guest_mem::checksum::fill_deterministic(&mut buf, 0xBE9C, p.as_u64());
+        fs.write_at(mem, p.file_offset(), &buf);
+    }
+    mem
+}
+
+fn bench_buddy(r: &mut Report) {
+    r.add("buddy/alloc_free_cycle_64p", || {
+        let mut buddy = BuddyAllocator::new(PageIdx::new(0), 65536);
+        let mut blocks = Vec::with_capacity(64);
+        for _ in 0..64 {
+            blocks.push(buddy.alloc_pages(64).unwrap());
+        }
+        for p in blocks {
+            buddy.free(p).unwrap();
+        }
+    });
+}
+
+/// Serves every missing run of `window`, installing contents straight
+/// from `mem` — the batched monitor serve path (one borrow + one install
+/// per run of consecutive faults).
+fn serve_window(uffd: &mut Uffd, fs: &FileStore, mem: sim_storage::FileId, window: PageRun) -> u64 {
+    let mut served = 0;
+    let mut cursor = window.first;
+    while let Some(missing) = uffd.next_missing_run(cursor, window) {
+        let _ev = uffd.raise_run(missing);
+        fs.with_range(mem, missing.file_offset(), missing.byte_len(), |src| {
+            uffd.copy_run(missing, src).unwrap()
+        });
+        uffd.wake_run(missing.len);
+        served += missing.len;
+        cursor = missing.end();
+    }
+    served
+}
+
+/// The serial fault path: every page of the 64 MB working set faults and
+/// is served from the guest memory file — the §4.2 critical path.
+fn bench_uffd(r: &mut Report, fs: &FileStore) {
+    let windows = segment_layout();
+    let mem = mem_fixture(fs, "bench/uffd-mem", windows.iter().flat_map(|w| w.iter()));
+    let mut pool = Some(GuestMemory::new(GUEST_BYTES));
+    r.add("uffd/fault_serve_64mb", || {
+        let mut instance = pool.take().expect("pooled instance");
+        instance.recycle();
+        let mut uffd = Uffd::register(instance, REGION_BASE);
+        let mut served = 0;
+        for window in &windows {
+            served += serve_window(&mut uffd, fs, mem, *window);
+        }
+        assert_eq!(served, WS_PAGES);
+        assert_eq!(uffd.memory().resident_pages(), WS_PAGES);
+        assert_eq!(uffd.stats().faults, WS_PAGES, "per-page accounting intact");
+        pool = Some(uffd.into_memory());
+    });
+}
+
+fn bench_ws_file(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    let mem = mem_fixture(fs, "bench/ws-mem", pages.iter().copied());
+    r.add("ws_file/build_64mb", || {
+        let files = write_reap_files(fs, "bench/ws", mem, pages);
+        assert_eq!(files.pages, WS_PAGES);
+    });
+    let files = write_reap_files(fs, "bench/ws", mem, pages);
+    r.add("ws_file/parse_64mb", || {
+        // Parsing = decoding + validating the extent table; page data is
+        // installed zero-copy from the mapped WS file afterwards.
+        let layout = read_ws_layout(fs, files.ws_file).unwrap();
+        assert_eq!(layout.pages, WS_PAGES);
+        assert_eq!(layout.extents.len() as u64, WS_PAGES / RUN_LEN);
+    });
+}
+
+/// REAP's eager install: WS file fetched, install into a fresh instance
+/// (§5.2.2) straight from its bytes.
+fn bench_prefetch(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    let mem = mem_fixture(fs, "bench/pf-mem", pages.iter().copied());
+    let files = write_reap_files(fs, "bench/pf", mem, pages);
+    let layout = read_ws_layout(fs, files.ws_file).unwrap();
+    let mut pool = Some(GuestMemory::new(GUEST_BYTES));
+    r.add("prefetch/eager_install_64mb", || {
+        let mut instance = pool.take().expect("pooled instance");
+        instance.recycle();
+        let mut uffd = Uffd::register(instance, REGION_BASE);
+        for &(run, data_at) in &layout.extents {
+            let install = fs.with_range(files.ws_file, data_at, run.byte_len(), |src| {
+                uffd.copy_run(run, src).unwrap()
+            });
+            assert_eq!(install.eexist, 0);
+        }
+        uffd.wake();
+        assert_eq!(uffd.memory().resident_pages(), WS_PAGES);
+        pool = Some(uffd.into_memory());
+    });
+}
+
+/// End-to-end fault path: record a 64 MB working set (serving every fault
+/// from the memory file), persist the REAP artifacts, then restore a
+/// second instance by prefetching them — one full §5.2 cycle.
+fn bench_fault_path(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    let mem = mem_fixture(fs, "bench/e2e-mem", pages.iter().copied());
+    let windows = guest_mem::coalesce_ordered(pages.iter().copied());
+    let mut pool = Some((GuestMemory::new(GUEST_BYTES), GuestMemory::new(GUEST_BYTES)));
+    r.add("fault_path/record_then_prefetch_64mb", || {
+        let (mut rec_mem, mut pf_mem) = pool.take().expect("pooled instances");
+        rec_mem.recycle();
+        pf_mem.recycle();
+        // Record pass: serve every missing run and record it.
+        let mut uffd = Uffd::register(rec_mem, REGION_BASE);
+        let mut trace: Vec<PageRun> = Vec::new();
+        for window in &windows {
+            let mut cursor = window.first;
+            while let Some(missing) = uffd.next_missing_run(cursor, *window) {
+                let _ev = uffd.raise_run(missing);
+                fs.with_range(mem, missing.file_offset(), missing.byte_len(), |src| {
+                    uffd.copy_run(missing, src).unwrap()
+                });
+                uffd.wake_run(missing.len);
+                guest_mem::push_coalesced(&mut trace, missing);
+                cursor = missing.end();
+            }
+        }
+        let files = vhive_core::write_reap_files_runs(fs, "bench/e2e", mem, &trace);
+        // Prefetch pass into a fresh instance.
+        let layout = read_ws_layout(fs, files.ws_file).unwrap();
+        let mut fresh = Uffd::register(pf_mem, REGION_BASE);
+        for &(run, data_at) in &layout.extents {
+            fs.with_range(files.ws_file, data_at, run.byte_len(), |src| {
+                fresh.copy_run(run, src).unwrap()
+            });
+        }
+        fresh.wake();
+        assert_eq!(fresh.memory().resident_pages(), WS_PAGES);
+        pool = Some((uffd.into_memory(), fresh.into_memory()));
+    });
+}
+
+fn bench_timeline(r: &mut Report, fs: &FileStore) {
+    let file = fs.create("bench/timeline-mem");
+    fs.set_len(file, 65536 * PAGE_SIZE as u64);
+    let steps: Vec<TimedStep> = std::iter::once(TimedStep::Phase(Phase::Processing))
+        .chain((0..2000u64).flat_map(|i| {
+            [
+                TimedStep::Cpu(SimDuration::from_micros(50)),
+                TimedStep::FaultRead {
+                    file,
+                    page: i * 13,
+                    file_pages: 65536,
+                },
+            ]
+        }))
+        .collect();
+    r.add("timeline/2000_serial_faults", || {
+        let mut tl = Timeline::new(Disk::ssd(), 48);
+        let results = tl.run(vec![InstanceProgram {
+            arrival: SimTime::ZERO,
+            steps: steps.clone(),
+        }]);
+        assert_eq!(results.len(), 1);
+    });
+}
+
+/// Pulls `"name": {"median_ns": N` pairs out of a baseline JSON emitted by
+/// this binary (hand-rolled: the build container has no serde_json).
+fn parse_baseline(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(mpos) = line.find("\"median_ns\":") else {
+            continue;
+        };
+        let name = match line.trim().strip_prefix('"').and_then(|r| r.split('"').next()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        let digits: String = line[mpos + "\"median_ns\":".len()..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(v) = digits.parse() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// A regression must also exceed this absolute slowdown to fail the
+/// gate: microsecond-scale groups on shared CI runners can easily move
+/// 3x on scheduler noise alone, and a sub-millisecond delta is never the
+/// regression this gate exists to catch.
+const NOISE_FLOOR_NS: u64 = 1_000_000;
+
+/// Compares fresh numbers to a baseline; returns the failing groups.
+fn regressions(baseline: &[(String, u64)], fresh: &Report, factor: f64) -> Vec<String> {
+    let mut failed = Vec::new();
+    for (name, old_ns) in baseline {
+        let Some((_, new_ns, _)) = fresh.entries.iter().find(|(n, _, _)| n == name) else {
+            failed.push(format!("{name}: missing from this run"));
+            continue;
+        };
+        let ratio = *new_ns as f64 / (*old_ns).max(1) as f64;
+        let regressed = ratio > factor && new_ns.saturating_sub(*old_ns) > NOISE_FLOOR_NS;
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        eprintln!("  {name}: baseline {old_ns} ns, now {new_ns} ns ({ratio:.2}x) {verdict}");
+        if regressed {
+            failed.push(format!("{name}: {old_ns} -> {new_ns} ns ({ratio:.2}x > {factor}x)"));
+        }
+    }
+    failed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).unwrap_or_else(|| panic!("{flag} needs a path")).clone())
+    };
+    let out_path = flag_value("--out");
+    let check_path = flag_value("--check");
+
+    let fs = FileStore::new();
+    let pages = ws_layout();
+    let mut report = Report { entries: Vec::new() };
+    eprintln!("running microbench groups (64 MB working set, {WS_PAGES} pages)...");
+    bench_buddy(&mut report);
+    bench_uffd(&mut report, &fs);
+    bench_ws_file(&mut report, &fs, &pages);
+    bench_prefetch(&mut report, &fs, &pages);
+    bench_fault_path(&mut report, &fs, &pages);
+    bench_timeline(&mut report, &fs);
+
+    let json = report.to_json();
+    print!("{json}");
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &check_path {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let baseline = parse_baseline(&text);
+        assert!(!baseline.is_empty(), "no groups parsed from {path}");
+        eprintln!("checking against {path} (fail threshold: 3x):");
+        let failed = regressions(&baseline, &report, 3.0);
+        if !failed.is_empty() {
+            eprintln!("PERF REGRESSION:");
+            for f in &failed {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("all groups within 3x of baseline");
+    }
+}

@@ -234,13 +234,20 @@ fn push_trace(steps: &mut Vec<TimedStep>, trace: &ExecutionTrace, costs: &HostCo
             TimedOp::MinorFaults { pages } => {
                 steps.push(TimedStep::Cpu(costs.minor_fault * *pages));
             }
-            TimedOp::Fault { page } => {
-                steps.push(TimedStep::Cpu(costs.fault_cost(recording)));
-                steps.push(TimedStep::FaultRead {
-                    file: files.mem_file,
-                    page: page.as_u64(),
-                    file_pages: files.mem_pages,
-                });
+            TimedOp::Fault { run } => {
+                // The functional pass batches consecutive faults into one
+                // run; the *timed* baseline still pays per page — on real
+                // hardware each page of the run is a separate serial
+                // userfaultfd round trip (§4.2).
+                steps.reserve(2 * run.len as usize);
+                for page in run.iter() {
+                    steps.push(TimedStep::Cpu(costs.fault_cost(recording)));
+                    steps.push(TimedStep::FaultRead {
+                        file: files.mem_file,
+                        page: page.as_u64(),
+                        file_pages: files.mem_pages,
+                    });
+                }
             }
         }
     }
@@ -377,7 +384,7 @@ pub fn build_warm_program(costs: &HostCostModel, proc_trace: &ExecutionTrace, ar
 #[cfg(test)]
 mod tests {
     use super::*;
-    use guest_mem::PageIdx;
+    use guest_mem::{PageIdx, PageRun};
     use sim_storage::FileStore;
 
     fn fixture() -> (InstanceFiles, ExecutionTrace, ExecutionTrace, ReapFiles) {
@@ -395,7 +402,7 @@ mod tests {
         let conn = ExecutionTrace {
             ops: vec![
                 TimedOp::Fault {
-                    page: PageIdx::new(1),
+                    run: PageRun::single(PageIdx::new(1)),
                 },
                 TimedOp::Compute(SimDuration::from_micros(100)),
             ],
@@ -407,7 +414,7 @@ mod tests {
         let proc = ExecutionTrace {
             ops: vec![
                 TimedOp::Fault {
-                    page: PageIdx::new(2),
+                    run: PageRun::single(PageIdx::new(2)),
                 },
                 TimedOp::MinorFaults { pages: 3 },
                 TimedOp::Compute(SimDuration::from_millis(1)),
@@ -421,6 +428,7 @@ mod tests {
             trace_file: trace_f,
             ws_file: ws_f,
             pages: 2,
+            extents: 1,
         };
         (files, conn, proc, reap)
     }

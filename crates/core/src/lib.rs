@@ -72,4 +72,7 @@ pub use rerandomize::{restore_rerandomized, LayoutPermutation, RerandomizedRun};
 pub use router::{route_workload, RouterConfig, RouterReport};
 pub use scale::{concurrency_sweep, ScalePoint};
 pub use timeline::{InstanceResult, Timeline};
-pub use ws_file::{read_trace_file, read_ws_file, write_reap_files, ReapFiles, WsError};
+pub use ws_file::{
+    read_trace_file, read_trace_runs, read_ws_extents, read_ws_file, read_ws_layout,
+    write_reap_files, write_reap_files_runs, write_reap_files_v1, ReapFiles, WsError, WsLayout,
+};

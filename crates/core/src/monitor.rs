@@ -6,7 +6,7 @@
 //! channel and runs in one of three modes:
 //!
 //! * **OnDemand** — the baseline: serve each fault from the snapshot's
-//!   guest memory file, page by page;
+//!   guest memory file;
 //! * **Record** — OnDemand plus a trace of every fault's file offset; when
 //!   the invocation completes, [`Monitor::finish_record`] emits the trace
 //!   and WS files (§5.2.1);
@@ -17,12 +17,18 @@
 //! injects a fault at the first byte of guest memory, the monitor learns
 //! the region base from it, and every later fault's file offset is a
 //! subtraction.
+//!
+//! Serving is run-length batched end-to-end: a run of consecutive faults
+//! is one snapshot-file read installed straight into the guest frames
+//! ([`guest_mem::Uffd::copy_run_with`]), the trace is recorded as
+//! coalesced [`PageRun`]s, and prefetch installs one WS-file extent at a
+//! time.
 
-use guest_mem::{FaultEvent, MemError, PageIdx, Uffd, PAGE_SIZE};
+use guest_mem::{push_coalesced, FaultEvent, MemError, PageIdx, PageRun, Uffd, PAGE_SIZE};
 use microvm::{FaultHandler, Snapshot};
 use sim_storage::FileStore;
 
-use crate::ws_file::{read_ws_file, write_reap_files, ReapFiles};
+use crate::ws_file::{read_ws_layout, write_reap_files_runs, ReapFiles};
 
 /// Monitor operating mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +44,7 @@ pub enum MonitorMode {
 /// Counters the evaluation reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MonitorStats {
-    /// Faults served page-by-page from the memory file.
+    /// Faults served from the memory file.
     pub demand_served: u64,
     /// Pages installed eagerly from the WS file.
     pub prefetched: u64,
@@ -57,8 +63,8 @@ pub struct Monitor<'a> {
     mode: MonitorMode,
     /// Region base learned from the injected first fault (§5.2.1).
     region_base: Option<u64>,
-    /// Recorded fault order (record mode).
-    trace: Vec<PageIdx>,
+    /// Recorded fault order as coalesced runs (record mode).
+    trace: Vec<PageRun>,
     prefetch_done: bool,
     stats: MonitorStats,
 }
@@ -87,9 +93,15 @@ impl<'a> Monitor<'a> {
         self.stats
     }
 
-    /// Recorded trace (fault order) — empty unless in record mode.
-    pub fn trace(&self) -> &[PageIdx] {
+    /// Recorded trace as coalesced runs (fault order) — empty unless in
+    /// record mode.
+    pub fn trace_runs(&self) -> &[PageRun] {
         &self.trace
+    }
+
+    /// Recorded trace expanded to pages (fault order).
+    pub fn trace_pages(&self) -> Vec<PageIdx> {
+        self.trace.iter().flat_map(|r| r.iter()).collect()
     }
 
     /// Translates a fault's host virtual address to a guest page using the
@@ -104,21 +116,26 @@ impl<'a> Monitor<'a> {
     }
 
     /// Eagerly installs the recorded working set from `files` into the
-    /// instance (§5.2.2): one logical read of the WS file, then a sequence
-    /// of installs, then a single wake. Returns pages installed.
+    /// instance (§5.2.2): one logical read of the WS file, then one
+    /// install per extent, then a single wake. Returns pages installed.
     ///
     /// # Errors
     ///
     /// Propagates [`crate::ws_file::WsError`] as a string if the WS file
     /// is corrupt.
     pub fn prefetch(&mut self, uffd: &mut Uffd, files: &ReapFiles) -> Result<u64, String> {
-        let entries = read_ws_file(self.fs, files.ws_file).map_err(|e| e.to_string())?;
-        for (page, data) in entries {
-            match uffd.copy(page, &data) {
-                Ok(()) => self.stats.prefetched += 1,
-                Err(MemError::AlreadyResident(_)) => self.stats.eexist_races += 1,
-                Err(e) => return Err(format!("prefetch install failed: {e}")),
-            }
+        let layout = read_ws_layout(self.fs, files.ws_file).map_err(|e| e.to_string())?;
+        for (run, data_at) in layout.extents {
+            // Install straight from the WS file's bytes: one copy per
+            // extent, no staging buffer.
+            let install = self
+                .fs
+                .with_range(files.ws_file, data_at, run.byte_len(), |src| {
+                    uffd.copy_run(run, src)
+                })
+                .map_err(|e| format!("prefetch install failed: {e}"))?;
+            self.stats.prefetched += install.installed;
+            self.stats.eexist_races += install.eexist;
         }
         uffd.wake();
         self.prefetch_done = true;
@@ -133,23 +150,52 @@ impl<'a> Monitor<'a> {
     /// Panics if the monitor is not in record mode.
     pub fn finish_record(&mut self, prefix: &str) -> ReapFiles {
         assert_eq!(self.mode, MonitorMode::Record, "not recording");
-        write_reap_files(self.fs, prefix, self.snapshot.mem_file, &self.trace)
+        write_reap_files_runs(self.fs, prefix, self.snapshot.mem_file, &self.trace)
+    }
+}
+
+impl Monitor<'_> {
+    /// Serves `run` (already translated to guest pages) from the memory
+    /// file: install straight from the file's bytes under the store's
+    /// read lock — one copy, no per-page buffers on the serve path.
+    fn serve_run(&mut self, uffd: &mut Uffd, run: PageRun) -> Result<(), MemError> {
+        let install = self
+            .fs
+            .with_range(self.snapshot.mem_file, run.file_offset(), run.byte_len(), |src| {
+                uffd.copy_run(run, src)
+            })?;
+        if install.eexist > 0 {
+            // A faulted run must have been missing; surface the monitor
+            // bug exactly as the per-page path did.
+            return Err(MemError::AlreadyResident(run.first));
+        }
+        self.stats.demand_served += run.len;
+        if self.prefetch_done {
+            self.stats.residual_after_prefetch += run.len;
+        }
+        if self.mode == MonitorMode::Record {
+            push_coalesced(&mut self.trace, run);
+        }
+        Ok(())
     }
 }
 
 impl FaultHandler for Monitor<'_> {
     fn handle_fault(&mut self, uffd: &mut Uffd, ev: FaultEvent) -> Result<(), MemError> {
         let page = self.translate(ev);
-        let bytes = self.snapshot.read_page(self.fs, page);
-        uffd.copy(page, &bytes)?;
-        self.stats.demand_served += 1;
-        if self.prefetch_done {
-            self.stats.residual_after_prefetch += 1;
-        }
-        if self.mode == MonitorMode::Record {
-            self.trace.push(page);
-        }
-        Ok(())
+        self.serve_run(uffd, PageRun::single(page))
+    }
+
+    fn handle_fault_run(
+        &mut self,
+        uffd: &mut Uffd,
+        ev: FaultEvent,
+        run: PageRun,
+    ) -> Result<(), MemError> {
+        // The monitor only trusts host addresses: the run's position is
+        // re-derived from the event, its length from the caller.
+        let first = self.translate(ev);
+        self.serve_run(uffd, PageRun::new(first, run.len))
     }
 }
 
@@ -194,12 +240,37 @@ mod tests {
             m.handle_fault(vm.uffd_mut(), ev).unwrap();
         }
         let expect: Vec<PageIdx> = [0u64, 7, 3, 42].iter().map(|&p| PageIdx::new(p)).collect();
-        assert_eq!(m.trace(), &expect[..]);
+        assert_eq!(m.trace_pages(), expect);
         assert_eq!(m.stats().demand_served, 4);
 
         let files = m.finish_record("snap/hw");
         assert_eq!(files.pages, 4);
+        assert_eq!(files.extents, 4, "non-adjacent fault order");
         assert_eq!(read_trace_file(&fs, files.trace_file).unwrap(), expect);
+    }
+
+    #[test]
+    fn batched_faults_record_coalesced_runs() {
+        let (snap, fs) = snapshot_fixture();
+        let mut vm = snap.restore_shell(&fs).unwrap();
+        let mut m = Monitor::new(&snap, &fs, MonitorMode::Record);
+        let first = vm.uffd_mut().inject_first_fault();
+        vm.uffd_mut().poll().unwrap();
+        m.handle_fault(vm.uffd_mut(), first).unwrap();
+        // A batched run of 4 faults starting at page 1: contiguous with
+        // the injected page 0, so the trace coalesces to one extent.
+        let window = PageRun::new(PageIdx::new(1), 4);
+        let run = vm.uffd_mut().next_missing_run(PageIdx::new(1), window).unwrap();
+        assert_eq!(run, window);
+        let ev = vm.uffd_mut().raise_run(run);
+        m.handle_fault_run(vm.uffd_mut(), ev, run).unwrap();
+        vm.uffd_mut().wake_run(run.len);
+        assert_eq!(m.trace_runs(), &[PageRun::new(PageIdx::new(0), 5)]);
+        assert_eq!(m.stats().demand_served, 5);
+        let files = m.finish_record("snap/hw");
+        assert_eq!((files.pages, files.extents), (5, 1));
+        // Installed bytes match the snapshot exactly.
+        microvm::verify_restored(&vm, &snap, &fs).unwrap();
     }
 
     #[test]
@@ -232,6 +303,7 @@ mod tests {
             }
             m.finish_record("snap/hw")
         };
+        assert_eq!(files.extents, 3, "pages 10,11 coalesced");
         // Prefetch into a fresh instance.
         let mut vm = snap.restore_shell(&fs).unwrap();
         let mut m = Monitor::new(&snap, &fs, MonitorMode::Prefetch);

@@ -11,7 +11,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use functionbench::{FunctionId, GuestOp, InputGenerator};
-use guest_mem::PageIdx;
+use guest_mem::{PageBitmap, PageIdx, PageRun};
 use microvm::{
     run_lazy, run_resident, verify_restored, BootCostModel, ExecutionTrace, FaultHandler, MicroVm,
     Snapshot, VmConfig,
@@ -27,7 +27,7 @@ use crate::invocation::{
 };
 use crate::monitor::{Monitor, MonitorMode, MonitorStats};
 use crate::timeline::Timeline;
-use crate::ws_file::{read_trace_file, ReapFiles};
+use crate::ws_file::{read_trace_file, read_trace_runs, ReapFiles};
 
 /// What `register` produced for a function.
 #[derive(Debug, Clone, Copy)]
@@ -390,6 +390,7 @@ impl Orchestrator {
             trace_file: self.fs.create(&format!("shadow/{f}/{tag}/trace")),
             ws_file: self.fs.create(&format!("shadow/{f}/{tag}/ws")),
             pages: r.pages,
+            extents: r.extents,
         });
         (files, reap)
     }
@@ -467,28 +468,46 @@ impl Orchestrator {
             let reap = st.reap.expect("record a working set before padding");
             (reap, st.snapshot.mem_file, st.snapshot.mem_pages())
         };
-        let mut trace =
-            read_trace_file(&self.fs, reap.trace_file).expect("trace file readable");
-        let existing: BTreeSet<PageIdx> = trace.iter().copied().collect();
+        let mut runs =
+            read_trace_runs(&self.fs, reap.trace_file).expect("trace file readable");
         // Pad with top-of-memory pages: boot-time filler (guest page
         // cache) that background profiling would observe but invocations
-        // never touch.
-        let mut added = 0;
-        for p in (0..total_pages).rev() {
-            if added == extra_pages {
-                break;
+        // never touch. Walk the *gaps* between recorded extents from the
+        // top of memory down, appending whole free runs — no per-page
+        // scan of the 65k-page address space and, downstream, a single
+        // bulk write per artifact instead of one per padded page.
+        let mut recorded = PageBitmap::new(total_pages);
+        for run in &runs {
+            recorded.set_run(*run);
+        }
+        let mut remaining = extra_pages;
+        let mut end = total_pages; // exclusive upper bound of the next gap
+        while remaining > 0 && end > 0 {
+            // The free run ending just below `end`.
+            let gap_end = end;
+            let mut gap_start = gap_end;
+            while gap_start > 0 && !recorded.get(PageIdx::new(gap_start - 1)) {
+                gap_start -= 1;
+                if gap_end - gap_start == remaining {
+                    break;
+                }
             }
-            let page = PageIdx::new(p);
-            if !existing.contains(&page) {
-                trace.push(page);
-                added += 1;
+            if gap_end > gap_start {
+                let len = gap_end - gap_start;
+                runs.push(PageRun::new(PageIdx::new(gap_start), len));
+                remaining -= len;
+                end = gap_start;
+            }
+            // Skip over the recorded extent below the gap.
+            while end > 0 && recorded.get(PageIdx::new(end - 1)) {
+                end -= 1;
             }
         }
-        let files = crate::ws_file::write_reap_files(
+        let files = crate::ws_file::write_reap_files_runs(
             &self.fs,
             &format!("snapshots/{f}"),
             mem_file,
-            &trace,
+            &runs,
         );
         self.state_mut(f).reap = Some(files);
         files
@@ -712,6 +731,49 @@ mod tests {
         o.invoke_record(f);
         let reap = o.invoke_cold(f, ColdPolicy::Reap);
         assert!(reap.latency < vanilla.latency);
+    }
+
+    #[test]
+    fn pad_working_set_issues_constant_write_count() {
+        // Regression guard for the bulk pad path: padding N pages must
+        // cost exactly two store writes (one per artifact), not O(N).
+        let f = FunctionId::helloworld;
+        let mut o = orch_with(f);
+        o.invoke_record(f);
+        let trace_file = o.fs().open(&format!("snapshots/{f}/ws_trace")).unwrap();
+        let before_pages = read_trace_file(o.fs(), trace_file).unwrap().len() as u64;
+        let writes_before = o.fs().write_calls();
+        let padded = o.pad_working_set(f, 500);
+        assert_eq!(
+            o.fs().write_calls() - writes_before,
+            3,
+            "trace table + WS header + one gather, regardless of pad size"
+        );
+        assert_eq!(padded.pages, before_pages + 500);
+    }
+
+    #[test]
+    fn pad_working_set_adds_top_of_memory_pages_once() {
+        let f = FunctionId::helloworld;
+        let mut o = orch_with(f);
+        o.invoke_record(f);
+        let total = o.state(f).snapshot.mem_pages();
+        let padded = o.pad_working_set(f, 64);
+        let trace = read_trace_file(&o.fs().clone(), padded.trace_file).unwrap();
+        assert_eq!(trace.len() as u64, padded.pages);
+        // No duplicates (the v2 format would reject overlaps anyway).
+        let unique: BTreeSet<PageIdx> = trace.iter().copied().collect();
+        assert_eq!(unique.len(), trace.len());
+        // The padding is the topmost free pages: with nothing recorded up
+        // there, that is exactly the last 64 pages of guest memory.
+        for p in total - 64..total {
+            assert!(unique.contains(&PageIdx::new(p)), "page {p} not padded");
+        }
+        // Padded artifacts still drive a working prefetch. Page 0 is
+        // already resident from the first-fault handshake, so the eager
+        // install covers everything but it (a benign EEXIST race).
+        let out = o.invoke_cold(f, ColdPolicy::Reap);
+        assert_eq!(out.prefetched_pages, padded.pages - 1);
     }
 
     #[test]

@@ -1,20 +1,36 @@
 //! REAP's two on-disk artifacts (§5.1):
 //!
-//! * the **trace file** — the offsets of the recorded working-set pages
-//!   inside the guest memory file, in fault order;
+//! * the **trace file** — the recorded working-set pages inside the guest
+//!   memory file, in fault order;
 //! * the **working-set (WS) file** — a compact, contiguous copy of those
 //!   pages, fetchable with a *single* read.
 //!
 //! Both are real byte formats with magic numbers and validation, stored in
 //! the [`FileStore`] next to the snapshot.
+//!
+//! Two format versions exist:
+//!
+//! * **v1** (`REAPTRC1`/`REAPWSF1`) — one 8-byte offset per page. Still
+//!   parsed for backward compatibility with artifacts recorded by older
+//!   builds.
+//! * **v2** (`REAPTRC2`/`REAPWSF2`) — *extent-coalesced*: consecutive
+//!   pages of the fault order are stored as `(offset, len)` extents, so
+//!   building and parsing do one copy per extent instead of per page.
+//!   All new artifacts are written as v2.
 
-use bytes::{BufMut, BytesMut};
-use guest_mem::{PageIdx, PAGE_SIZE};
+use guest_mem::{coalesce_ordered, PageIdx, PageRun, PAGE_SIZE};
 use sim_storage::{FileId, FileStore};
 use std::fmt;
 
-const TRACE_MAGIC: &[u8; 8] = b"REAPTRC1";
-const WS_MAGIC: &[u8; 8] = b"REAPWSF1";
+const TRACE_MAGIC_V1: &[u8; 8] = b"REAPTRC1";
+const WS_MAGIC_V1: &[u8; 8] = b"REAPWSF1";
+const TRACE_MAGIC_V2: &[u8; 8] = b"REAPTRC2";
+const WS_MAGIC_V2: &[u8; 8] = b"REAPWSF2";
+
+/// Fixed header: 8 bytes of magic + count (pages in v1, extents in v2).
+const HEADER_BYTES: u64 = 16;
+/// Bytes per v2 extent table entry: offset + length-in-pages.
+const EXTENT_BYTES: u64 = 16;
 
 /// Errors from parsing REAP files.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +46,10 @@ pub enum WsError {
     },
     /// An offset is not page-aligned.
     MisalignedOffset(u64),
+    /// A v2 extent covers zero pages (names its offset).
+    EmptyExtent(u64),
+    /// Two v2 extents overlap (names both offsets).
+    OverlappingExtents(u64, u64),
 }
 
 impl fmt::Display for WsError {
@@ -40,6 +60,10 @@ impl fmt::Display for WsError {
                 write!(f, "truncated REAP file: expected {expected} bytes, found {actual}")
             }
             WsError::MisalignedOffset(o) => write!(f, "misaligned page offset {o:#x}"),
+            WsError::EmptyExtent(o) => write!(f, "zero-length extent at offset {o:#x}"),
+            WsError::OverlappingExtents(a, b) => {
+                write!(f, "overlapping extents at offsets {a:#x} and {b:#x}")
+            }
         }
     }
 }
@@ -49,52 +73,112 @@ impl std::error::Error for WsError {}
 /// Handles + metadata of one function's recorded REAP artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReapFiles {
-    /// The trace file (offsets in fault order).
+    /// The trace file (extents in fault order).
     pub trace_file: FileId,
-    /// The working-set file (offsets + page contents).
+    /// The working-set file (extents + page contents).
     pub ws_file: FileId,
     /// Number of recorded pages.
     pub pages: u64,
+    /// Number of coalesced extents the pages are stored as.
+    pub extents: u64,
 }
 
 impl ReapFiles {
     /// Size in bytes of the WS file.
     pub fn ws_bytes(&self) -> u64 {
-        16 + self.pages * 8 + self.pages * PAGE_SIZE as u64
+        HEADER_BYTES + self.extents * EXTENT_BYTES + self.pages * PAGE_SIZE as u64
     }
 
     /// Size in bytes of the trace file.
     pub fn trace_bytes(&self) -> u64 {
-        16 + self.pages * 8
+        HEADER_BYTES + self.extents * EXTENT_BYTES
     }
 }
 
-/// Writes the trace + WS files for `trace` (recorded fault order), copying
-/// page contents out of the snapshot's guest memory file.
+fn put_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn extent_table(magic: &[u8; 8], runs: &[PageRun], total_bytes: u64) -> Vec<u8> {
+    let mut buf = vec![0u8; total_bytes as usize];
+    buf[..8].copy_from_slice(magic);
+    put_u64(&mut buf, 8, runs.len() as u64);
+    for (i, run) in runs.iter().enumerate() {
+        let at = (HEADER_BYTES + i as u64 * EXTENT_BYTES) as usize;
+        put_u64(&mut buf, at, run.file_offset());
+        put_u64(&mut buf, at + 8, run.len);
+    }
+    buf
+}
+
+/// Writes the trace + WS files for `runs` (recorded fault order, already
+/// coalesced). The page data lands via one scatter-gather store operation
+/// ([`FileStore::gather_into`]) straight from the guest memory file — a
+/// single destination copy, no intermediate buffer and no per-page reads.
 ///
 /// Returns the stored file handles. Existing files under the same prefix
 /// are replaced (re-record, §7.2).
+pub fn write_reap_files_runs(
+    fs: &FileStore,
+    prefix: &str,
+    mem_file: FileId,
+    runs: &[PageRun],
+) -> ReapFiles {
+    let pages: u64 = runs.iter().map(|r| r.len).sum();
+    let extents = runs.len() as u64;
+    let files = ReapFiles {
+        trace_file: fs.create(&format!("{prefix}/ws_trace")),
+        ws_file: fs.create(&format!("{prefix}/ws_pages")),
+        pages,
+        extents,
+    };
+
+    let trace_buf = extent_table(TRACE_MAGIC_V2, runs, files.trace_bytes());
+    fs.write_at(files.trace_file, 0, &trace_buf);
+
+    // WS file: same header + extent table, then the page data gathered
+    // from the memory file in one store operation.
+    let header = extent_table(WS_MAGIC_V2, runs, files.trace_bytes());
+    fs.write_at(files.ws_file, 0, &header);
+    let parts: Vec<(FileId, u64, u64)> = runs
+        .iter()
+        .map(|r| (mem_file, r.file_offset(), r.byte_len()))
+        .collect();
+    fs.gather_into(files.ws_file, header.len() as u64, &parts);
+    files
+}
+
+/// Writes the trace + WS files for `trace` (recorded fault order),
+/// coalescing adjacent pages into extents first.
 pub fn write_reap_files(fs: &FileStore, prefix: &str, mem_file: FileId, trace: &[PageIdx]) -> ReapFiles {
+    write_reap_files_runs(fs, prefix, mem_file, &coalesce_ordered(trace.iter().copied()))
+}
+
+/// Writes the *legacy v1* (one offset per page) artifacts. Kept so the
+/// format back-compat path stays exercisable; new code writes v2.
+pub fn write_reap_files_v1(fs: &FileStore, prefix: &str, mem_file: FileId, trace: &[PageIdx]) -> ReapFiles {
     let count = trace.len() as u64;
 
-    let mut trace_buf = BytesMut::with_capacity(16 + trace.len() * 8);
-    trace_buf.put_slice(TRACE_MAGIC);
-    trace_buf.put_u64_le(count);
-    for page in trace {
-        trace_buf.put_u64_le(page.file_offset());
+    let mut trace_buf = vec![0u8; (HEADER_BYTES + count * 8) as usize];
+    trace_buf[..8].copy_from_slice(TRACE_MAGIC_V1);
+    put_u64(&mut trace_buf, 8, count);
+    for (i, page) in trace.iter().enumerate() {
+        put_u64(&mut trace_buf, 16 + i * 8, page.file_offset());
     }
     let trace_file = fs.create(&format!("{prefix}/ws_trace"));
     fs.write_at(trace_file, 0, &trace_buf);
 
-    let mut ws_buf = BytesMut::with_capacity(16 + trace.len() * (8 + PAGE_SIZE));
-    ws_buf.put_slice(WS_MAGIC);
-    ws_buf.put_u64_le(count);
-    for page in trace {
-        ws_buf.put_u64_le(page.file_offset());
-    }
-    for page in trace {
-        let bytes = fs.read_at(mem_file, page.file_offset(), PAGE_SIZE);
-        ws_buf.put_slice(&bytes);
+    let mut ws_buf = vec![0u8; (HEADER_BYTES + count * 8 + count * PAGE_SIZE as u64) as usize];
+    ws_buf[..8].copy_from_slice(WS_MAGIC_V1);
+    put_u64(&mut ws_buf, 8, count);
+    let data_base = (HEADER_BYTES + count * 8) as usize;
+    for (i, page) in trace.iter().enumerate() {
+        put_u64(&mut ws_buf, 16 + i * 8, page.file_offset());
+        fs.read_into(
+            mem_file,
+            page.file_offset(),
+            &mut ws_buf[data_base + i * PAGE_SIZE..data_base + (i + 1) * PAGE_SIZE],
+        );
     }
     let ws_file = fs.create(&format!("{prefix}/ws_pages"));
     fs.write_at(ws_file, 0, &ws_buf);
@@ -103,26 +187,96 @@ pub fn write_reap_files(fs: &FileStore, prefix: &str, mem_file: FileId, trace: &
         trace_file,
         ws_file,
         pages: count,
+        extents: count,
     }
 }
 
-fn parse_header(fs: &FileStore, file: FileId, magic: &[u8; 8]) -> Result<u64, WsError> {
+/// Format version, dispatched on the magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    V1,
+    V2,
+}
+
+fn parse_header(
+    fs: &FileStore,
+    file: FileId,
+    v1_magic: &[u8; 8],
+    v2_magic: &[u8; 8],
+) -> Result<(Version, u64), WsError> {
     let len = fs.len(file);
-    if len < 16 {
+    if len < HEADER_BYTES {
         return Err(WsError::Truncated {
-            expected: 16,
+            expected: HEADER_BYTES,
             actual: len,
         });
     }
-    let head = fs.read_at(file, 0, 16);
-    if &head[..8] != magic {
+    let head = fs.read_at(file, 0, HEADER_BYTES as usize);
+    let version = if &head[..8] == v2_magic {
+        Version::V2
+    } else if &head[..8] == v1_magic {
+        Version::V1
+    } else {
         return Err(WsError::BadMagic);
-    }
-    Ok(u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")))
+    };
+    let count = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    Ok((version, count))
 }
 
+/// Reads and validates a v2 extent table: aligned offsets, no zero-length
+/// extents, byte ranges that fit in u64 arithmetic, no overlaps.
+fn read_extents(fs: &FileStore, file: FileId, extents: u64) -> Result<Vec<PageRun>, WsError> {
+    let actual = fs.len(file);
+    let expected = HEADER_BYTES as u128 + extents as u128 * EXTENT_BYTES as u128;
+    if (actual as u128) < expected {
+        return Err(WsError::Truncated {
+            expected: expected.min(u64::MAX as u128) as u64,
+            actual,
+        });
+    }
+    // Bound every extent inside a generous absolute page space (2^44
+    // pages = 64 PiB of guest memory) so a corrupt offset/length can
+    // never wrap the downstream `first + len` / `len * PAGE_SIZE`
+    // arithmetic. Real guests are orders of magnitude below this; a
+    // table that exceeds it is lying about its size.
+    const MAX_EXTENT_PAGES: u64 = 1 << 44;
+    let bytes = fs.read_at(file, HEADER_BYTES, (extents * EXTENT_BYTES) as usize);
+    let mut runs = Vec::with_capacity(extents as usize);
+    for chunk in bytes.chunks_exact(EXTENT_BYTES as usize) {
+        let off = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(chunk[8..].try_into().expect("8 bytes"));
+        if off % PAGE_SIZE as u64 != 0 {
+            return Err(WsError::MisalignedOffset(off));
+        }
+        if len == 0 {
+            return Err(WsError::EmptyExtent(off));
+        }
+        if (off / PAGE_SIZE as u64) as u128 + len as u128 > MAX_EXTENT_PAGES as u128 {
+            return Err(WsError::Truncated {
+                expected: u64::MAX,
+                actual,
+            });
+        }
+        runs.push(PageRun::new(PageIdx::new(off / PAGE_SIZE as u64), len));
+    }
+    // Overlap check over the offset-sorted view (the table itself is in
+    // fault order).
+    let mut sorted: Vec<&PageRun> = runs.iter().collect();
+    sorted.sort_by_key(|r| r.first);
+    for pair in sorted.windows(2) {
+        if pair[0].end() > pair[1].first {
+            return Err(WsError::OverlappingExtents(
+                pair[0].file_offset(),
+                pair[1].file_offset(),
+            ));
+        }
+    }
+    Ok(runs)
+}
+
+/// Reads a v1 per-page offset table.
 fn read_offsets(fs: &FileStore, file: FileId, count: u64) -> Result<Vec<PageIdx>, WsError> {
-    let bytes = fs.read_at(file, 16, (count * 8) as usize);
+    let bytes = fs.read_at(file, HEADER_BYTES, (count * 8) as usize);
     let mut pages = Vec::with_capacity(count as usize);
     for chunk in bytes.chunks_exact(8) {
         let off = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
@@ -134,39 +288,139 @@ fn read_offsets(fs: &FileStore, file: FileId, count: u64) -> Result<Vec<PageIdx>
     Ok(pages)
 }
 
+/// Parses a trace file (v1 or v2) into extents in fault order.
+///
+/// # Errors
+///
+/// Returns [`WsError`] on magic/length/alignment/extent violations.
+pub fn read_trace_runs(fs: &FileStore, trace_file: FileId) -> Result<Vec<PageRun>, WsError> {
+    let (version, count) = parse_header(fs, trace_file, TRACE_MAGIC_V1, TRACE_MAGIC_V2)?;
+    match version {
+        Version::V2 => read_extents(fs, trace_file, count),
+        Version::V1 => {
+            let expected = HEADER_BYTES + count * 8;
+            let actual = fs.len(trace_file);
+            if actual < expected {
+                return Err(WsError::Truncated { expected, actual });
+            }
+            Ok(coalesce_ordered(read_offsets(fs, trace_file, count)?))
+        }
+    }
+}
+
 /// Parses a trace file into page indices (fault order).
 ///
 /// # Errors
 ///
 /// Returns [`WsError`] on magic/length/alignment violations.
 pub fn read_trace_file(fs: &FileStore, trace_file: FileId) -> Result<Vec<PageIdx>, WsError> {
-    let count = parse_header(fs, trace_file, TRACE_MAGIC)?;
-    let expected = 16 + count * 8;
-    let actual = fs.len(trace_file);
-    if actual < expected {
-        return Err(WsError::Truncated { expected, actual });
-    }
-    read_offsets(fs, trace_file, count)
+    Ok(read_trace_runs(fs, trace_file)?
+        .into_iter()
+        .flat_map(|r| r.iter())
+        .collect())
 }
 
-/// Parses a WS file into `(page, contents)` pairs.
+/// The decoded *layout* of a WS file: each extent plus the byte offset
+/// of its page data inside the WS file itself. Fully validated; carries
+/// no page data — consumers read (or borrow) exactly the ranges they
+/// install, which is how the batched prefetch stays single-copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsLayout {
+    /// `(extent, data offset in the WS file)`, in fault order.
+    pub extents: Vec<(PageRun, u64)>,
+    /// Total recorded pages.
+    pub pages: u64,
+}
+
+/// Parses and validates a WS file's header and extent table (v1 or v2)
+/// without touching the page data — the zero-copy parse.
+///
+/// # Errors
+///
+/// Returns [`WsError`] on magic/length/alignment/extent violations.
+pub fn read_ws_layout(fs: &FileStore, ws_file: FileId) -> Result<WsLayout, WsError> {
+    let (version, count) = parse_header(fs, ws_file, WS_MAGIC_V1, WS_MAGIC_V2)?;
+    match version {
+        Version::V2 => {
+            let runs = read_extents(fs, ws_file, count)?;
+            let pages: u128 = runs.iter().map(|r| r.len as u128).sum();
+            let expected = HEADER_BYTES as u128
+                + count as u128 * EXTENT_BYTES as u128
+                + pages * PAGE_SIZE as u128;
+            let actual = fs.len(ws_file);
+            if (actual as u128) < expected {
+                return Err(WsError::Truncated {
+                    expected: expected.min(u64::MAX as u128) as u64,
+                    actual,
+                });
+            }
+            let pages = pages as u64;
+            let mut data_at = HEADER_BYTES + count * EXTENT_BYTES;
+            let extents = runs
+                .into_iter()
+                .map(|run| {
+                    let at = data_at;
+                    data_at += run.byte_len();
+                    (run, at)
+                })
+                .collect();
+            Ok(WsLayout { extents, pages })
+        }
+        Version::V1 => {
+            let expected = HEADER_BYTES + count * 8 + count * PAGE_SIZE as u64;
+            let actual = fs.len(ws_file);
+            if actual < expected {
+                return Err(WsError::Truncated { expected, actual });
+            }
+            let pages = read_offsets(fs, ws_file, count)?;
+            let data_base = HEADER_BYTES + count * 8;
+            let extents = pages
+                .into_iter()
+                .enumerate()
+                .map(|(i, page)| {
+                    (
+                        PageRun::single(page),
+                        data_base + i as u64 * PAGE_SIZE as u64,
+                    )
+                })
+                .collect();
+            Ok(WsLayout {
+                extents,
+                pages: count,
+            })
+        }
+    }
+}
+
+/// Parses a WS file (v1 or v2) into `(extent, contents)` pairs — one
+/// buffer per extent.
+///
+/// # Errors
+///
+/// Returns [`WsError`] on magic/length/alignment/extent violations.
+pub fn read_ws_extents(fs: &FileStore, ws_file: FileId) -> Result<Vec<(PageRun, Vec<u8>)>, WsError> {
+    let layout = read_ws_layout(fs, ws_file)?;
+    Ok(layout
+        .extents
+        .into_iter()
+        .map(|(run, at)| {
+            let data = fs.read_at(ws_file, at, run.byte_len() as usize);
+            (run, data)
+        })
+        .collect())
+}
+
+/// Parses a WS file into per-page `(page, contents)` pairs.
 ///
 /// # Errors
 ///
 /// Returns [`WsError`] on magic/length/alignment violations.
 pub fn read_ws_file(fs: &FileStore, ws_file: FileId) -> Result<Vec<(PageIdx, Vec<u8>)>, WsError> {
-    let count = parse_header(fs, ws_file, WS_MAGIC)?;
-    let expected = 16 + count * 8 + count * PAGE_SIZE as u64;
-    let actual = fs.len(ws_file);
-    if actual < expected {
-        return Err(WsError::Truncated { expected, actual });
-    }
-    let pages = read_offsets(fs, ws_file, count)?;
-    let data_base = 16 + count * 8;
-    let mut out = Vec::with_capacity(count as usize);
-    for (i, page) in pages.into_iter().enumerate() {
-        let data = fs.read_at(ws_file, data_base + i as u64 * PAGE_SIZE as u64, PAGE_SIZE);
-        out.push((page, data));
+    let mut out = Vec::new();
+    for (run, data) in read_ws_extents(fs, ws_file)? {
+        for (i, page) in run.iter().enumerate() {
+            out.push((page, data[i * PAGE_SIZE..(i + 1) * PAGE_SIZE].to_vec()));
+        }
     }
     Ok(out)
 }
@@ -193,6 +447,7 @@ mod tests {
         let trace: Vec<PageIdx> = pages.iter().map(|&p| PageIdx::new(p)).collect();
         let files = write_reap_files(&fs, "snap", mem, &trace);
         assert_eq!(files.pages, 5);
+        assert_eq!(files.extents, 5, "no adjacent pages in this order");
 
         let trace_back = read_trace_file(&fs, files.trace_file).unwrap();
         assert_eq!(trace_back, trace, "fault order preserved");
@@ -207,6 +462,38 @@ mod tests {
     }
 
     #[test]
+    fn adjacent_pages_coalesce_into_extents() {
+        let fs = FileStore::new();
+        let pages = [10u64, 11, 12, 40, 41, 7];
+        let mem = mem_with_pages(&fs, &pages);
+        let trace: Vec<PageIdx> = pages.iter().map(|&p| PageIdx::new(p)).collect();
+        let files = write_reap_files(&fs, "snap", mem, &trace);
+        assert_eq!(files.pages, 6);
+        assert_eq!(files.extents, 3, "10-12, 40-41, 7");
+        assert_eq!(
+            read_trace_runs(&fs, files.trace_file).unwrap(),
+            vec![
+                PageRun::new(PageIdx::new(10), 3),
+                PageRun::new(PageIdx::new(40), 2),
+                PageRun::new(PageIdx::new(7), 1)
+            ]
+        );
+        // Expanded view matches the original fault order.
+        assert_eq!(read_trace_file(&fs, files.trace_file).unwrap(), trace);
+        // Extent-shaped WS parse hands back one buffer per extent with the
+        // right contents.
+        let extents = read_ws_extents(&fs, files.ws_file).unwrap();
+        assert_eq!(extents.len(), 3);
+        for (run, data) in &extents {
+            assert_eq!(data.len() as u64, run.byte_len());
+            for (i, page) in run.iter().enumerate() {
+                let expect = fs.read_at(mem, page.file_offset(), PAGE_SIZE);
+                assert_eq!(&data[i * PAGE_SIZE..(i + 1) * PAGE_SIZE], &expect[..]);
+            }
+        }
+    }
+
+    #[test]
     fn sizes_are_exact() {
         let fs = FileStore::new();
         let mem = mem_with_pages(&fs, &[1, 2]);
@@ -214,6 +501,7 @@ mod tests {
         let files = write_reap_files(&fs, "s", mem, &trace);
         assert_eq!(fs.len(files.ws_file), files.ws_bytes());
         assert_eq!(fs.len(files.trace_file), files.trace_bytes());
+        assert_eq!(files.extents, 1);
         assert_eq!(files.ws_bytes(), 16 + 16 + 2 * 4096);
     }
 
@@ -224,6 +512,36 @@ mod tests {
         let files = write_reap_files(&fs, "s", mem, &[]);
         assert_eq!(read_trace_file(&fs, files.trace_file).unwrap(), vec![]);
         assert!(read_ws_file(&fs, files.ws_file).unwrap().is_empty());
+    }
+
+    #[test]
+    fn v1_artifacts_still_parse() {
+        // Format back-compat: files written by the legacy per-page writer
+        // must read identically through the new extent-aware readers.
+        let fs = FileStore::new();
+        let pages = [8u64, 9, 10, 3, 50];
+        let mem = mem_with_pages(&fs, &pages);
+        let trace: Vec<PageIdx> = pages.iter().map(|&p| PageIdx::new(p)).collect();
+        let files = write_reap_files_v1(&fs, "s", mem, &trace);
+        // The v1 header is one count per *page*.
+        assert_eq!(fs.len(files.trace_file), 16 + 5 * 8);
+
+        assert_eq!(read_trace_file(&fs, files.trace_file).unwrap(), trace);
+        assert_eq!(
+            read_trace_runs(&fs, files.trace_file).unwrap(),
+            vec![
+                PageRun::new(PageIdx::new(8), 3),
+                PageRun::new(PageIdx::new(3), 1),
+                PageRun::new(PageIdx::new(50), 1)
+            ],
+            "v1 offsets coalesce on read"
+        );
+        let ws = read_ws_file(&fs, files.ws_file).unwrap();
+        assert_eq!(ws.len(), 5);
+        for (i, (page, data)) in ws.iter().enumerate() {
+            assert_eq!(*page, trace[i]);
+            assert_eq!(data, &fs.read_at(mem, page.file_offset(), PAGE_SIZE));
+        }
     }
 
     #[test]
@@ -259,15 +577,112 @@ mod tests {
     }
 
     #[test]
+    fn v2_ws_data_truncation_detected() {
+        let fs = FileStore::new();
+        let mem = mem_with_pages(&fs, &[1, 2, 3]);
+        let trace = vec![PageIdx::new(1), PageIdx::new(2), PageIdx::new(3)];
+        let files = write_reap_files(&fs, "s", mem, &trace);
+        // Keep the extent table intact but drop half the page data.
+        fs.set_len(files.ws_file, files.ws_bytes() - 2 * PAGE_SIZE as u64);
+        assert!(matches!(
+            read_ws_extents(&fs, files.ws_file),
+            Err(WsError::Truncated { .. })
+        ));
+    }
+
+    #[test]
     fn misaligned_offset_detected() {
         let fs = FileStore::new();
         let f = fs.create("bad");
-        let mut buf = BytesMut::new();
-        buf.put_slice(TRACE_MAGIC);
-        buf.put_u64_le(1);
-        buf.put_u64_le(123); // not page aligned
+        let mut buf = vec![0u8; 32];
+        buf[..8].copy_from_slice(TRACE_MAGIC_V2);
+        put_u64(&mut buf, 8, 1);
+        put_u64(&mut buf, 16, 123); // not page aligned
+        put_u64(&mut buf, 24, 1);
         fs.write_at(f, 0, &buf);
         assert_eq!(read_trace_file(&fs, f), Err(WsError::MisalignedOffset(123)));
+    }
+
+    #[test]
+    fn zero_length_extent_rejected() {
+        let fs = FileStore::new();
+        let f = fs.create("bad");
+        let mut buf = vec![0u8; 32];
+        buf[..8].copy_from_slice(TRACE_MAGIC_V2);
+        put_u64(&mut buf, 8, 1);
+        put_u64(&mut buf, 16, 5 * PAGE_SIZE as u64);
+        put_u64(&mut buf, 24, 0); // empty extent
+        fs.write_at(f, 0, &buf);
+        assert_eq!(
+            read_trace_runs(&fs, f),
+            Err(WsError::EmptyExtent(5 * PAGE_SIZE as u64))
+        );
+        // Same rule guards WS files.
+        let w = fs.create("badws");
+        buf[..8].copy_from_slice(WS_MAGIC_V2);
+        fs.write_at(w, 0, &buf);
+        assert_eq!(
+            read_ws_extents(&fs, w),
+            Err(WsError::EmptyExtent(5 * PAGE_SIZE as u64))
+        );
+    }
+
+    #[test]
+    fn absurd_extent_length_is_rejected_not_overflowed() {
+        // A corrupt v2 table claiming a near-u64::MAX extent must come
+        // back as a typed error, not wrap the size arithmetic (or panic
+        // on overflow in debug builds).
+        let fs = FileStore::new();
+        let f = fs.create("bad");
+        let mut buf = vec![0u8; 32];
+        buf[..8].copy_from_slice(TRACE_MAGIC_V2);
+        put_u64(&mut buf, 8, 1);
+        put_u64(&mut buf, 16, 0);
+        put_u64(&mut buf, 24, u64::MAX / 2);
+        fs.write_at(f, 0, &buf);
+        assert!(matches!(
+            read_trace_runs(&fs, f),
+            Err(WsError::Truncated { .. })
+        ));
+        let w = fs.create("badws");
+        buf[..8].copy_from_slice(WS_MAGIC_V2);
+        fs.write_at(w, 0, &buf);
+        assert!(matches!(
+            read_ws_layout(&fs, w),
+            Err(WsError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_extents_rejected() {
+        let fs = FileStore::new();
+        let f = fs.create("bad");
+        let mut buf = vec![0u8; 48];
+        buf[..8].copy_from_slice(TRACE_MAGIC_V2);
+        put_u64(&mut buf, 8, 2);
+        // [10, 14) then [12, 13): overlap.
+        put_u64(&mut buf, 16, 10 * PAGE_SIZE as u64);
+        put_u64(&mut buf, 24, 4);
+        put_u64(&mut buf, 32, 12 * PAGE_SIZE as u64);
+        put_u64(&mut buf, 40, 1);
+        fs.write_at(f, 0, &buf);
+        assert_eq!(
+            read_trace_runs(&fs, f),
+            Err(WsError::OverlappingExtents(
+                10 * PAGE_SIZE as u64,
+                12 * PAGE_SIZE as u64
+            ))
+        );
+        // Abutting extents are fine (e.g. a re-coalesced trace).
+        put_u64(&mut buf, 32, 14 * PAGE_SIZE as u64);
+        fs.write_at(f, 0, &buf);
+        assert_eq!(
+            read_trace_runs(&fs, f).unwrap(),
+            vec![
+                PageRun::new(PageIdx::new(10), 4),
+                PageRun::new(PageIdx::new(14), 1)
+            ]
+        );
     }
 
     #[test]
@@ -292,5 +707,9 @@ mod tests {
             .to_string()
             .contains("truncated"));
         assert!(WsError::MisalignedOffset(3).to_string().contains("misaligned"));
+        assert!(WsError::EmptyExtent(0x1000).to_string().contains("zero-length"));
+        assert!(WsError::OverlappingExtents(0, 4096)
+            .to_string()
+            .contains("overlapping"));
     }
 }

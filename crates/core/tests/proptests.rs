@@ -5,14 +5,20 @@ use proptest::prelude::*;
 use sim_core::{SimDuration, SimTime};
 use sim_storage::{Disk, FileStore};
 use vhive_core::{
-    read_trace_file, read_ws_file, write_reap_files, InstanceProgram, Phase, TimedStep, Timeline,
+    read_trace_file, read_trace_runs, read_ws_file, write_reap_files, write_reap_files_v1,
+    InstanceProgram, Phase, TimedStep, Timeline,
 };
 
 proptest! {
-    /// Trace/WS files round-trip arbitrary page sequences: order and
-    /// contents are preserved exactly.
+    /// Trace/WS files round-trip arbitrary fault orders: order and
+    /// contents are preserved exactly. A fault trace never names a page
+    /// twice (a page faults once), and the v2 extent format *enforces*
+    /// disjointness — so the generated sequences are deduplicated,
+    /// keeping first-occurrence order.
     #[test]
-    fn reap_files_round_trip(pages in proptest::collection::vec(0u64..65536, 0..200)) {
+    fn reap_files_round_trip(raw in proptest::collection::vec(0u64..65536, 0..200)) {
+        let mut seen = std::collections::HashSet::new();
+        let pages: Vec<u64> = raw.into_iter().filter(|&p| seen.insert(p)).collect();
         let fs = FileStore::new();
         let mem = fs.create("mem");
         // Give every referenced page distinctive contents.
@@ -24,9 +30,14 @@ proptest! {
         let trace: Vec<PageIdx> = pages.iter().map(|&p| PageIdx::new(p)).collect();
         let files = write_reap_files(&fs, "t", mem, &trace);
         prop_assert_eq!(files.pages, trace.len() as u64);
+        prop_assert!(files.extents <= files.pages, "coalescing never grows");
 
         let trace_back = read_trace_file(&fs, files.trace_file).unwrap();
         prop_assert_eq!(&trace_back, &trace);
+        // The run view expands to the same fault order.
+        let runs = read_trace_runs(&fs, files.trace_file).unwrap();
+        let expanded: Vec<PageIdx> = runs.iter().flat_map(|r| r.iter()).collect();
+        prop_assert_eq!(&expanded, &trace);
 
         let ws = read_ws_file(&fs, files.ws_file).unwrap();
         prop_assert_eq!(ws.len(), trace.len());
@@ -35,6 +46,32 @@ proptest! {
             let expect = fs.read_at(mem, page.file_offset(), PAGE_SIZE);
             prop_assert_eq!(data, &expect);
         }
+    }
+
+    /// v1 artifacts written by the legacy per-page writer parse to the
+    /// same pages and contents through the new extent-aware readers.
+    #[test]
+    fn v1_and_v2_readers_agree(raw in proptest::collection::vec(0u64..4096, 0..100)) {
+        let mut seen = std::collections::HashSet::new();
+        let pages: Vec<u64> = raw.into_iter().filter(|&p| seen.insert(p)).collect();
+        let fs = FileStore::new();
+        let mem = fs.create("mem");
+        for &p in &pages {
+            let mut data = vec![0u8; PAGE_SIZE];
+            guest_mem::checksum::fill_deterministic(&mut data, 7, p);
+            fs.write_at(mem, p * PAGE_SIZE as u64, &data);
+        }
+        let trace: Vec<PageIdx> = pages.iter().map(|&p| PageIdx::new(p)).collect();
+        let v1 = write_reap_files_v1(&fs, "v1", mem, &trace);
+        let v2 = write_reap_files(&fs, "v2", mem, &trace);
+        prop_assert_eq!(
+            read_trace_file(&fs, v1.trace_file).unwrap(),
+            read_trace_file(&fs, v2.trace_file).unwrap()
+        );
+        prop_assert_eq!(
+            read_ws_file(&fs, v1.ws_file).unwrap(),
+            read_ws_file(&fs, v2.ws_file).unwrap()
+        );
     }
 
     /// Corrupting any single byte of the WS header is always detected.

@@ -19,9 +19,11 @@
 pub mod checksum;
 pub mod memory;
 pub mod page;
+pub mod run;
 pub mod uffd;
 
 pub use checksum::fnv1a64;
 pub use memory::{GuestMemory, MemError};
 pub use page::{GuestAddr, PageIdx, PAGE_SIZE};
-pub use uffd::{FaultEvent, TouchOutcome, Uffd, UffdStats};
+pub use run::{coalesce_ordered, push_coalesced, PageBitmap, PageRun};
+pub use uffd::{FaultEvent, RunInstall, TouchOutcome, Uffd, UffdStats};

@@ -4,11 +4,17 @@
 //! memory until pages are faulted or prefetched in — exactly the property
 //! the paper measures in Fig 4 (snapshot-restored instances touch 8–99 MB
 //! of their 256 MB guest memory).
+//!
+//! Residency and dirty state are word-packed bitmaps and frame bytes live
+//! in a single slab arena (one growing allocation, no per-page boxes), so
+//! the batched fault path of §5.2 can install a whole [`PageRun`] with one
+//! bounds check and one copy.
 
 use std::fmt;
 
 use crate::checksum::fnv1a64;
 use crate::page::{GuestAddr, PageIdx, PAGE_SIZE};
+use crate::run::{PageBitmap, PageRun};
 
 /// Errors raised by guest memory accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +39,9 @@ impl fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// Page has no frame slot assigned.
+const NO_SLOT: u32 = u32::MAX;
+
 /// Guest physical memory: a fixed-size region of lazily-populated 4 KB
 /// frames, with KVM-style dirty-page tracking (the mechanism behind
 /// Firecracker's *diff snapshots*).
@@ -52,11 +61,16 @@ impl std::error::Error for MemError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct GuestMemory {
-    frames: Vec<Option<Box<[u8]>>>,
-    resident: usize,
+    /// page -> frame slot in `arena`, or [`NO_SLOT`].
+    slots: Vec<u32>,
+    /// Frame bytes; slot `s` occupies `[s * PAGE_SIZE, (s + 1) * PAGE_SIZE)`.
+    arena: Vec<u8>,
+    /// Slots freed by eviction, reusable by later installs.
+    free_slots: Vec<u32>,
+    resident: PageBitmap,
     /// Pages written since the last [`clear_dirty`](Self::clear_dirty)
     /// (installs count as writes, as KVM's dirty log sees them).
-    dirty: std::collections::BTreeSet<u64>,
+    dirty: PageBitmap,
     dirty_tracking: bool,
 }
 
@@ -69,11 +83,13 @@ impl GuestMemory {
     /// Panics if `bytes == 0`.
     pub fn new(bytes: u64) -> Self {
         assert!(bytes > 0, "guest memory must be non-empty");
-        let pages = bytes.div_ceil(PAGE_SIZE as u64) as usize;
+        let pages = bytes.div_ceil(PAGE_SIZE as u64);
         GuestMemory {
-            frames: (0..pages).map(|_| None).collect(),
-            resident: 0,
-            dirty: std::collections::BTreeSet::new(),
+            slots: vec![NO_SLOT; pages as usize],
+            arena: Vec::new(),
+            free_slots: Vec::new(),
+            resident: PageBitmap::new(pages),
+            dirty: PageBitmap::new(pages),
             dirty_tracking: false,
         }
     }
@@ -91,28 +107,39 @@ impl GuestMemory {
 
     /// Pages dirtied since tracking was last cleared, ascending.
     pub fn dirty_pages(&self) -> impl Iterator<Item = PageIdx> + '_ {
-        self.dirty.iter().map(|&p| PageIdx::new(p))
+        self.dirty.iter()
+    }
+
+    /// Maximal runs of dirty pages, ascending.
+    pub fn dirty_runs(&self) -> Vec<PageRun> {
+        self.dirty.runs()
     }
 
     /// Number of dirty pages.
     pub fn dirty_count(&self) -> u64 {
-        self.dirty.len() as u64
+        self.dirty.count()
     }
 
     /// Clears the dirty log (after capturing a diff snapshot).
     pub fn clear_dirty(&mut self) {
-        self.dirty.clear();
+        self.dirty.clear_all();
     }
 
     fn mark_dirty(&mut self, page: PageIdx) {
         if self.dirty_tracking {
-            self.dirty.insert(page.as_u64());
+            self.dirty.set(page);
+        }
+    }
+
+    fn mark_dirty_run(&mut self, run: PageRun) {
+        if self.dirty_tracking {
+            self.dirty.set_run(run);
         }
     }
 
     /// Region size in pages.
     pub fn num_pages(&self) -> u64 {
-        self.frames.len() as u64
+        self.slots.len() as u64
     }
 
     /// Region size in bytes.
@@ -122,31 +149,89 @@ impl GuestMemory {
 
     /// Number of resident pages.
     pub fn resident_pages(&self) -> u64 {
-        self.resident as u64
+        self.resident.count()
     }
 
     /// Resident set size in bytes — the `ps`-style footprint the paper
     /// reports in Fig 4.
     pub fn footprint_bytes(&self) -> u64 {
-        self.resident as u64 * PAGE_SIZE as u64
+        self.resident.count() * PAGE_SIZE as u64
     }
 
     /// True if `page` is resident.
     pub fn is_resident(&self, page: PageIdx) -> bool {
-        self.frames
-            .get(page.as_u64() as usize)
-            .map(|f| f.is_some())
-            .unwrap_or(false)
+        self.resident.get(page)
+    }
+
+    /// True if every page of `run` is resident.
+    pub fn is_run_resident(&self, run: PageRun) -> bool {
+        self.resident.all_set_in(run)
     }
 
     /// True if `page` lies within the region.
     pub fn contains_page(&self, page: PageIdx) -> bool {
-        (page.as_u64() as usize) < self.frames.len()
+        (page.as_u64() as usize) < self.slots.len()
+    }
+
+    /// True if `run` lies entirely within the region.
+    pub fn contains_run(&self, run: PageRun) -> bool {
+        run.first.as_u64() + run.len <= self.num_pages()
     }
 
     fn check_range(&self, addr: GuestAddr, len: u64) -> Result<(), MemError> {
         if addr.as_u64() + len > self.size_bytes() {
             return Err(MemError::OutOfBounds(addr));
+        }
+        Ok(())
+    }
+
+    fn frame(&self, page: PageIdx) -> Option<&[u8]> {
+        let slot = *self.slots.get(page.as_u64() as usize)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        let base = slot as usize * PAGE_SIZE;
+        Some(&self.arena[base..base + PAGE_SIZE])
+    }
+
+    fn frame_mut(&mut self, page: PageIdx) -> Option<&mut [u8]> {
+        let slot = *self.slots.get(page.as_u64() as usize)?;
+        if slot == NO_SLOT {
+            return None;
+        }
+        let base = slot as usize * PAGE_SIZE;
+        Some(&mut self.arena[base..base + PAGE_SIZE])
+    }
+
+    /// Hands out one frame slot, recycling evicted slots first.
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(slot) = self.free_slots.pop() {
+            return slot;
+        }
+        let slot = (self.arena.len() / PAGE_SIZE) as u32;
+        self.arena.resize(self.arena.len() + PAGE_SIZE, 0);
+        slot
+    }
+
+    /// Reserves `len` *contiguous* fresh slots at the arena tail and
+    /// returns the first slot index — the bulk-install fast path.
+    fn alloc_contiguous_slots(&mut self, len: u64) -> u32 {
+        let first = (self.arena.len() / PAGE_SIZE) as u32;
+        self.arena
+            .resize(self.arena.len() + len as usize * PAGE_SIZE, 0);
+        first
+    }
+
+    fn check_installable(&self, run: PageRun) -> Result<(), MemError> {
+        if !self.contains_run(run) {
+            return Err(MemError::OutOfBounds(run.first.base_addr()));
+        }
+        if self.resident.any_set_in(run) {
+            let taken = run
+                .iter()
+                .find(|&p| self.resident.get(p))
+                .expect("any_set_in found one");
+            return Err(MemError::AlreadyResident(taken));
         }
         Ok(())
     }
@@ -163,15 +248,12 @@ impl GuestMemory {
     /// Panics if `data` is not exactly one page.
     pub fn install_page(&mut self, page: PageIdx, data: &[u8]) -> Result<(), MemError> {
         assert_eq!(data.len(), PAGE_SIZE, "install needs exactly one page");
-        let idx = page.as_u64() as usize;
-        if idx >= self.frames.len() {
-            return Err(MemError::OutOfBounds(page.base_addr()));
-        }
-        if self.frames[idx].is_some() {
-            return Err(MemError::AlreadyResident(page));
-        }
-        self.frames[idx] = Some(data.to_vec().into_boxed_slice());
-        self.resident += 1;
+        self.check_installable(PageRun::single(page))?;
+        let slot = self.alloc_slot();
+        let base = slot as usize * PAGE_SIZE;
+        self.arena[base..base + PAGE_SIZE].copy_from_slice(data);
+        self.slots[page.as_u64() as usize] = slot;
+        self.resident.set(page);
         self.mark_dirty(page);
         Ok(())
     }
@@ -182,7 +264,144 @@ impl GuestMemory {
     ///
     /// Same as [`install_page`](Self::install_page).
     pub fn install_zero_page(&mut self, page: PageIdx) -> Result<(), MemError> {
-        self.install_page(page, &[0u8; PAGE_SIZE])
+        self.install_run_with(PageRun::single(page), |buf| buf.fill(0))
+    }
+
+    /// Bulk `UFFDIO_COPY`: installs `run.len` pages of contents in one
+    /// operation — one residency check, one (parallel for multi-MB runs)
+    /// copy straight into the frame arena, no per-page allocation and no
+    /// intermediate zero-fill.
+    ///
+    /// Nothing is installed unless the *entire* run is installable.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AlreadyResident`] names the first mapped page;
+    /// [`MemError::OutOfBounds`] if the run leaves the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `run.len` pages.
+    pub fn install_run(&mut self, run: PageRun, data: &[u8]) -> Result<(), MemError> {
+        assert_eq!(
+            data.len() as u64,
+            run.byte_len(),
+            "install_run needs exactly the run's bytes"
+        );
+        if run.is_empty() {
+            return Ok(());
+        }
+        self.check_installable(run)?;
+        if self.free_slots.is_empty() {
+            // Fast path: the run's frames extend the arena contiguously;
+            // the install is exactly one copy from `data`.
+            let first_slot = (self.arena.len() / PAGE_SIZE) as u32;
+            sim_core::extend_par(&mut self.arena, data);
+            for (i, page) in run.iter().enumerate() {
+                self.slots[page.as_u64() as usize] = first_slot + i as u32;
+            }
+        } else {
+            for (i, page) in run.iter().enumerate() {
+                let slot = self.alloc_slot();
+                let base = slot as usize * PAGE_SIZE;
+                self.arena[base..base + PAGE_SIZE]
+                    .copy_from_slice(&data[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
+                self.slots[page.as_u64() as usize] = slot;
+            }
+        }
+        self.resident.set_run(run);
+        self.mark_dirty_run(run);
+        Ok(())
+    }
+
+    /// Bulk install with caller-filled contents: reserves the run's frames,
+    /// then hands `fill` one contiguous buffer to populate (e.g. straight
+    /// from a file read, skipping the intermediate copy).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`install_run`](Self::install_run); nothing is installed on
+    /// error and `fill` is not called.
+    pub fn install_run_with(
+        &mut self,
+        run: PageRun,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<(), MemError> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        self.check_installable(run)?;
+        // Recycled slots are scattered; the contiguous tail of the arena is
+        // the only place a run-sized buffer can live. Prefer it whenever
+        // there is no free list to drain (the common, eviction-free case).
+        if self.free_slots.is_empty() || run.len == 1 {
+            let first_slot = if run.len == 1 {
+                self.alloc_slot()
+            } else {
+                self.alloc_contiguous_slots(run.len)
+            };
+            let base = first_slot as usize * PAGE_SIZE;
+            fill(&mut self.arena[base..base + run.len as usize * PAGE_SIZE]);
+            for (i, page) in run.iter().enumerate() {
+                self.slots[page.as_u64() as usize] = first_slot + i as u32;
+            }
+        } else {
+            let mut buf = vec![0u8; run.len as usize * PAGE_SIZE];
+            fill(&mut buf);
+            for (i, page) in run.iter().enumerate() {
+                let slot = self.alloc_slot();
+                let base = slot as usize * PAGE_SIZE;
+                self.arena[base..base + PAGE_SIZE]
+                    .copy_from_slice(&buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
+                self.slots[page.as_u64() as usize] = slot;
+            }
+        }
+        self.resident.set_run(run);
+        self.mark_dirty_run(run);
+        Ok(())
+    }
+
+    /// Installs a run of zero pages (`UFFDIO_ZEROPAGE` over a range).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`install_run`](Self::install_run).
+    pub fn install_zero_run(&mut self, run: PageRun) -> Result<(), MemError> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        self.check_installable(run)?;
+        if self.free_slots.is_empty() {
+            // `resize`'s zero-fill *is* the page contents here.
+            let first_slot = self.alloc_contiguous_slots(run.len);
+            for (i, page) in run.iter().enumerate() {
+                self.slots[page.as_u64() as usize] = first_slot + i as u32;
+            }
+        } else {
+            for page in run.iter() {
+                let slot = self.alloc_slot();
+                let base = slot as usize * PAGE_SIZE;
+                self.arena[base..base + PAGE_SIZE].fill(0);
+                self.slots[page.as_u64() as usize] = slot;
+            }
+        }
+        self.resident.set_run(run);
+        self.mark_dirty_run(run);
+        Ok(())
+    }
+
+    /// Returns the instance's frames to the pool: every page becomes
+    /// non-resident and the arena's allocation is retained for the next
+    /// tenant — the memory-pool reuse a warm orchestrator applies between
+    /// restores so each instance does not re-fault its arena in from the
+    /// OS. Dirty state and tracking are reset too.
+    pub fn recycle(&mut self) {
+        self.slots.fill(NO_SLOT);
+        self.arena.clear();
+        self.free_slots.clear();
+        self.resident.clear_all();
+        self.dirty.clear_all();
+        self.dirty_tracking = false;
     }
 
     /// Reads `len` bytes at `addr`.
@@ -198,9 +417,7 @@ impl GuestMemory {
         let mut remaining = len;
         while remaining > 0 {
             let page = cur.page();
-            let frame = self.frames[page.as_u64() as usize]
-                .as_ref()
-                .ok_or(MemError::NotResident(page))?;
+            let frame = self.frame(page).ok_or(MemError::NotResident(page))?;
             let off = cur.page_offset();
             let take = ((PAGE_SIZE - off) as u64).min(remaining) as usize;
             out.extend_from_slice(&frame[off..off + take]);
@@ -208,6 +425,36 @@ impl GuestMemory {
             remaining -= take as u64;
         }
         Ok(out)
+    }
+
+    /// Copies a whole resident run into `buf` (one bounds check; per-page
+    /// copies only when frames are scattered by eviction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotResident`] for the first missing page or
+    /// [`MemError::OutOfBounds`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly `run.len` pages.
+    pub fn read_run_into(&self, run: PageRun, buf: &mut [u8]) -> Result<(), MemError> {
+        assert_eq!(buf.len() as u64, run.byte_len(), "buffer must match run");
+        if !self.contains_run(run) {
+            return Err(MemError::OutOfBounds(run.first.base_addr()));
+        }
+        if !self.resident.all_set_in(run) {
+            let missing = run
+                .iter()
+                .find(|&p| !self.resident.get(p))
+                .expect("some page is missing");
+            return Err(MemError::NotResident(missing));
+        }
+        for (i, page) in run.iter().enumerate() {
+            let frame = self.frame(page).expect("residency checked");
+            buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE].copy_from_slice(frame);
+        }
+        Ok(())
     }
 
     /// Writes `bytes` at `addr` (pages must be resident: real hardware
@@ -219,18 +466,23 @@ impl GuestMemory {
     /// [`MemError::OutOfBounds`].
     pub fn write(&mut self, addr: GuestAddr, bytes: &[u8]) -> Result<(), MemError> {
         self.check_range(addr, bytes.len() as u64)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
         // Verify residency of the whole range first so a failed write does
         // not partially apply.
-        let mut cur = addr;
-        let mut remaining = bytes.len() as u64;
-        while remaining > 0 {
-            let page = cur.page();
-            if !self.is_resident(page) {
-                return Err(MemError::NotResident(page));
-            }
-            let take = ((PAGE_SIZE - cur.page_offset()) as u64).min(remaining);
-            cur = cur.add(take);
-            remaining -= take;
+        let span = crate::page::pages_covering(addr, bytes.len() as u64)
+            .last()
+            .map(|last| {
+                PageRun::new(addr.page(), last.as_u64() - addr.page().as_u64() + 1)
+            })
+            .expect("non-empty write covers pages");
+        if !self.resident.all_set_in(span) {
+            let missing = span
+                .iter()
+                .find(|&p| !self.resident.get(p))
+                .expect("some page is missing");
+            return Err(MemError::NotResident(missing));
         }
         let mut cur = addr;
         let mut written = 0usize;
@@ -238,22 +490,18 @@ impl GuestMemory {
             let page = cur.page();
             let off = cur.page_offset();
             let take = (PAGE_SIZE - off).min(bytes.len() - written);
-            let frame = self.frames[page.as_u64() as usize]
-                .as_mut()
-                .expect("residency checked above");
+            let frame = self.frame_mut(page).expect("residency checked above");
             frame[off..off + take].copy_from_slice(&bytes[written..written + take]);
             cur = cur.add(take as u64);
             written += take;
-            self.mark_dirty(page);
         }
+        self.mark_dirty_run(span);
         Ok(())
     }
 
     /// Borrow of a resident page's bytes.
     pub fn page_bytes(&self, page: PageIdx) -> Option<&[u8]> {
-        self.frames
-            .get(page.as_u64() as usize)
-            .and_then(|f| f.as_deref())
+        self.frame(page)
     }
 
     /// FNV-1a fingerprint of a resident page.
@@ -264,22 +512,32 @@ impl GuestMemory {
     /// Evicts a page (used when modelling snapshot-time memory release).
     /// Returns true if the page was resident.
     pub fn evict_page(&mut self, page: PageIdx) -> bool {
-        if let Some(slot) = self.frames.get_mut(page.as_u64() as usize) {
-            if slot.take().is_some() {
-                self.resident -= 1;
-                return true;
-            }
+        if !self.resident.get(page) {
+            return false;
         }
-        false
+        let idx = page.as_u64() as usize;
+        self.free_slots.push(self.slots[idx]);
+        self.slots[idx] = NO_SLOT;
+        self.resident.clear(page);
+        true
     }
 
     /// Iterates over resident page indices in ascending order.
     pub fn resident_iter(&self) -> impl Iterator<Item = PageIdx> + '_ {
-        self.frames
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.is_some())
-            .map(|(i, _)| PageIdx::new(i as u64))
+        self.resident.iter()
+    }
+
+    /// Maximal runs of resident pages in ascending order — the shape
+    /// snapshot capture and verification iterate by.
+    pub fn resident_runs(&self) -> Vec<PageRun> {
+        self.resident.runs()
+    }
+
+    /// First non-resident page inside `window` at or after `from` together
+    /// with the length of the maximal missing run there — the batched
+    /// fault-path query.
+    pub fn next_missing_run(&self, from: PageIdx, window: PageRun) -> Option<PageRun> {
+        self.resident.next_clear_run_in(from, window)
     }
 }
 
@@ -400,6 +658,127 @@ mod tests {
     }
 
     #[test]
+    fn evicted_slot_is_recycled() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        mem.install_page(PageIdx::new(0), &page_of(1)).unwrap();
+        mem.install_page(PageIdx::new(1), &page_of(2)).unwrap();
+        let arena_before = mem.arena.len();
+        assert!(mem.evict_page(PageIdx::new(0)));
+        mem.install_page(PageIdx::new(5), &page_of(9)).unwrap();
+        assert_eq!(mem.arena.len(), arena_before, "evicted frame reused");
+        assert_eq!(mem.read(PageIdx::new(5).base_addr(), 1).unwrap(), vec![9]);
+        assert_eq!(mem.read(PageIdx::new(1).base_addr(), 1).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn install_run_bulk_and_eexist() {
+        let mut mem = GuestMemory::new(16 * 4096);
+        let data: Vec<u8> = (0..4 * PAGE_SIZE).map(|i| (i / PAGE_SIZE) as u8).collect();
+        mem.install_run(PageRun::new(PageIdx::new(2), 4), &data).unwrap();
+        assert_eq!(mem.resident_pages(), 4);
+        for i in 0..4u64 {
+            assert_eq!(
+                mem.read(PageIdx::new(2 + i).base_addr(), 1).unwrap(),
+                vec![i as u8]
+            );
+        }
+        // Overlapping run fails atomically, naming the first taken page.
+        let err = mem
+            .install_run(PageRun::new(PageIdx::new(4), 4), &data)
+            .unwrap_err();
+        assert_eq!(err, MemError::AlreadyResident(PageIdx::new(4)));
+        assert_eq!(mem.resident_pages(), 4, "nothing installed on error");
+        // Out-of-bounds run fails before filling.
+        let err = mem
+            .install_run(PageRun::new(PageIdx::new(14), 4), &data)
+            .unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds(_)));
+        // Empty run is a no-op.
+        mem.install_run(PageRun::new(PageIdx::new(0), 0), &[]).unwrap();
+    }
+
+    #[test]
+    fn install_run_with_fills_in_place() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        mem.install_run_with(PageRun::new(PageIdx::new(1), 3), |buf| {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = (i / PAGE_SIZE + 1) as u8;
+            }
+        })
+        .unwrap();
+        assert_eq!(mem.read(PageIdx::new(2).base_addr(), 2).unwrap(), vec![2, 2]);
+        assert_eq!(mem.resident_pages(), 3);
+    }
+
+    #[test]
+    fn install_run_with_scattered_free_slots() {
+        // Force the free-list fallback: evict then bulk-install.
+        let mut mem = GuestMemory::new(16 * 4096);
+        for i in 0..4u64 {
+            mem.install_page(PageIdx::new(i), &page_of(i as u8)).unwrap();
+        }
+        mem.evict_page(PageIdx::new(1));
+        mem.evict_page(PageIdx::new(3));
+        mem.install_run_with(PageRun::new(PageIdx::new(8), 4), |buf| {
+            buf.fill(0x7E);
+        })
+        .unwrap();
+        for i in 8..12u64 {
+            assert_eq!(
+                mem.read(PageIdx::new(i).base_addr(), 1).unwrap(),
+                vec![0x7E],
+                "page {i}"
+            );
+        }
+        // Untouched survivors keep their contents.
+        assert_eq!(mem.read(PageIdx::new(2).base_addr(), 1).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn install_zero_run_and_read_run_into() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        mem.install_zero_run(PageRun::new(PageIdx::new(2), 3)).unwrap();
+        let mut buf = vec![0xFFu8; 3 * PAGE_SIZE];
+        mem.read_run_into(PageRun::new(PageIdx::new(2), 3), &mut buf)
+            .unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        // Missing page named on partial runs.
+        let err = mem
+            .read_run_into(PageRun::new(PageIdx::new(4), 2), &mut buf[..2 * PAGE_SIZE])
+            .unwrap_err();
+        assert_eq!(err, MemError::NotResident(PageIdx::new(5)));
+        let err = mem
+            .read_run_into(PageRun::new(PageIdx::new(7), 2), &mut buf[..2 * PAGE_SIZE])
+            .unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds(_)));
+    }
+
+    #[test]
+    fn resident_runs_and_missing_runs() {
+        let mut mem = GuestMemory::new(16 * 4096);
+        mem.install_zero_run(PageRun::new(PageIdx::new(0), 2)).unwrap();
+        mem.install_zero_run(PageRun::new(PageIdx::new(5), 3)).unwrap();
+        assert_eq!(
+            mem.resident_runs(),
+            vec![
+                PageRun::new(PageIdx::new(0), 2),
+                PageRun::new(PageIdx::new(5), 3)
+            ]
+        );
+        let window = PageRun::new(PageIdx::new(0), 16);
+        assert_eq!(
+            mem.next_missing_run(PageIdx::new(0), window),
+            Some(PageRun::new(PageIdx::new(2), 3))
+        );
+        assert_eq!(
+            mem.next_missing_run(PageIdx::new(5), window),
+            Some(PageRun::new(PageIdx::new(8), 8))
+        );
+        assert!(mem.is_run_resident(PageRun::new(PageIdx::new(5), 3)));
+        assert!(!mem.is_run_resident(PageRun::new(PageIdx::new(4), 2)));
+    }
+
+    #[test]
     fn dirty_tracking_records_installs_and_writes() {
         let mut mem = GuestMemory::new(8 * 4096);
         mem.install_page(PageIdx::new(0), &page_of(1)).unwrap();
@@ -426,6 +805,7 @@ mod tests {
         mem.write(GuestAddr::new(4090), &[7u8; 20]).unwrap();
         let dirty: Vec<u64> = mem.dirty_pages().map(|p| p.as_u64()).collect();
         assert_eq!(dirty, vec![0, 1]);
+        assert_eq!(mem.dirty_runs(), vec![PageRun::new(PageIdx::new(0), 2)]);
     }
 
     #[test]

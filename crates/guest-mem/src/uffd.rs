@@ -16,11 +16,18 @@
 //! byte of guest memory so the monitor can learn the region base and derive
 //! every later file offset by subtraction (§5.2.1); [`Uffd::inject_first_fault`]
 //! models exactly that handshake.
+//!
+//! Besides the per-page API, the channel exposes a *run-length batched*
+//! path ([`Uffd::next_missing_run`], [`Uffd::raise_run`], [`Uffd::copy_run`],
+//! [`Uffd::wake_run`]) that serves a whole [`PageRun`] of consecutive
+//! faults with one residency scan and one install, while keeping
+//! [`UffdStats`] arithmetically identical to the per-page path.
 
 use std::collections::VecDeque;
 
 use crate::memory::{GuestMemory, MemError};
-use crate::page::{GuestAddr, PageIdx};
+use crate::page::{GuestAddr, PageIdx, PAGE_SIZE};
+use crate::run::PageRun;
 
 /// A pending page-fault event as read from the user-fault file descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +46,15 @@ pub enum TouchOutcome {
     Resident,
     /// A fault was raised and queued for the monitor; the vCPU blocks.
     Faulted(FaultEvent),
+}
+
+/// Result of a bulk install ([`Uffd::copy_run`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunInstall {
+    /// Pages newly installed.
+    pub installed: u64,
+    /// Pages skipped because they were already resident (EEXIST).
+    pub eexist: u64,
 }
 
 /// Counters the REAP evaluation reports (faults eliminated, §6).
@@ -162,6 +178,38 @@ impl Uffd {
         TouchOutcome::Resident
     }
 
+    /// VM-side, batched: the maximal run of missing pages inside `window`
+    /// starting at or after `from` — a pure residency query, no fault is
+    /// raised yet.
+    pub fn next_missing_run(&self, from: PageIdx, window: PageRun) -> Option<PageRun> {
+        self.mem.next_missing_run(from, window)
+    }
+
+    /// VM-side, batched: raises one fault per page of `run` in a single
+    /// operation. The faults are accounted exactly as `run.len` calls to
+    /// [`touch_page`](Self::touch_page) on missing pages would be, but the
+    /// events are *not* queued: the caller serves the run synchronously
+    /// (the vCPU is halted on the first page anyway). Returns the event of
+    /// the run's first page; per-page events are reconstructible as
+    /// `host_vaddr + i * PAGE_SIZE` / `seq + i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page of the run is already resident (a replay bug).
+    pub fn raise_run(&mut self, run: PageRun) -> FaultEvent {
+        debug_assert!(
+            !run.is_empty() && self.mem.next_missing_run(run.first, run) == Some(run),
+            "raise_run requires a maximal missing run"
+        );
+        let ev = FaultEvent {
+            host_vaddr: self.region_base + run.first.file_offset(),
+            seq: self.next_seq,
+        };
+        self.next_seq += run.len;
+        self.stats.faults += run.len;
+        ev
+    }
+
     /// The paper's Firecracker patch: before resuming vCPUs, inject a fault
     /// at the *first byte* of guest memory so the monitor learns the region
     /// base address (§5.2.1).
@@ -215,6 +263,78 @@ impl Uffd {
         }
     }
 
+    /// Monitor-side bulk `UFFDIO_COPY`: installs a whole run in one
+    /// operation. A fully-missing run is one residency scan plus one copy;
+    /// runs with resident holes fall back to per-page installs so EEXIST
+    /// races stay benign and exactly counted, as the kernel API behaves
+    /// under concurrent prefetch (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if the run leaves the region; EEXIST is
+    /// *not* an error here, it is reported in the returned counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `run.len` pages.
+    pub fn copy_run(&mut self, run: PageRun, data: &[u8]) -> Result<RunInstall, MemError> {
+        assert_eq!(
+            data.len() as u64,
+            run.byte_len(),
+            "copy_run needs exactly the run's bytes"
+        );
+        match self.mem.install_run(run, data) {
+            Ok(()) => {
+                self.stats.copies += run.len;
+                Ok(RunInstall {
+                    installed: run.len,
+                    eexist: 0,
+                })
+            }
+            Err(MemError::AlreadyResident(_)) => {
+                let mut result = RunInstall::default();
+                for (i, page) in run.iter().enumerate() {
+                    match self.copy(page, &data[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]) {
+                        Ok(()) => result.installed += 1,
+                        Err(MemError::AlreadyResident(_)) => result.eexist += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(result)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Monitor-side bulk `UFFDIO_COPY` with caller-filled contents: the
+    /// run's frames are reserved first, then `fill` populates them in
+    /// place (e.g. one [`read_into`](sim_storage::FileStore) straight from
+    /// the snapshot file — no intermediate buffer).
+    ///
+    /// Unlike [`copy_run`](Self::copy_run) the entire run must be missing.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AlreadyResident`] / [`MemError::OutOfBounds`] as
+    /// [`GuestMemory::install_run_with`]; nothing installed on error.
+    pub fn copy_run_with(
+        &mut self,
+        run: PageRun,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<(), MemError> {
+        match self.mem.install_run_with(run, fill) {
+            Ok(()) => {
+                self.stats.copies += run.len;
+                Ok(())
+            }
+            Err(e @ MemError::AlreadyResident(_)) => {
+                self.stats.copy_eexist += 1;
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Monitor-side `UFFDIO_ZEROPAGE`.
     ///
     /// # Errors
@@ -239,6 +359,12 @@ impl Uffd {
     /// the whole working set, then wakes once).
     pub fn wake(&mut self) {
         self.stats.wakes += 1;
+    }
+
+    /// Monitor-side, batched: accounts `pages` wake-ups at once — the
+    /// run path's equivalent of one [`wake`](Self::wake) per served fault.
+    pub fn wake_run(&mut self, pages: u64) {
+        self.stats.wakes += pages;
     }
 }
 
@@ -350,5 +476,69 @@ mod tests {
         assert_eq!(u.touch_page(PageIdx::new(0)), TouchOutcome::Resident);
         assert_eq!(u.stats().faults, 0);
         assert_eq!(u.pending_faults(), 0);
+    }
+
+    #[test]
+    fn run_path_counts_match_per_page_semantics() {
+        // Serve pages 2..=5 via the batched path; stats must equal four
+        // per-page fault/copy/wake round trips.
+        let mut u = setup();
+        let window = PageRun::new(PageIdx::new(2), 4);
+        let run = u.next_missing_run(PageIdx::new(2), window).unwrap();
+        assert_eq!(run, window, "fresh memory: whole window missing");
+        let ev = u.raise_run(run);
+        assert_eq!(ev.seq, 0);
+        assert_eq!(u.page_of_fault(ev), PageIdx::new(2));
+        let data = vec![7u8; run.byte_len() as usize];
+        let install = u.copy_run(run, &data).unwrap();
+        assert_eq!(install, RunInstall { installed: 4, eexist: 0 });
+        u.wake_run(run.len);
+        let st = u.stats();
+        assert_eq!((st.faults, st.copies, st.wakes, st.copy_eexist), (4, 4, 4, 0));
+        assert_eq!(u.pending_faults(), 0, "batched path queues nothing");
+        // Sequence numbers advanced per page: the next fault is seq 4.
+        let TouchOutcome::Faulted(next) = u.touch_page(PageIdx::new(9)) else {
+            panic!("page 9 missing");
+        };
+        assert_eq!(next.seq, 4);
+    }
+
+    #[test]
+    fn copy_run_with_resident_holes_counts_eexist() {
+        let mut u = setup();
+        u.copy(PageIdx::new(3), &[1u8; PAGE_SIZE]).unwrap();
+        let run = PageRun::new(PageIdx::new(2), 3); // page 3 resident
+        let data = vec![9u8; run.byte_len() as usize];
+        let install = u.copy_run(run, &data).unwrap();
+        assert_eq!(install, RunInstall { installed: 2, eexist: 1 });
+        assert_eq!(u.stats().copies, 3);
+        assert_eq!(u.stats().copy_eexist, 1);
+        // The resident page kept its original contents.
+        assert_eq!(u.memory().page_bytes(PageIdx::new(3)).unwrap()[0], 1);
+        assert_eq!(u.memory().page_bytes(PageIdx::new(2)).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn copy_run_with_fills_in_place() {
+        let mut u = setup();
+        let run = PageRun::new(PageIdx::new(1), 2);
+        u.copy_run_with(run, |buf| buf.fill(0x42)).unwrap();
+        assert_eq!(u.stats().copies, 2);
+        assert!(u.memory().is_run_resident(run));
+        // Resident target is EEXIST, counted once per batched attempt.
+        let err = u.copy_run_with(run, |buf| buf.fill(0)).unwrap_err();
+        assert!(matches!(err, MemError::AlreadyResident(_)));
+        assert_eq!(u.stats().copy_eexist, 1);
+    }
+
+    #[test]
+    fn copy_run_out_of_bounds() {
+        let mut u = setup();
+        let run = PageRun::new(PageIdx::new(15), 4);
+        let data = vec![0u8; run.byte_len() as usize];
+        assert!(matches!(
+            u.copy_run(run, &data),
+            Err(MemError::OutOfBounds(_))
+        ));
     }
 }

@@ -1,9 +1,90 @@
-//! Property tests for guest memory + uffd invariants.
+//! Property tests for guest memory + uffd invariants, including the
+//! equivalence suite that pins the run-length-batched fault path to the
+//! original per-page semantics.
 
 use guest_mem::{
-    fnv1a64, GuestAddr, GuestMemory, MemError, PageIdx, TouchOutcome, Uffd, PAGE_SIZE,
+    fnv1a64, GuestAddr, GuestMemory, MemError, PageIdx, PageRun, TouchOutcome, Uffd, PAGE_SIZE,
 };
 use proptest::prelude::*;
+
+/// Reference model of the pre-run-length `GuestMemory`: one boxed frame
+/// per page, per-page installs only.
+struct RefMemory {
+    frames: Vec<Option<Box<[u8]>>>,
+    dirty: std::collections::BTreeSet<u64>,
+    tracking: bool,
+}
+
+impl RefMemory {
+    fn new(pages: u64) -> Self {
+        RefMemory {
+            frames: (0..pages).map(|_| None).collect(),
+            dirty: std::collections::BTreeSet::new(),
+            tracking: false,
+        }
+    }
+
+    fn install(&mut self, page: u64, data: &[u8]) -> Result<(), MemError> {
+        if page >= self.frames.len() as u64 {
+            return Err(MemError::OutOfBounds(PageIdx::new(page).base_addr()));
+        }
+        if self.frames[page as usize].is_some() {
+            return Err(MemError::AlreadyResident(PageIdx::new(page)));
+        }
+        self.frames[page as usize] = Some(data.to_vec().into_boxed_slice());
+        if self.tracking {
+            self.dirty.insert(page);
+        }
+        Ok(())
+    }
+
+    /// Old-semantics bulk install: page-by-page, all-or-nothing checked
+    /// up front (matches `GuestMemory::install_run`'s contract).
+    fn install_run(&mut self, first: u64, data: &[u8]) -> Result<(), MemError> {
+        let len = data.len() as u64 / PAGE_SIZE as u64;
+        if first + len > self.frames.len() as u64 {
+            return Err(MemError::OutOfBounds(PageIdx::new(first).base_addr()));
+        }
+        for p in first..first + len {
+            if self.frames[p as usize].is_some() {
+                return Err(MemError::AlreadyResident(PageIdx::new(p)));
+            }
+        }
+        for (i, p) in (first..first + len).enumerate() {
+            self.install(p, &data[i * PAGE_SIZE..(i + 1) * PAGE_SIZE])
+                .expect("checked missing");
+        }
+        Ok(())
+    }
+
+    fn evict(&mut self, page: u64) -> bool {
+        self.frames
+            .get_mut(page as usize)
+            .is_some_and(|f| f.take().is_some())
+    }
+
+    fn resident(&self) -> Vec<u64> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_some())
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+}
+
+fn page_content(label: u64, page: u64) -> Vec<u8> {
+    let mut data = vec![0u8; PAGE_SIZE];
+    guest_mem::checksum::fill_deterministic(&mut data, label, page);
+    data
+}
+
+/// Clip a raw (start, len) pair into a touch window over `pages` pages.
+fn window(pages: u64, start: u64, len: u64) -> PageRun {
+    let first = start % pages;
+    let len = len.clamp(1, pages - first);
+    PageRun::new(PageIdx::new(first), len)
+}
 
 proptest! {
     /// Residency count always equals the number of distinct installed pages,
@@ -104,5 +185,128 @@ proptest! {
         }
         prop_assert!(faulted <= touches.len() as u64);
         prop_assert_eq!(uffd.stats().faults, faulted);
+    }
+
+    /// Equivalence: the bitmap/slab `GuestMemory` behaves exactly like the
+    /// per-page boxed-frame model under arbitrary interleavings of
+    /// single-page installs, bulk run installs and evictions — same
+    /// success/error results, same resident set, same bytes.
+    #[test]
+    fn memory_matches_per_page_reference(
+        ops in proptest::collection::vec((0u8..3, 0u64..96, 1u64..9), 1..120)
+    ) {
+        const PAGES: u64 = 80;
+        let mut mem = GuestMemory::new(PAGES * PAGE_SIZE as u64);
+        let mut reference = RefMemory::new(PAGES);
+        for (i, &(kind, raw_page, raw_len)) in ops.iter().enumerate() {
+            match kind {
+                0 => {
+                    // Single-page install (may go out of bounds on purpose).
+                    let page = raw_page;
+                    let data = page_content(i as u64, page);
+                    let got = mem.install_page(PageIdx::new(page), &data);
+                    let want = reference.install(page, &data);
+                    prop_assert_eq!(got, want, "install_page({})", page);
+                }
+                1 => {
+                    // Bulk install; may overlap residents or leave bounds.
+                    let first = raw_page % PAGES;
+                    let len = raw_len; // may extend past the region
+                    let mut data = Vec::with_capacity((len * PAGE_SIZE as u64) as usize);
+                    for p in first..first + len {
+                        data.extend_from_slice(&page_content(i as u64, p));
+                    }
+                    let got = mem.install_run(PageRun::new(PageIdx::new(first), len), &data);
+                    let want = reference.install_run(first, &data);
+                    prop_assert_eq!(got, want, "install_run({}, {})", first, len);
+                }
+                _ => {
+                    let got = mem.evict_page(PageIdx::new(raw_page));
+                    let want = reference.evict(raw_page);
+                    prop_assert_eq!(got, want, "evict({})", raw_page);
+                }
+            }
+        }
+        let resident: Vec<u64> = mem.resident_iter().map(|p| p.as_u64()).collect();
+        prop_assert_eq!(&resident, &reference.resident());
+        prop_assert_eq!(mem.resident_pages(), resident.len() as u64);
+        for &p in &resident {
+            let want = reference.frames[p as usize].as_deref().unwrap();
+            prop_assert_eq!(mem.page_bytes(PageIdx::new(p)).unwrap(), want, "page {}", p);
+        }
+        // The run view expands to the same resident set.
+        let from_runs: Vec<u64> = mem
+            .resident_runs()
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|p| p.as_u64())
+            .collect();
+        prop_assert_eq!(&from_runs, &resident);
+    }
+
+    /// Equivalence: serving random touch-run sequences through the
+    /// batched path (`next_missing_run`/`raise_run`/`copy_run_with`/
+    /// `wake_run`) produces *identical* `UffdStats`, resident sets and
+    /// page contents to the per-page protocol
+    /// (`touch_page`/`poll`/`copy`/`wake`) the old replay used.
+    #[test]
+    fn run_path_matches_per_page_uffd(
+        touches in proptest::collection::vec((0u64..128, 1u64..24), 1..60)
+    ) {
+        const PAGES: u64 = 128;
+        const LABEL: u64 = 0x51AB;
+        let region = 0x7f00_0000_0000u64;
+
+        // Per-page reference protocol.
+        let mut per_page = Uffd::register(GuestMemory::new(PAGES * PAGE_SIZE as u64), region);
+        for &(start, len) in &touches {
+            let w = window(PAGES, start, len);
+            for page in w.iter() {
+                if let TouchOutcome::Faulted(ev) = per_page.touch_page(page) {
+                    let polled = per_page.poll().unwrap();
+                    prop_assert_eq!(polled, ev);
+                    let p = per_page.page_of_fault(ev);
+                    per_page.copy(p, &page_content(LABEL, p.as_u64())).unwrap();
+                    per_page.wake();
+                }
+            }
+        }
+
+        // Batched run protocol.
+        let mut batched = Uffd::register(GuestMemory::new(PAGES * PAGE_SIZE as u64), region);
+        for &(start, len) in &touches {
+            let w = window(PAGES, start, len);
+            let mut cursor = w.first;
+            while let Some(missing) = batched.next_missing_run(cursor, w) {
+                let ev = batched.raise_run(missing);
+                let first = batched.page_of_fault(ev);
+                prop_assert_eq!(first, missing.first);
+                batched
+                    .copy_run_with(missing, |buf| {
+                        for (i, page) in missing.iter().enumerate() {
+                            guest_mem::checksum::fill_deterministic(
+                                &mut buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE],
+                                LABEL,
+                                page.as_u64(),
+                            );
+                        }
+                    })
+                    .unwrap();
+                batched.wake_run(missing.len);
+                cursor = missing.end();
+            }
+        }
+
+        prop_assert_eq!(per_page.stats(), batched.stats(), "UffdStats must be identical");
+        let ref_resident: Vec<u64> = per_page.memory().resident_iter().map(|p| p.as_u64()).collect();
+        let run_resident: Vec<u64> = batched.memory().resident_iter().map(|p| p.as_u64()).collect();
+        prop_assert_eq!(&ref_resident, &run_resident, "resident sets must be identical");
+        for &p in &ref_resident {
+            prop_assert_eq!(
+                per_page.memory().page_checksum(PageIdx::new(p)),
+                batched.memory().page_checksum(PageIdx::new(p)),
+                "page {} contents must be identical", p
+            );
+        }
     }
 }

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod events;
+pub mod parcopy;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod table;
 pub mod time;
 
 pub use events::EventQueue;
+pub use parcopy::{copy_par, extend_par, extend_scatter};
 pub use resource::{MultiServer, TokenPool};
 pub use rng::DetRng;
 pub use stats::{Histogram, OnlineStats, Percentiles};

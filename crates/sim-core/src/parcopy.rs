@@ -1,0 +1,216 @@
+//! Bounded-lane parallel byte copies.
+//!
+//! The functional layer of the reproduction moves real bytes — installing
+//! a 64 MB working set is at minimum one large memcpy, and a single core
+//! cannot saturate memory bandwidth. These helpers split bulk copies
+//! across a few scoped threads (no pools, no globals, deterministic
+//! results) and fall back to plain `copy_from_slice` below a threshold
+//! where thread-spawn overhead would dominate.
+//!
+//! This is a *bandwidth* utility, deliberately dumb: lanes are scoped
+//! `std::thread`s that die at the end of the call. Architectural
+//! parallelism (overlapping fetch with install across the cold-start
+//! timeline — "prefetch lanes") is future ROADMAP work and lives above
+//! this layer.
+
+use std::mem::MaybeUninit;
+
+/// Copies below this size stay single-threaded (thread spawn ≈ tens of
+/// microseconds; a 2 MB memcpy is ~hundreds).
+pub const PAR_THRESHOLD_BYTES: usize = 2 * 1024 * 1024;
+
+/// Maximum copy lanes. Small on purpose: memory bandwidth saturates with
+/// a handful of streams, and the simulator often runs in 1–4 vCPU
+/// containers.
+pub const MAX_LANES: usize = 4;
+
+/// Lanes are additionally capped by the host's usable parallelism: on a
+/// 1-vCPU container spawned lanes only add scheduling overhead, so
+/// everything stays serial there.
+fn host_lanes() -> usize {
+    use std::sync::OnceLock;
+    static LANES: OnceLock<usize> = OnceLock::new();
+    *LANES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_LANES)
+    })
+}
+
+fn lanes_for(bytes: usize) -> usize {
+    if bytes < PAR_THRESHOLD_BYTES {
+        1
+    } else {
+        host_lanes()
+    }
+}
+
+/// Copies `src` into `dst` (equal lengths), splitting across up to
+/// [`MAX_LANES`] scoped threads when large enough to pay off.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn copy_par(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "copy_par needs equal lengths");
+    let lanes = lanes_for(dst.len());
+    if lanes == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let chunk = dst.len().div_ceil(lanes);
+    std::thread::scope(|s| {
+        for (d, c) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+            s.spawn(move || d.copy_from_slice(c));
+        }
+    });
+}
+
+/// Appends `src` to `vec` with one reservation and a (possibly parallel)
+/// copy into the spare capacity — no intermediate zero-fill of the new
+/// region, unlike `resize`-then-overwrite.
+pub fn extend_par(vec: &mut Vec<u8>, src: &[u8]) {
+    vec.reserve(src.len());
+    let start = vec.len();
+    let spare = &mut vec.spare_capacity_mut()[..src.len()];
+    let lanes = lanes_for(src.len());
+    let chunk = src.len().div_ceil(lanes.max(1)).max(1);
+    std::thread::scope(|s| {
+        for (d, c) in spare.chunks_mut(chunk).zip(src.chunks(chunk)) {
+            s.spawn(move || {
+                // SAFETY: `d` and `c` are disjoint, equal-length chunks;
+                // writing `c.len()` initialized bytes through `d`'s base
+                // pointer initializes exactly that region.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        c.as_ptr(),
+                        d.as_mut_ptr() as *mut u8,
+                        c.len(),
+                    );
+                }
+            });
+        }
+    });
+    // SAFETY: every byte of `spare[..src.len()]` was initialized by the
+    // lane copies above, so the new length is fully initialized.
+    unsafe { vec.set_len(start + src.len()) };
+}
+
+/// Appends the concatenation of `parts` to `vec` with one reservation,
+/// fanning the parts across copy lanes (each part lands at its exact
+/// offset, so lane order is irrelevant). The scatter-gather core of the
+/// WS-file builder.
+pub fn extend_scatter(vec: &mut Vec<u8>, parts: &[&[u8]]) {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    vec.reserve(total);
+    let start = vec.len();
+    {
+        // Pair every part with its destination chunk of spare capacity.
+        let mut spare = &mut vec.spare_capacity_mut()[..total];
+        let mut jobs: Vec<(&[u8], &mut [MaybeUninit<u8>])> = Vec::with_capacity(parts.len());
+        for part in parts {
+            let (dst, rest) = spare.split_at_mut(part.len());
+            spare = rest;
+            jobs.push((part, dst));
+        }
+        let lanes = lanes_for(total).min(jobs.len().max(1));
+        let per_lane = total.div_ceil(lanes).max(1);
+        std::thread::scope(|s| {
+            // Greedy contiguous grouping: consecutive jobs until a lane
+            // holds ~total/lanes bytes.
+            let mut jobs = jobs.into_iter();
+            loop {
+                let mut lane_jobs = Vec::new();
+                let mut lane_bytes = 0;
+                for (src, dst) in jobs.by_ref() {
+                    lane_bytes += src.len();
+                    lane_jobs.push((src, dst));
+                    if lane_bytes >= per_lane {
+                        break;
+                    }
+                }
+                if lane_jobs.is_empty() {
+                    break;
+                }
+                s.spawn(move || {
+                    for (src, dst) in lane_jobs {
+                        // SAFETY: disjoint equal-length regions; every
+                        // byte of `dst` is initialized by this copy.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                src.as_ptr(),
+                                dst.as_mut_ptr() as *mut u8,
+                                src.len(),
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+    // SAFETY: the jobs covered `spare[..total]` exactly (split_at_mut
+    // partitions it), and every job initialized its region.
+    unsafe { vec.set_len(start + total) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_par_small_and_large() {
+        let small: Vec<u8> = (0..100u8).collect();
+        let mut dst = vec![0u8; 100];
+        copy_par(&mut dst, &small);
+        assert_eq!(dst, small);
+
+        let big: Vec<u8> = (0..(3 * PAR_THRESHOLD_BYTES)).map(|i| i as u8).collect();
+        let mut dst = vec![0u8; big.len()];
+        copy_par(&mut dst, &big);
+        assert_eq!(dst, big);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn copy_par_length_mismatch() {
+        copy_par(&mut [0u8; 3], &[1u8; 4]);
+    }
+
+    #[test]
+    fn extend_par_appends_exactly() {
+        let mut v: Vec<u8> = vec![1, 2, 3];
+        let src: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        extend_par(&mut v, &src);
+        assert_eq!(v.len(), 3 + src.len());
+        assert_eq!(&v[..3], &[1, 2, 3]);
+        assert_eq!(&v[3..], &src[..]);
+
+        // Large append crosses the parallel threshold.
+        let big: Vec<u8> = (0..(2 * PAR_THRESHOLD_BYTES + 7)).map(|i| (i * 31) as u8).collect();
+        let mut v = Vec::new();
+        extend_par(&mut v, &big);
+        assert_eq!(v, big);
+    }
+
+    #[test]
+    fn extend_scatter_matches_concatenation() {
+        let a: Vec<u8> = (0..100_000usize).map(|i| i as u8).collect();
+        let b = vec![7u8; 13];
+        let c: Vec<u8> = (0..(2 * PAR_THRESHOLD_BYTES)).map(|i| (i * 17) as u8).collect();
+        let parts: Vec<&[u8]> = vec![&a, &b, &c, &[]];
+        let mut v = vec![42u8];
+        extend_scatter(&mut v, &parts);
+        let mut expect = vec![42u8];
+        for p in &parts {
+            expect.extend_from_slice(p);
+        }
+        assert_eq!(v, expect);
+
+        // Empty part list is a no-op.
+        let mut v2 = vec![1u8, 2];
+        extend_scatter(&mut v2, &[]);
+        assert_eq!(v2, vec![1, 2]);
+    }
+
+}

@@ -197,7 +197,7 @@ impl Disk {
             let rest = cluster_bytes - PAGE_SIZE;
             let _async_done = self.bus.submit(t_latency, self.profile.read_transfer(rest));
         }
-        self.cache.insert_range(file, page, cluster_pages);
+        self.cache.insert_run(file, page, cluster_pages);
         self.stats.device_bytes_read += cluster_bytes;
         self.stats.device_reads += 1;
         let ready = t_page + self.page_path_cost;
@@ -235,7 +235,7 @@ impl Disk {
         let bytes = uncached * PAGE_SIZE;
         let t_latency = self.latency_stage.submit(now, self.latency_of(Access::Random));
         let t_bus = self.bus.submit(t_latency, self.profile.read_transfer(bytes));
-        self.cache.insert_range(file, first, total_pages);
+        self.cache.insert_run(file, first, total_pages);
         self.stats.device_bytes_read += bytes;
         self.stats.device_reads += 1;
         let ready = t_bus + path_cost;
@@ -274,7 +274,7 @@ impl Disk {
         let t_bus = self.bus.submit(t_latency, self.profile.write_transfer(len));
         let first = offset / PAGE_SIZE;
         let pages = (offset + len - 1) / PAGE_SIZE - first + 1;
-        self.cache.insert_range(file, first, pages);
+        self.cache.insert_run(file, first, pages);
         self.stats.device_bytes_written += len;
         self.record(now, t_bus, IoKind::Write, len, len);
         t_bus

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -34,6 +35,14 @@ struct Inner {
     next_id: u64,
 }
 
+/// Operation counters, shared across store handles. Purely observational
+/// (used by batching regression tests); timing lives in [`crate::Disk`].
+#[derive(Debug, Default)]
+struct StoreCounters {
+    writes: AtomicU64,
+    reads: AtomicU64,
+}
+
 /// A shared, in-memory "filesystem".
 ///
 /// Cloning a `FileStore` yields another handle to the same files (the
@@ -54,6 +63,7 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct FileStore {
     inner: Arc<RwLock<Inner>>,
+    counters: Arc<StoreCounters>,
 }
 
 impl FileStore {
@@ -130,17 +140,29 @@ impl FileStore {
     ///
     /// Panics if `id` does not refer to a live file.
     pub fn write_at(&self, id: FileId, offset: u64, bytes: &[u8]) {
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
         let data = &mut inner
             .files
             .get_mut(&id)
             .unwrap_or_else(|| panic!("write to dead {id}"))
             .data;
-        let end = offset as usize + bytes.len();
-        if data.len() < end {
-            data.resize(end, 0);
+        let offset = offset as usize;
+        let end = offset + bytes.len();
+        if end <= data.len() {
+            // In-place overwrite.
+            sim_core::copy_par(&mut data[offset..end], bytes);
+        } else if offset <= data.len() {
+            // Extending write: overwrite the tail in place, append the
+            // rest without the intermediate zero-fill `resize` would pay.
+            let keep = data.len() - offset;
+            sim_core::copy_par(&mut data[offset..], &bytes[..keep]);
+            sim_core::extend_par(data, &bytes[keep..]);
+        } else {
+            // Write past EOF: the gap really is zeros.
+            data.resize(offset, 0);
+            sim_core::extend_par(data, bytes);
         }
-        data[offset as usize..end].copy_from_slice(bytes);
     }
 
     /// Appends `bytes` and returns the offset they were written at.
@@ -149,6 +171,7 @@ impl FileStore {
     ///
     /// Panics if `id` does not refer to a live file.
     pub fn append(&self, id: FileId, bytes: &[u8]) -> u64 {
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
         let data = &mut inner
             .files
@@ -167,14 +190,15 @@ impl FileStore {
     ///
     /// Panics if `id` does not refer to a live file.
     pub fn read_at(&self, id: FileId, offset: u64, len: usize) -> Vec<u8> {
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
         let inner = self.inner.read();
         let data = &inner.files[&id].data;
-        let mut out = vec![0u8; len];
         let start = (offset as usize).min(data.len());
         let end = (offset as usize + len).min(data.len());
-        if end > start {
-            out[..end - start].copy_from_slice(&data[start..end]);
-        }
+        let mut out = Vec::new();
+        sim_core::extend_par(&mut out, &data[start..end]);
+        // Zero-fill only the past-EOF tail (sparse-file semantics).
+        out.resize(len, 0);
         out
     }
 
@@ -184,14 +208,96 @@ impl FileStore {
     ///
     /// Panics if `id` does not refer to a live file.
     pub fn read_into(&self, id: FileId, offset: u64, buf: &mut [u8]) {
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
         let inner = self.inner.read();
         let data = &inner.files[&id].data;
-        buf.fill(0);
         let start = (offset as usize).min(data.len());
         let end = (offset as usize + buf.len()).min(data.len());
-        if end > start {
-            buf[..end - start].copy_from_slice(&data[start..end]);
+        let covered = end - start;
+        sim_core::copy_par(&mut buf[..covered], &data[start..end]);
+        // Zero-fill only the past-EOF tail (sparse-file semantics).
+        buf[covered..].fill(0);
+    }
+
+    /// Borrows `[offset, offset + len)` of the file's bytes zero-copy,
+    /// clamped to EOF, and passes the slice to `f` under the store's read
+    /// lock. `f` must not call mutating store methods (deadlock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn with_range<R>(&self, id: FileId, offset: u64, len: u64, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read();
+        let data = &inner.files[&id].data;
+        let start = (offset as usize).min(data.len());
+        let end = (offset as usize).saturating_add(len as usize).min(data.len());
+        f(&data[start..end])
+    }
+
+    /// Scatter-gather write: assembles `parts` (ranges of other files)
+    /// contiguously into `dst` starting at `dst_offset`, in one store
+    /// operation with a single destination copy — the `writev` of the WS
+    /// file builder. The destination is truncated at `dst_offset` first.
+    /// Source ranges past EOF read as zeros (sparse-file semantics, as
+    /// [`read_at`](Self::read_at)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` or any source is dead, if `dst_offset` is past the
+    /// destination's EOF, or if `dst` appears among the sources.
+    pub fn gather_into(&self, dst: FileId, dst_offset: u64, parts: &[(FileId, u64, u64)]) {
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.write();
+        // Take the destination out so sources can be borrowed freely.
+        let mut dst_data = std::mem::take(
+            &mut inner
+                .files
+                .get_mut(&dst)
+                .unwrap_or_else(|| panic!("gather into dead {dst}"))
+                .data,
+        );
+        assert!(
+            dst_offset as usize <= dst_data.len(),
+            "gather at {dst_offset} past EOF of {dst}"
+        );
+        dst_data.truncate(dst_offset as usize);
+        {
+            let inner = &*inner;
+            // Past-EOF stretches borrow from one shared zeros buffer.
+            let max_shortfall = parts
+                .iter()
+                .map(|&(src, offset, len)| {
+                    let file_len = inner
+                        .files
+                        .get(&src)
+                        .unwrap_or_else(|| panic!("gather from dead {src}"))
+                        .data
+                        .len() as u64;
+                    len.saturating_sub(file_len.saturating_sub(offset)) as usize
+                })
+                .max()
+                .unwrap_or(0);
+            let zeros = vec![0u8; max_shortfall];
+            let mut slices: Vec<&[u8]> = Vec::with_capacity(parts.len() * 2);
+            for &(src, offset, len) in parts {
+                assert_ne!(src, dst, "gather source must differ from destination");
+                let data = &inner.files[&src].data;
+                let start = (offset as usize).min(data.len());
+                let end = (offset as usize).saturating_add(len as usize).min(data.len());
+                slices.push(&data[start..end]);
+                let shortfall = len as usize - (end - start);
+                if shortfall > 0 {
+                    slices.push(&zeros[..shortfall]);
+                }
+            }
+            sim_core::extend_scatter(&mut dst_data, &slices);
         }
+        inner
+            .files
+            .get_mut(&dst)
+            .expect("destination checked above")
+            .data = dst_data;
     }
 
     /// Truncates (or zero-extends) the file to exactly `len` bytes.
@@ -232,6 +338,18 @@ impl FileStore {
     pub fn total_bytes(&self) -> u64 {
         let inner = self.inner.read();
         inner.files.values().map(|f| f.data.len() as u64).sum()
+    }
+
+    /// Write operations (`write_at` + `append`) issued so far, across all
+    /// handles to this store. Batching tests assert on deltas of this.
+    pub fn write_calls(&self) -> u64 {
+        self.counters.writes.load(Ordering::Relaxed)
+    }
+
+    /// Read operations (`read_at` + `read_into`) issued so far, across
+    /// all handles to this store.
+    pub fn read_calls(&self) -> u64 {
+        self.counters.reads.load(Ordering::Relaxed)
     }
 }
 
@@ -322,5 +440,77 @@ mod tests {
         fs2.write_at(id, 0, b"via clone");
         assert_eq!(fs.read_at(id, 0, 9), b"via clone");
         assert_eq!(fs.total_bytes(), 9);
+    }
+
+    #[test]
+    fn with_range_borrows_and_clamps() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.write_at(id, 0, b"hello world");
+        let got = fs.with_range(id, 6, 5, |s| s.to_vec());
+        assert_eq!(got, b"world");
+        // Past-EOF range clamps instead of zero-filling.
+        let got = fs.with_range(id, 6, 100, |s| s.len());
+        assert_eq!(got, 5);
+        let got = fs.with_range(id, 100, 5, |s| s.len());
+        assert_eq!(got, 0);
+    }
+
+    #[test]
+    fn gather_into_assembles_ranges() {
+        let fs = FileStore::new();
+        let a = fs.create("a");
+        let b = fs.create("b");
+        let dst = fs.create("dst");
+        fs.write_at(a, 0, b"0123456789");
+        fs.write_at(b, 0, b"abcdef");
+        fs.write_at(dst, 0, b"HDR:");
+        let writes_before = fs.write_calls();
+        fs.gather_into(dst, 4, &[(a, 2, 3), (b, 0, 2), (a, 0, 1)]);
+        assert_eq!(fs.write_calls() - writes_before, 1, "one store op");
+        assert_eq!(fs.read_at(dst, 0, 10), b"HDR:234ab0");
+        assert_eq!(fs.len(dst), 10);
+        // Gather replaces everything from the offset on.
+        fs.gather_into(dst, 4, &[(b, 5, 1)]);
+        assert_eq!(fs.read_at(dst, 0, 5), b"HDR:f");
+        assert_eq!(fs.len(dst), 5);
+    }
+
+    #[test]
+    fn gather_past_source_eof_reads_zeros() {
+        let fs = FileStore::new();
+        let a = fs.create("a");
+        let dst = fs.create("dst");
+        fs.write_at(a, 0, b"xy");
+        fs.gather_into(dst, 0, &[(a, 0, 4), (a, 10, 2)]);
+        assert_eq!(fs.read_at(dst, 0, 6), b"xy\0\0\0\0");
+    }
+
+    #[test]
+    fn write_at_extending_and_gapped() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.write_at(id, 0, b"abcdef");
+        // Overwrite tail + extend in one call.
+        fs.write_at(id, 4, b"XYZW");
+        assert_eq!(fs.read_at(id, 0, 8), b"abcdXYZW");
+        // Write past EOF zero-fills the gap.
+        fs.write_at(id, 10, b"!!");
+        assert_eq!(fs.read_at(id, 0, 12), b"abcdXYZW\0\0!!");
+    }
+
+    #[test]
+    fn op_counters_track_all_handles() {
+        let fs = FileStore::new();
+        let fs2 = fs.clone();
+        let id = fs.create("f");
+        assert_eq!((fs.write_calls(), fs.read_calls()), (0, 0));
+        fs.write_at(id, 0, b"abc");
+        fs2.append(id, b"d");
+        assert_eq!(fs.write_calls(), 2, "clone's ops are counted too");
+        let _ = fs.read_at(id, 0, 4);
+        let mut buf = [0u8; 2];
+        fs2.read_into(id, 0, &mut buf);
+        assert_eq!(fs.read_calls(), 2);
     }
 }

@@ -3,15 +3,30 @@
 //! The paper's methodology flushes the host page cache before every cold
 //! invocation (§4.1) — [`PageCache::drop_caches`] — so capacity rarely
 //! binds, but we model LRU anyway so cache-pressure experiments are
-//! possible. Granularity is one 4 KB page of a given file. Recency is a
-//! monotone stamp; an ordered stamp index makes eviction O(log n).
+//! possible. Granularity is one 4 KB page of a given file.
+//!
+//! Recency is an intrusive doubly-linked list threaded through a node
+//! slab: probe, insert and evict are all O(1), with no ordered stamp
+//! index to maintain (the previous `BTreeMap`-by-stamp design paid
+//! O(log n) per touch on the hottest path of the disk model).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use crate::file_store::FileId;
 
 /// Key of one cached page: (file, page index within file).
 type PageKey = (FileId, u64);
+
+/// Null link in the LRU list.
+const NIL: u32 = u32::MAX;
+
+/// One LRU node: its key plus prev/next links (MRU towards `head`).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: PageKey,
+    prev: u32,
+    next: u32,
+}
 
 /// An LRU page cache over (file, page) pairs.
 ///
@@ -32,11 +47,15 @@ type PageKey = (FileId, u64);
 #[derive(Debug, Clone)]
 pub struct PageCache {
     capacity_pages: usize,
-    /// page -> LRU stamp
-    pages: HashMap<PageKey, u64>,
-    /// stamp -> page (stamps are unique; the lowest is the LRU victim)
-    by_stamp: BTreeMap<u64, PageKey>,
-    clock: u64,
+    /// page -> node index in `nodes`.
+    pages: HashMap<PageKey, u32>,
+    nodes: Vec<Node>,
+    /// Recycled node indices.
+    free: Vec<u32>,
+    /// Most recently used node, or NIL.
+    head: u32,
+    /// Least recently used node (eviction victim), or NIL.
+    tail: u32,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -53,8 +72,10 @@ impl PageCache {
         PageCache {
             capacity_pages,
             pages: HashMap::new(),
-            by_stamp: BTreeMap::new(),
-            clock: 0,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -66,12 +87,59 @@ impl PageCache {
         PageCache::new(1 << 20)
     }
 
-    fn touch(&mut self, key: PageKey) {
-        self.clock += 1;
-        if let Some(old) = self.pages.insert(key, self.clock) {
-            self.by_stamp.remove(&old);
+    /// Unlinks node `n` from the list (it must be linked).
+    fn unlink(&mut self, n: u32) {
+        let Node { prev, next, .. } = self.nodes[n as usize];
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
         }
-        self.by_stamp.insert(self.clock, key);
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links node `n` at the MRU end.
+    fn link_front(&mut self, n: u32) {
+        self.nodes[n as usize].prev = NIL;
+        self.nodes[n as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = n;
+        } else {
+            self.tail = n;
+        }
+        self.head = n;
+    }
+
+    /// Refreshes recency of an existing page or admits a new one.
+    fn touch(&mut self, key: PageKey) {
+        if let Some(&n) = self.pages.get(&key) {
+            if self.head != n {
+                self.unlink(n);
+                self.link_front(n);
+            }
+            return;
+        }
+        let n = match self.free.pop() {
+            Some(n) => {
+                self.nodes[n as usize].key = key;
+                n
+            }
+            None => {
+                self.nodes.push(Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.pages.insert(key, n);
+        self.link_front(n);
+        self.evict_if_needed();
     }
 
     /// True if the page is cached; updates recency and hit/miss counters.
@@ -91,53 +159,68 @@ impl PageCache {
         self.pages.contains_key(&(file, page))
     }
 
+    /// True if the whole run `[first, first + count)` is cached, without
+    /// touching recency or counters.
+    pub fn contains_run(&self, file: FileId, first: u64, count: u64) -> bool {
+        (first..first + count).all(|p| self.contains(file, p))
+    }
+
     /// Inserts one page (refreshes recency if present).
     pub fn insert(&mut self, file: FileId, page: u64) {
         self.touch((file, page));
-        self.evict_if_needed();
     }
 
-    /// Inserts a contiguous run `[first, first + count)` of pages.
-    pub fn insert_range(&mut self, file: FileId, first: u64, count: u64) {
+    /// Inserts a contiguous run `[first, first + count)` of pages, most
+    /// recent last — the bulk admission the readahead and buffered-read
+    /// paths use.
+    pub fn insert_run(&mut self, file: FileId, first: u64, count: u64) {
         for p in first..first + count {
             self.touch((file, p));
         }
-        self.evict_if_needed();
+    }
+
+    /// Backwards-compatible alias of [`insert_run`](Self::insert_run).
+    pub fn insert_range(&mut self, file: FileId, first: u64, count: u64) {
+        self.insert_run(file, first, count);
     }
 
     fn evict_if_needed(&mut self) {
         while self.pages.len() > self.capacity_pages {
-            let (&stamp, &victim) = self
-                .by_stamp
-                .iter()
-                .next()
-                .expect("nonempty cache over capacity");
-            self.by_stamp.remove(&stamp);
-            self.pages.remove(&victim);
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "nonempty cache over capacity");
+            self.unlink(victim);
+            let key = self.nodes[victim as usize].key;
+            self.pages.remove(&key);
+            self.free.push(victim);
             self.evictions += 1;
         }
     }
 
     /// Drops every cached page — the `echo 3 > /proc/sys/vm/drop_caches`
-    /// step in the paper's methodology (§4.1). Counters survive.
+    /// step in the paper's methodology (§4.1). All structural state (map,
+    /// node slab, free list, LRU links) is reset so a drop→refill cycle
+    /// starts from a pristine cache; counters survive.
     pub fn drop_caches(&mut self) {
         self.pages.clear();
-        self.by_stamp.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     /// Drops cached pages of a single file (e.g. when a snapshot file is
     /// regenerated).
     pub fn drop_file(&mut self, file: FileId) {
-        self.pages.retain(|&(f, _), stamp| {
-            if f == file {
-                // Defer stamp-index cleanup to the retain over by_stamp.
-                let _ = stamp;
-                false
-            } else {
-                true
+        let mut cursor = self.head;
+        while cursor != NIL {
+            let node = self.nodes[cursor as usize];
+            if node.key.0 == file {
+                self.unlink(cursor);
+                self.pages.remove(&node.key);
+                self.free.push(cursor);
             }
-        });
-        self.by_stamp.retain(|_, &mut (f, _)| f != file);
+            cursor = node.next;
+        }
     }
 
     /// Number of cached pages.
@@ -213,10 +296,10 @@ mod tests {
     }
 
     #[test]
-    fn insert_range_and_capacity() {
+    fn insert_run_and_capacity() {
         let (a, _) = two_files();
         let mut c = PageCache::new(8);
-        c.insert_range(a, 0, 12);
+        c.insert_run(a, 0, 12);
         assert_eq!(c.resident_pages(), 8);
         // The *last* 8 pages of the range survive.
         for p in 4..12 {
@@ -225,6 +308,8 @@ mod tests {
         for p in 0..4 {
             assert!(!c.contains(a, p), "page {p} should be evicted");
         }
+        assert!(c.contains_run(a, 4, 8));
+        assert!(!c.contains_run(a, 3, 8));
     }
 
     #[test]
@@ -239,6 +324,32 @@ mod tests {
     }
 
     #[test]
+    fn drop_then_refill_cycles_stay_consistent() {
+        // Regression guard for the drop_caches reset: repeated drop→refill
+        // cycles must leave no stale recency state behind — the refilled
+        // cache behaves exactly like a fresh one (same LRU victims, no
+        // phantom residents, bounded occupancy).
+        let (a, _) = two_files();
+        let mut c = PageCache::new(4);
+        for cycle in 0..5u64 {
+            c.drop_caches();
+            assert_eq!(c.resident_pages(), 0, "cycle {cycle}: drop left pages");
+            c.insert_run(a, 0, 6); // overflow: pages 2..6 survive
+            assert_eq!(c.resident_pages(), 4);
+            for p in 2..6 {
+                assert!(c.contains(a, p), "cycle {cycle}: page {p} missing");
+            }
+            assert!(!c.contains(a, 0), "cycle {cycle}: page 0 must be evicted");
+            // Recency inside the refill is fresh, not inherited: touching
+            // page 2 must protect it from the next insert.
+            assert!(c.probe(a, 2));
+            c.insert(a, 9);
+            assert!(c.contains(a, 2), "cycle {cycle}: refreshed page evicted");
+            assert!(!c.contains(a, 3), "cycle {cycle}: stale-LRU page kept");
+        }
+    }
+
+    #[test]
     fn drop_file_is_selective() {
         let (a, b) = two_files();
         let mut c = PageCache::new(16);
@@ -247,11 +358,28 @@ mod tests {
         c.drop_file(a);
         assert!(!c.contains(a, 0));
         assert!(c.contains(b, 0));
-        // Stamp index stays consistent: more inserts + evictions work.
+        // LRU list stays consistent: more inserts + evictions work.
         for p in 0..20 {
             c.insert(b, p);
         }
         assert_eq!(c.resident_pages(), 16);
+    }
+
+    #[test]
+    fn drop_file_interleaved_keeps_order() {
+        let (a, b) = two_files();
+        let mut c = PageCache::new(16);
+        // Interleave the two files in the recency list.
+        for p in 0..4 {
+            c.insert(a, p);
+            c.insert(b, p);
+        }
+        c.drop_file(a);
+        assert_eq!(c.resident_pages(), 4);
+        // Survivors keep their relative LRU order: b0 is the victim.
+        c.insert_run(b, 100, 13);
+        assert!(!c.contains(b, 0), "b0 was LRU");
+        assert!(c.contains(b, 3));
     }
 
     #[test]
@@ -268,7 +396,7 @@ mod tests {
 
     #[test]
     fn heavy_churn_stays_consistent() {
-        // Regression guard for the O(log n) eviction path: indices must
+        // Regression guard for the O(1) eviction path: map and list must
         // stay in lockstep under sustained overflow.
         let (a, _) = two_files();
         let mut c = PageCache::new(64);

@@ -7,7 +7,7 @@
 //! until a fault or a REAP prefetch asks for it.
 
 use functionbench::FunctionId;
-use guest_mem::{PageIdx, PAGE_SIZE};
+use guest_mem::{PageIdx, PageRun, PAGE_SIZE};
 use sim_storage::{FileId, FileStore};
 
 use crate::vm::{MicroVm, VmConfig};
@@ -50,9 +50,13 @@ impl Snapshot {
         let mem = vm.memory();
         let mem_file = fs.create(&format!("{prefix}/guest_mem"));
         fs.set_len(mem_file, mem.size_bytes());
-        for page in mem.resident_iter() {
-            let bytes = mem.page_bytes(page).expect("resident page has bytes");
-            fs.write_at(mem_file, page.file_offset(), bytes);
+        // One write per maximal resident run, not per page.
+        let mut buf = Vec::new();
+        for run in mem.resident_runs() {
+            buf.resize(run.byte_len() as usize, 0);
+            mem.read_run_into(run, &mut buf)
+                .expect("resident run has bytes");
+            fs.write_at(mem_file, run.file_offset(), &buf);
         }
         Snapshot {
             function: vm.function(),
@@ -89,6 +93,17 @@ impl Snapshot {
     /// installs when serving a fault).
     pub fn read_page(&self, fs: &FileStore, page: PageIdx) -> Vec<u8> {
         fs.read_at(self.mem_file, page.file_offset(), PAGE_SIZE)
+    }
+
+    /// Copies a whole run of pages from the guest memory file into `buf`
+    /// with a single read — the batched monitor's serve path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly `run.len` pages.
+    pub fn read_run_into(&self, fs: &FileStore, run: PageRun, buf: &mut [u8]) {
+        assert_eq!(buf.len() as u64, run.byte_len(), "buffer must match run");
+        fs.read_into(self.mem_file, run.file_offset(), buf);
     }
 
     /// Builds the restored VM shell: VMM state deserialized, guest memory
@@ -198,17 +213,24 @@ impl Snapshot {
 pub fn verify_restored(vm: &MicroVm, snapshot: &Snapshot, fs: &FileStore) -> Result<u64, String> {
     let mem = vm.memory();
     let mut verified = 0;
-    for page in mem.resident_iter() {
-        let got = mem.page_bytes(page).expect("resident page");
-        let expect = snapshot.read_page(fs, page);
-        if got != expect.as_slice() {
-            return Err(format!(
-                "page {page} differs from snapshot (restored checksum {:x}, file {:x})",
-                guest_mem::fnv1a64(got),
-                guest_mem::fnv1a64(&expect),
-            ));
+    let mut expect = Vec::new();
+    // One file read per maximal resident run; comparison stays per page so
+    // the error names the exact mismatching frame.
+    for run in mem.resident_runs() {
+        expect.resize(run.byte_len() as usize, 0);
+        snapshot.read_run_into(fs, run, &mut expect);
+        for (i, page) in run.iter().enumerate() {
+            let got = mem.page_bytes(page).expect("resident page");
+            let want = &expect[i * PAGE_SIZE..(i + 1) * PAGE_SIZE];
+            if got != want {
+                return Err(format!(
+                    "page {page} differs from snapshot (restored checksum {:x}, file {:x})",
+                    guest_mem::fnv1a64(got),
+                    guest_mem::fnv1a64(want),
+                ));
+            }
+            verified += 1;
         }
-        verified += 1;
     }
     Ok(verified)
 }

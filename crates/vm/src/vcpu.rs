@@ -9,11 +9,16 @@
 //! role of §5.2 — because a single-vCPU guest halts until the missing page
 //! is installed, which is exactly why serial page faults dominate cold
 //! invocations (§4.2).
-
-use std::collections::HashSet;
+//!
+//! The replay is run-length batched: consecutive missing pages of a touch
+//! chunk are found with one bitmap scan and served as one [`PageRun`]
+//! (one fault record, one bulk install, one wake batch) instead of
+//! thousands of per-page round trips — the optimization REAP itself makes
+//! on the host (§5.2.2). The per-page *accounting* (fault, copy and wake
+//! counters; per-page fault costs in the timed pass) is unchanged.
 
 use functionbench::GuestOp;
-use guest_mem::{FaultEvent, GuestMemory, MemError, PageIdx, TouchOutcome, Uffd};
+use guest_mem::{FaultEvent, GuestMemory, MemError, PageBitmap, PageIdx, PageRun, Uffd, PAGE_SIZE};
 use sim_core::SimDuration;
 
 /// One entry of the timed trace consumed by the latency simulation.
@@ -21,11 +26,12 @@ use sim_core::SimDuration;
 pub enum TimedOp {
     /// Guest computes for this long.
     Compute(SimDuration),
-    /// A userfaultfd fault on `page` was raised and served on the critical
-    /// path (baseline lazy paging / REAP residual faults).
+    /// A run of consecutive userfaultfd faults was raised and served on
+    /// the critical path (baseline lazy paging / REAP residual faults).
+    /// The timed pass charges each page of the run individually.
     Fault {
-        /// The faulted guest page.
-        page: PageIdx,
+        /// The faulted run of guest pages, in fault order.
+        run: PageRun,
     },
     /// `pages` anonymous pages were populated by the guest kernel (minor
     /// faults; no disk involved).
@@ -53,10 +59,15 @@ pub struct ExecutionTrace {
 impl ExecutionTrace {
     /// The faulted pages, in fault order (the REAP *trace* of §5.1).
     pub fn faulted_pages(&self) -> Vec<PageIdx> {
+        self.faulted_runs().iter().flat_map(|r| r.iter()).collect()
+    }
+
+    /// The faulted runs, in fault order.
+    pub fn faulted_runs(&self) -> Vec<PageRun> {
         self.ops
             .iter()
             .filter_map(|op| match op {
-                TimedOp::Fault { page } => Some(*page),
+                TimedOp::Fault { run } => Some(*run),
                 _ => None,
             })
             .collect()
@@ -73,6 +84,32 @@ pub trait FaultHandler {
     /// Propagates [`MemError`] if installation fails; the replay aborts by
     /// panicking, as a real guest would wedge.
     fn handle_fault(&mut self, uffd: &mut Uffd, ev: FaultEvent) -> Result<(), MemError>;
+
+    /// Installs a whole run of consecutively-faulted pages. `ev` is the
+    /// event of the run's first page; per-page events follow at
+    /// `host_vaddr + i * PAGE_SIZE`, `seq + i`.
+    ///
+    /// The default implementation loops [`handle_fault`](Self::handle_fault)
+    /// per page; bulk monitors override it with one read + one install.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] from the first failing install.
+    fn handle_fault_run(
+        &mut self,
+        uffd: &mut Uffd,
+        ev: FaultEvent,
+        run: PageRun,
+    ) -> Result<(), MemError> {
+        for i in 0..run.len {
+            let page_ev = FaultEvent {
+                host_vaddr: ev.host_vaddr + i * PAGE_SIZE as u64,
+                seq: ev.seq + i,
+            };
+            self.handle_fault(uffd, page_ev)?;
+        }
+        Ok(())
+    }
 }
 
 /// Replays `ops` on a *memory-resident* VM (freshly booted or warm).
@@ -81,8 +118,7 @@ pub trait FaultHandler {
 /// host I/O.
 pub fn run_resident(ops: &[GuestOp], memory: &mut GuestMemory, content_label: u64) -> ExecutionTrace {
     let mut trace = ExecutionTrace::default();
-    let mut touched: HashSet<u64> = HashSet::new();
-    let mut buf = vec![0u8; guest_mem::PAGE_SIZE];
+    let mut touched = PageBitmap::new(memory.num_pages());
     for op in ops {
         match op {
             GuestOp::Compute(d) => {
@@ -90,20 +126,24 @@ pub fn run_resident(ops: &[GuestOp], memory: &mut GuestMemory, content_label: u6
                 trace.compute += *d;
             }
             GuestOp::Touch(chunk) => {
+                let window = PageRun::new(chunk.start, chunk.pages);
+                touched.set_run(window);
                 let mut installed = 0u64;
-                for page in chunk.iter() {
-                    touched.insert(page.as_u64());
-                    if !memory.is_resident(page) {
-                        guest_mem::checksum::fill_deterministic(
-                            &mut buf,
-                            content_label,
-                            page.as_u64(),
-                        );
-                        memory
-                            .install_page(page, &buf)
-                            .expect("resident install cannot fail on non-resident page");
-                        installed += 1;
-                    }
+                let mut cursor = window.first;
+                while let Some(missing) = memory.next_missing_run(cursor, window) {
+                    memory
+                        .install_run_with(missing, |buf| {
+                            for (i, page) in missing.iter().enumerate() {
+                                guest_mem::checksum::fill_deterministic(
+                                    &mut buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE],
+                                    content_label,
+                                    page.as_u64(),
+                                );
+                            }
+                        })
+                        .expect("resident install cannot fail on a missing run");
+                    installed += missing.len;
+                    cursor = missing.end();
                 }
                 if installed > 0 {
                     trace.minor_faults += installed;
@@ -112,12 +152,13 @@ pub fn run_resident(ops: &[GuestOp], memory: &mut GuestMemory, content_label: u6
             }
         }
     }
-    trace.pages_touched = touched.len() as u64;
+    trace.pages_touched = touched.count();
     trace
 }
 
 /// Replays `ops` on a *lazily restored* VM: every first touch raises a
 /// userfaultfd fault that `handler` must serve before the vCPU continues.
+/// Consecutive missing pages are served as one batched run.
 ///
 /// # Panics
 ///
@@ -125,7 +166,7 @@ pub fn run_resident(ops: &[GuestOp], memory: &mut GuestMemory, content_label: u6
 /// hang forever on real hardware.
 pub fn run_lazy(ops: &[GuestOp], uffd: &mut Uffd, handler: &mut dyn FaultHandler) -> ExecutionTrace {
     let mut trace = ExecutionTrace::default();
-    let mut touched: HashSet<u64> = HashSet::new();
+    let mut touched = PageBitmap::new(uffd.memory().num_pages());
     for op in ops {
         match op {
             GuestOp::Compute(d) => {
@@ -133,30 +174,27 @@ pub fn run_lazy(ops: &[GuestOp], uffd: &mut Uffd, handler: &mut dyn FaultHandler
                 trace.compute += *d;
             }
             GuestOp::Touch(chunk) => {
-                for page in chunk.iter() {
-                    touched.insert(page.as_u64());
-                    match uffd.touch_page(page) {
-                        TouchOutcome::Resident => {}
-                        TouchOutcome::Faulted(ev) => {
-                            let served = uffd.poll().expect("raised fault must be queued");
-                            debug_assert_eq!(served, ev);
-                            handler
-                                .handle_fault(uffd, ev)
-                                .unwrap_or_else(|e| panic!("monitor failed to serve {page}: {e}"));
-                            assert!(
-                                uffd.memory().is_resident(page),
-                                "handler returned without installing {page}"
-                            );
-                            uffd.wake();
-                            trace.uffd_faults += 1;
-                            trace.ops.push(TimedOp::Fault { page });
-                        }
-                    }
+                let window = PageRun::new(chunk.start, chunk.pages);
+                touched.set_run(window);
+                let mut cursor = window.first;
+                while let Some(missing) = uffd.next_missing_run(cursor, window) {
+                    let ev = uffd.raise_run(missing);
+                    handler
+                        .handle_fault_run(uffd, ev, missing)
+                        .unwrap_or_else(|e| panic!("monitor failed to serve {missing}: {e}"));
+                    assert!(
+                        uffd.memory().is_run_resident(missing),
+                        "handler returned without installing {missing}"
+                    );
+                    uffd.wake_run(missing.len);
+                    trace.uffd_faults += missing.len;
+                    trace.ops.push(TimedOp::Fault { run: missing });
+                    cursor = missing.end();
                 }
             }
         }
     }
-    trace.pages_touched = touched.len() as u64;
+    trace.pages_touched = touched.count();
     trace
 }
 
@@ -233,6 +271,14 @@ mod tests {
                 PageIdx::new(3)
             ]
         );
+        // The two chunks produced one coalesced run each: [0..3) and [3..4).
+        assert_eq!(
+            trace.faulted_runs(),
+            vec![
+                PageRun::new(PageIdx::new(0), 3),
+                PageRun::new(PageIdx::new(3), 1)
+            ]
+        );
     }
 
     #[test]
@@ -249,6 +295,24 @@ mod tests {
     }
 
     #[test]
+    fn resident_holes_split_fault_runs() {
+        let mem = GuestMemory::new(16 * 4096);
+        let mut uffd = Uffd::register(mem, 0);
+        // Page 2 resident: touching [0, 5) must fault [0,2) and [3,5).
+        uffd.copy(PageIdx::new(2), &[1u8; 4096]).unwrap();
+        let touch = vec![GuestOp::Touch(TouchChunk::new(PageIdx::new(0), 5))];
+        let trace = run_lazy(&touch, &mut uffd, &mut ZeroFill);
+        assert_eq!(trace.uffd_faults, 4);
+        assert_eq!(
+            trace.faulted_runs(),
+            vec![
+                PageRun::new(PageIdx::new(0), 2),
+                PageRun::new(PageIdx::new(3), 2)
+            ]
+        );
+    }
+
+    #[test]
     fn trace_ops_preserve_order() {
         let mut mem = GuestMemory::new(16 * 4096);
         let trace = run_resident(&ops(), &mut mem, 1);
@@ -257,5 +321,32 @@ mod tests {
         assert!(matches!(trace.ops[1], TimedOp::Compute(_)));
         assert!(matches!(trace.ops[2], TimedOp::MinorFaults { pages: 1 }));
         assert!(matches!(trace.ops[3], TimedOp::Compute(_)));
+    }
+
+    #[test]
+    fn default_run_handler_synthesizes_per_page_events() {
+        // A handler that only implements the per-page hook still works
+        // under the batched replay, seeing one event per page.
+        struct Recorder(Vec<(u64, u64)>);
+        impl FaultHandler for Recorder {
+            fn handle_fault(&mut self, uffd: &mut Uffd, ev: FaultEvent) -> Result<(), MemError> {
+                self.0.push((ev.host_vaddr, ev.seq));
+                uffd.zeropage(uffd.page_of_fault(ev))?;
+                Ok(())
+            }
+        }
+        let mem = GuestMemory::new(16 * 4096);
+        let mut uffd = Uffd::register(mem, 0x1000_0000);
+        let mut rec = Recorder(Vec::new());
+        let touch = vec![GuestOp::Touch(TouchChunk::new(PageIdx::new(4), 3))];
+        run_lazy(&touch, &mut uffd, &mut rec);
+        assert_eq!(
+            rec.0,
+            vec![
+                (0x1000_0000 + 4 * 4096, 0),
+                (0x1000_0000 + 5 * 4096, 1),
+                (0x1000_0000 + 6 * 4096, 2)
+            ]
+        );
     }
 }
