@@ -135,6 +135,55 @@ fn bench_prefetch_install(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_prefetch_lanes(c: &mut Criterion) {
+    let fs = FileStore::new();
+    let pages = ws_pages();
+    let mem_file = fixture(&fs, "bench/lanes", &pages);
+    let files = write_reap_files(&fs, "bench/lanes", mem_file, &pages);
+    let layout = read_ws_layout(&fs, files.ws_file).unwrap();
+    let lanes = sim_core::effective_lanes(sim_core::MAX_PREFETCH_LANES);
+    let runs: Vec<PageRun> = layout.extents.iter().map(|&(run, _)| run).collect();
+    let data_base = layout.extents.first().map(|&(_, at)| at).unwrap();
+    let data_len: u64 = layout.extents.iter().map(|&(run, _)| run.byte_len()).sum();
+    let mut g = c.benchmark_group("prefetch_lanes");
+    g.throughput(Throughput::Bytes(2048 * PAGE_SIZE as u64));
+    g.bench_function("fetch_then_install_2048_pages", |b| {
+        b.iter_batched(
+            || Uffd::register(GuestMemory::new(256 * 1024 * 1024), 0),
+            |mut uffd| {
+                let staged = fs.read_at(files.ws_file, data_base, data_len as usize);
+                for &(run, data_at) in &layout.extents {
+                    let off = (data_at - data_base) as usize;
+                    uffd.copy_run(run, &staged[off..off + run.byte_len() as usize])
+                        .unwrap();
+                }
+                uffd.wake();
+                uffd
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pipelined_2048_pages", |b| {
+        b.iter_batched(
+            || Uffd::register(GuestMemory::new(256 * 1024 * 1024), 0),
+            |mut uffd| {
+                uffd.copy_runs_with(&runs, |bufs| {
+                    let jobs: Vec<(u64, &mut [u8])> = bufs
+                        .into_iter()
+                        .map(|(i, buf)| (layout.extents[i].1, buf))
+                        .collect();
+                    fs.read_ranges_into(files.ws_file, jobs, lanes);
+                })
+                .unwrap();
+                uffd.wake();
+                uffd
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_fault_path(c: &mut Criterion) {
     let fs = FileStore::new();
     let pages = ws_pages();
@@ -215,6 +264,6 @@ fn bench_timeline(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_buddy, bench_uffd, bench_ws_file, bench_prefetch_install, bench_fault_path, bench_timeline
+    targets = bench_buddy, bench_uffd, bench_ws_file, bench_prefetch_install, bench_prefetch_lanes, bench_fault_path, bench_timeline
 }
 criterion_main!(benches);

@@ -142,6 +142,97 @@ impl<'a> Monitor<'a> {
         Ok(self.stats.prefetched)
     }
 
+    /// Lane-parallel prefetch (the ROADMAP's "parallel prefetch lanes"):
+    /// behaves exactly like [`prefetch`](Self::prefetch) — byte-identical
+    /// guest memory, identical [`MonitorStats`]/[`guest_mem::UffdStats`] —
+    /// but serves the WS file's extents across up to `lanes` concurrent
+    /// fetch lanes, the way REAP's monitor goroutines overlap working-set
+    /// I/O with execution (§5.2).
+    ///
+    /// Each lane *fuses* fetch and install: frames for every missing
+    /// extent are reserved up front ([`Uffd::copy_runs_with`]), then the
+    /// lanes copy file bytes straight into the frames under one store
+    /// read lock ([`FileStore::read_ranges_into`]) — a single scatter
+    /// copy instead of a fetch-all-then-install-all double pass. Lane
+    /// count is gated on the host's `available_parallelism`, so results
+    /// never depend on it; only wall-clock time does.
+    ///
+    /// Irregular layouts (extents overlapping each other or leaving the
+    /// guest region — possible only in corrupt or legacy-v1 artifacts)
+    /// fall back to the sequential path wholesale, preserving its
+    /// first-extent-wins and error semantics exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`prefetch`](Self::prefetch).
+    pub fn prefetch_lanes(
+        &mut self,
+        uffd: &mut Uffd,
+        files: &ReapFiles,
+        lanes: usize,
+    ) -> Result<u64, String> {
+        if lanes <= 1 {
+            return self.prefetch(uffd, files);
+        }
+        let layout = read_ws_layout(self.fs, files.ws_file).map_err(|e| e.to_string())?;
+
+        // Split every extent into its missing sub-runs (bulk-installed by
+        // the lanes) and its already-resident pages (served per page so
+        // EEXIST races are counted exactly as the sequential path counts
+        // them). Residency is static during prefetch — the vCPU is halted
+        // — so this split is deterministic.
+        let mut jobs: Vec<(PageRun, u64)> = Vec::with_capacity(layout.extents.len());
+        let mut resident: Vec<(PageIdx, u64)> = Vec::new();
+        let mut seen = guest_mem::PageBitmap::new(uffd.memory().num_pages());
+        for &(run, data_at) in &layout.extents {
+            if !uffd.memory().contains_run(run) || seen.any_set_in(run) {
+                // Out-of-bounds or self-overlapping layout: replay the
+                // sequential semantics verbatim.
+                return self.prefetch(uffd, files);
+            }
+            seen.set_run(run);
+            let mut cursor = run.first;
+            while let Some(missing) = uffd.next_missing_run(cursor, run) {
+                for page in PageRun::new(cursor, missing.first.as_u64() - cursor.as_u64()).iter() {
+                    resident.push((page, data_at + (page.as_u64() - run.first.as_u64()) * PAGE_SIZE as u64));
+                }
+                jobs.push((missing, data_at + (missing.first.as_u64() - run.first.as_u64()) * PAGE_SIZE as u64));
+                cursor = missing.end();
+            }
+            for page in PageRun::new(cursor, run.end().as_u64() - cursor.as_u64()).iter() {
+                resident.push((page, data_at + (page.as_u64() - run.first.as_u64()) * PAGE_SIZE as u64));
+            }
+        }
+
+        let runs: Vec<PageRun> = jobs.iter().map(|&(run, _)| run).collect();
+        let fs = self.fs;
+        let ws_file = files.ws_file;
+        let installed = uffd
+            .copy_runs_with(&runs, |bufs| {
+                let lane_jobs: Vec<(u64, &mut [u8])> = bufs
+                    .into_iter()
+                    .map(|(i, buf)| (jobs[i].1, buf))
+                    .collect();
+                fs.read_ranges_into(ws_file, lane_jobs, lanes);
+            })
+            .map_err(|e| format!("prefetch install failed: {e}"))?;
+        self.stats.prefetched += installed;
+
+        // Attempt the resident pages exactly as the sequential per-page
+        // fallback would: the kernel answers EEXIST, contents survive.
+        for &(page, data_at) in &resident {
+            let data = self.fs.read_at(ws_file, data_at, PAGE_SIZE);
+            match uffd.copy(page, &data) {
+                Err(MemError::AlreadyResident(_)) => self.stats.eexist_races += 1,
+                Ok(()) => unreachable!("page {page} was resident during the split"),
+                Err(e) => return Err(format!("prefetch install failed: {e}")),
+            }
+        }
+        uffd.wake();
+        self.prefetch_done = true;
+        Ok(self.stats.prefetched)
+    }
+
     /// Finishes a record-mode invocation: writes the trace + WS files next
     /// to the snapshot (§5.2.1) and returns their handles.
     ///
@@ -355,6 +446,45 @@ mod tests {
         m.prefetch(vm.uffd_mut(), &files).unwrap();
         assert_eq!(m.stats().eexist_races, 1);
         assert_eq!(m.stats().prefetched, 0);
+    }
+
+    #[test]
+    fn laned_prefetch_matches_sequential_exactly() {
+        let (snap, fs) = snapshot_fixture();
+        let files = {
+            let mut vm = snap.restore_shell(&fs).unwrap();
+            let mut m = Monitor::new(&snap, &fs, MonitorMode::Record);
+            let first = vm.uffd_mut().inject_first_fault();
+            vm.uffd_mut().poll().unwrap();
+            m.handle_fault(vm.uffd_mut(), first).unwrap();
+            for p in [10u64, 11, 12, 50, 51, 200] {
+                let ev = fault_on(vm.uffd_mut(), p);
+                m.handle_fault(vm.uffd_mut(), ev).unwrap();
+            }
+            m.finish_record("snap/hw")
+        };
+
+        // Reference: the sequential path, with page 50 pre-faulted so a
+        // mixed extent exercises the EEXIST split.
+        let run_with = |lanes: usize| {
+            let mut vm = snap.restore_shell(&fs).unwrap();
+            let first = vm.uffd_mut().inject_first_fault();
+            vm.uffd_mut().poll().unwrap();
+            let mut warmup = Monitor::new(&snap, &fs, MonitorMode::OnDemand);
+            warmup.handle_fault(vm.uffd_mut(), first).unwrap();
+            let ev = fault_on(vm.uffd_mut(), 50);
+            warmup.handle_fault(vm.uffd_mut(), ev).unwrap();
+            let mut m = Monitor::new(&snap, &fs, MonitorMode::Prefetch);
+            let installed = m.prefetch_lanes(vm.uffd_mut(), &files, lanes).unwrap();
+            let verified = microvm::verify_restored(&vm, &snap, &fs).unwrap();
+            (installed, m.stats(), vm.uffd().stats(), verified)
+        };
+
+        let baseline = run_with(1);
+        assert_eq!(baseline.1.eexist_races, 2, "pages 0 and 50 were resident");
+        for lanes in 2..=4 {
+            assert_eq!(run_with(lanes), baseline, "lanes={lanes}");
+        }
     }
 
     #[test]

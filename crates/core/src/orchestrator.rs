@@ -118,6 +118,10 @@ pub struct Orchestrator {
     seed: u64,
     auto_rerecord: bool,
     rerecord_threshold: f64,
+    /// Functional prefetch lanes (real threads in the functional pass;
+    /// never affects simulated outcomes — see
+    /// [`set_prefetch_lanes`](Self::set_prefetch_lanes)).
+    prefetch_lanes: usize,
     functions: HashMap<FunctionId, FunctionState>,
 }
 
@@ -132,6 +136,7 @@ impl Orchestrator {
             seed,
             auto_rerecord: false,
             rerecord_threshold: 0.5,
+            prefetch_lanes: 1,
             functions: HashMap::new(),
         }
     }
@@ -151,6 +156,23 @@ impl Orchestrator {
     pub fn set_auto_rerecord(&mut self, enabled: bool, threshold: f64) {
         self.auto_rerecord = enabled;
         self.rerecord_threshold = threshold;
+    }
+
+    /// Sets the *functional* prefetch lane count: how many real threads
+    /// the [`Monitor`] fans WS-file installs across during the functional
+    /// pass ([`Monitor::prefetch_lanes`]), gated on the host's
+    /// `available_parallelism`. This is a wall-clock knob only — guest
+    /// memory, [`MonitorStats`] and every [`InvocationOutcome`] field are
+    /// identical for any lane count (pinned by the lane-equivalence
+    /// proptests). The *modeled* lane count of the timed pass is the
+    /// separate [`HostCostModel::prefetch_lanes`] knob.
+    pub fn set_prefetch_lanes(&mut self, lanes: usize) {
+        self.prefetch_lanes = lanes.max(1);
+    }
+
+    /// The functional prefetch lane count.
+    pub fn prefetch_lanes(&self) -> usize {
+        self.prefetch_lanes
     }
 
     /// The host cost model.
@@ -310,7 +332,7 @@ impl Orchestrator {
         if mode == MonitorMode::Prefetch {
             let files = reap.expect("prefetch mode requires recorded REAP files");
             monitor
-                .prefetch(vm.uffd_mut(), &files)
+                .prefetch_lanes(vm.uffd_mut(), &files, self.prefetch_lanes)
                 .expect("WS file prefetch");
         }
 
@@ -408,6 +430,20 @@ impl Orchestrator {
         } else {
             Vec::new()
         };
+        // The pipelined-prefetch step needs the WS file's extent layout;
+        // shadow WS files share the real file's layout (only cache
+        // identity differs), so it always comes from the real artifacts.
+        let ws_extents = if policy == ColdPolicy::Reap && self.costs.prefetch_lanes > 1 {
+            let real = self.state(f).reap.expect("Reap needs a recorded WS file");
+            crate::ws_file::read_ws_layout(&self.fs, real.ws_file)
+                .expect("WS file readable")
+                .extents
+                .into_iter()
+                .map(|(run, data_at)| (data_at, run.len))
+                .collect()
+        } else {
+            Vec::new()
+        };
         build_cold_program(&ColdRunSpec {
             policy,
             record,
@@ -417,6 +453,7 @@ impl Orchestrator {
             conn_trace: &run.conn_trace,
             proc_trace: &run.proc_trace,
             pf_pages,
+            ws_extents,
             arrival,
         })
     }

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # guest-mem
 //!
 //! Guest physical memory with `userfaultfd`-style lazy paging.

@@ -361,6 +361,88 @@ impl GuestMemory {
         Ok(())
     }
 
+    /// Bulk install of *several* disjoint runs in one operation: reserves
+    /// frames for every run up front, then hands `fill` one
+    /// `(run index, buffer)` pair per run — all buffers alive at once, so
+    /// the caller may populate them from parallel prefetch lanes (scoped
+    /// threads copying straight from file bytes into the frames; the
+    /// single-copy heart of the lane pipeline).
+    ///
+    /// Buffers start zeroed; a pair `fill` leaves untouched installs as a
+    /// zero run. Frames are always reserved at the arena tail (the free
+    /// list, if any, is left for later single-run installs).
+    ///
+    /// Nothing is installed unless *every* run is installable.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AlreadyResident`] names the first mapped page of the
+    /// first offending run; [`MemError::OutOfBounds`] if any run leaves
+    /// the region. On error `fill` is not called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs overlap each other — residency checks cannot
+    /// catch a run colliding with a not-yet-installed sibling, so this is
+    /// a caller contract (REAP's v2 WS format already rejects overlapping
+    /// extents at parse time).
+    pub fn install_runs_with(
+        &mut self,
+        runs: &[PageRun],
+        fill: impl FnOnce(Vec<(usize, &mut [u8])>),
+    ) -> Result<(), MemError> {
+        let mut total: u64 = 0;
+        for &run in runs {
+            if run.is_empty() {
+                continue;
+            }
+            self.check_installable(run)?;
+            total += run.len;
+        }
+        let mut sorted: Vec<PageRun> = runs.iter().copied().filter(|r| !r.is_empty()).collect();
+        sorted.sort_by_key(|r| r.first);
+        for pair in sorted.windows(2) {
+            assert!(
+                pair[0].end() <= pair[1].first,
+                "install_runs_with requires disjoint runs ({} overlaps {})",
+                pair[0],
+                pair[1]
+            );
+        }
+        if total == 0 {
+            fill(Vec::new());
+            return Ok(());
+        }
+        let first_slot = self.alloc_contiguous_slots(total);
+        {
+            let base = first_slot as usize * PAGE_SIZE;
+            let mut rest = &mut self.arena[base..base + total as usize * PAGE_SIZE];
+            let mut bufs = Vec::with_capacity(runs.len());
+            for (i, &run) in runs.iter().enumerate() {
+                if run.is_empty() {
+                    continue;
+                }
+                let (head, tail) = rest.split_at_mut(run.byte_len() as usize);
+                rest = tail;
+                bufs.push((i, head));
+            }
+            fill(bufs);
+        }
+        let mut slot = first_slot;
+        for &run in runs {
+            if run.is_empty() {
+                continue;
+            }
+            for page in run.iter() {
+                self.slots[page.as_u64() as usize] = slot;
+                slot += 1;
+            }
+            self.resident.set_run(run);
+            self.mark_dirty_run(run);
+        }
+        Ok(())
+    }
+
     /// Installs a run of zero pages (`UFFDIO_ZEROPAGE` over a range).
     ///
     /// # Errors
@@ -732,6 +814,68 @@ mod tests {
         }
         // Untouched survivors keep their contents.
         assert_eq!(mem.read(PageIdx::new(2).base_addr(), 1).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn install_runs_with_reserves_all_then_fills() {
+        let mut mem = GuestMemory::new(32 * 4096);
+        let runs = [
+            PageRun::new(PageIdx::new(8), 3),
+            PageRun::new(PageIdx::new(0), 2),
+            PageRun::new(PageIdx::new(20), 1),
+        ];
+        mem.install_runs_with(&runs, |bufs| {
+            assert_eq!(bufs.len(), 3);
+            for (i, buf) in bufs {
+                assert_eq!(buf.len() as u64, runs[i].byte_len());
+                assert!(buf.iter().all(|&b| b == 0), "buffers start zeroed");
+                buf.fill(i as u8 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(mem.resident_pages(), 6);
+        assert_eq!(mem.read(PageIdx::new(9).base_addr(), 1).unwrap(), vec![1]);
+        assert_eq!(mem.read(PageIdx::new(1).base_addr(), 1).unwrap(), vec![2]);
+        assert_eq!(mem.read(PageIdx::new(20).base_addr(), 1).unwrap(), vec![3]);
+        // Empty runs are skipped; an empty batch is a no-op.
+        mem.install_runs_with(&[PageRun::new(PageIdx::new(5), 0)], |bufs| {
+            assert!(bufs.is_empty());
+        })
+        .unwrap();
+        mem.install_runs_with(&[], |_| {}).unwrap();
+    }
+
+    #[test]
+    fn install_runs_with_is_atomic_on_error() {
+        let mut mem = GuestMemory::new(16 * 4096);
+        mem.install_page(PageIdx::new(5), &page_of(9)).unwrap();
+        // Second run collides with resident page 5: nothing installed,
+        // fill never called.
+        let err = mem
+            .install_runs_with(
+                &[PageRun::new(PageIdx::new(0), 2), PageRun::new(PageIdx::new(4), 3)],
+                |_| panic!("fill must not run"),
+            )
+            .unwrap_err();
+        assert_eq!(err, MemError::AlreadyResident(PageIdx::new(5)));
+        assert_eq!(mem.resident_pages(), 1);
+        // Out-of-bounds run detected up front too.
+        let err = mem
+            .install_runs_with(&[PageRun::new(PageIdx::new(14), 4)], |_| {
+                panic!("fill must not run")
+            })
+            .unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint runs")]
+    fn install_runs_with_rejects_overlap() {
+        let mut mem = GuestMemory::new(16 * 4096);
+        let _ = mem.install_runs_with(
+            &[PageRun::new(PageIdx::new(0), 4), PageRun::new(PageIdx::new(2), 2)],
+            |_| {},
+        );
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Prefetch-lane scheduling: deterministic partitioning of weighted work
+//! across a bounded number of parallel lanes.
+//!
+//! REAP's monitor overlaps working-set I/O with execution by running its
+//! fetch and install work on concurrent goroutines (§5.2). The functional
+//! layer of this reproduction does the same with scoped threads: a WS
+//! layout's extents are split across *lanes*, each lane serving its
+//! extents independently (fetch fused with install — one copy from file
+//! bytes into guest frames). This module owns the lane arithmetic so the
+//! storage, memory and monitor layers all agree on it:
+//!
+//! * [`effective_lanes`] gates a requested lane count on the host's
+//!   `available_parallelism` (exactly like [`crate::parcopy`]'s copy
+//!   fan-out) — on a 1-vCPU container everything stays serial;
+//! * [`partition_by_weight`] deals weighted items (extents, keyed by byte
+//!   length) into contiguous, order-preserving, byte-balanced lanes.
+//!
+//! Partitioning is pure arithmetic over the item weights — the same
+//! inputs yield the same lanes on every host — so lane *count* can never
+//! leak into simulated-time outcomes; only wall-clock speed changes.
+
+/// Upper bound on prefetch lanes. Matches [`crate::parcopy::MAX_LANES`]'s
+/// rationale: a handful of streams saturates memory bandwidth, and the
+/// simulator often runs in small containers.
+pub const MAX_PREFETCH_LANES: usize = 8;
+
+/// Usable parallelism of the host, cached once (queried via
+/// `std::thread::available_parallelism`, capped at
+/// [`MAX_PREFETCH_LANES`]).
+pub fn host_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static LANES: OnceLock<usize> = OnceLock::new();
+    *LANES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_PREFETCH_LANES)
+    })
+}
+
+/// Clamps a requested lane count to `[1, host parallelism]`: asking for 0
+/// means 1, and asking for more lanes than the host has cores only adds
+/// scheduling overhead, so the excess is dropped.
+pub fn effective_lanes(requested: usize) -> usize {
+    requested.clamp(1, host_parallelism())
+}
+
+/// Splits items `0..weights.len()` into at most `lanes` contiguous,
+/// order-preserving groups of roughly equal total weight (greedy: a lane
+/// closes once it holds ≥ `total/lanes`). Returns one `(start, end)`
+/// index range per non-empty lane.
+///
+/// Contiguity is deliberate: extents are stored back-to-back in the WS
+/// file, so a contiguous index range per lane is a contiguous byte range
+/// per lane — each lane issues one sequential file scan instead of
+/// strided reads.
+///
+/// Zero-weight items ride along with their neighbours; an empty `weights`
+/// yields no lanes.
+pub fn partition_by_weight(weights: &[u64], lanes: usize) -> Vec<(usize, usize)> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let lanes = lanes.max(1).min(weights.len());
+    let total: u64 = weights.iter().sum();
+    let per_lane = total.div_ceil(lanes as u64).max(1);
+    let mut out = Vec::with_capacity(lanes);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        // Close the lane when it is full — unless it is the last allowed
+        // lane, which must absorb everything that remains.
+        if acc >= per_lane && out.len() + 1 < lanes {
+            out.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < weights.len() {
+        out.push((start, weights.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_lanes_bounds() {
+        assert_eq!(effective_lanes(0), 1);
+        assert_eq!(effective_lanes(1), 1);
+        let host = host_parallelism();
+        assert!(effective_lanes(usize::MAX) == host);
+        assert!((1..=MAX_PREFETCH_LANES).contains(&host));
+    }
+
+    #[test]
+    fn partition_covers_everything_in_order() {
+        let weights = [5u64, 1, 1, 1, 8, 2, 2, 4];
+        for lanes in 1..=6 {
+            let parts = partition_by_weight(&weights, lanes);
+            assert!(parts.len() <= lanes);
+            // Ranges tile [0, len) exactly, in order.
+            let mut cursor = 0;
+            for &(s, e) in &parts {
+                assert_eq!(s, cursor);
+                assert!(e > s);
+                cursor = e;
+            }
+            assert_eq!(cursor, weights.len());
+        }
+    }
+
+    #[test]
+    fn partition_balances_bytes() {
+        // 16 equal extents over 4 lanes: exactly 4 each.
+        let weights = [10u64; 16];
+        let parts = partition_by_weight(&weights, 4);
+        assert_eq!(parts, vec![(0, 4), (4, 8), (8, 12), (12, 16)]);
+    }
+
+    #[test]
+    fn partition_single_lane_and_empty() {
+        assert_eq!(partition_by_weight(&[3, 4], 1), vec![(0, 2)]);
+        assert!(partition_by_weight(&[], 4).is_empty());
+        // More lanes than items: one item per lane.
+        assert_eq!(
+            partition_by_weight(&[7, 7], 5),
+            vec![(0, 1), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn partition_handles_zero_weights() {
+        let parts = partition_by_weight(&[0, 0, 9, 0, 9], 2);
+        let mut cursor = 0;
+        for &(s, e) in &parts {
+            assert_eq!(s, cursor);
+            cursor = e;
+        }
+        assert_eq!(cursor, 5);
+        assert!(parts.len() <= 2);
+    }
+
+    #[test]
+    fn one_heavy_item_does_not_starve_the_tail() {
+        // A huge first extent must not swallow the whole table when more
+        // lanes are available.
+        let parts = partition_by_weight(&[100, 1, 1, 1], 2);
+        assert_eq!(parts, vec![(0, 1), (1, 4)]);
+    }
+}

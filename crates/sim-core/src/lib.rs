@@ -33,6 +33,7 @@
 //! ```
 
 pub mod events;
+pub mod lanes;
 pub mod parcopy;
 pub mod resource;
 pub mod rng;
@@ -41,6 +42,7 @@ pub mod table;
 pub mod time;
 
 pub use events::EventQueue;
+pub use lanes::{effective_lanes, partition_by_weight, MAX_PREFETCH_LANES};
 pub use parcopy::{copy_par, extend_par, extend_scatter};
 pub use resource::{MultiServer, TokenPool};
 pub use rng::DetRng;

@@ -10,8 +10,9 @@
 //! This is a *bandwidth* utility, deliberately dumb: lanes are scoped
 //! `std::thread`s that die at the end of the call. Architectural
 //! parallelism (overlapping fetch with install across the cold-start
-//! timeline — "prefetch lanes") is future ROADMAP work and lives above
-//! this layer.
+//! pipeline — "prefetch lanes") lives above this layer: see
+//! [`crate::lanes`] for the lane scheduler and `vhive-core`'s
+//! `Monitor::prefetch_lanes` for the pipeline itself.
 
 use std::mem::MaybeUninit;
 

@@ -235,6 +235,64 @@ impl FileStore {
         f(&data[start..end])
     }
 
+    /// Serves independent ranges of one file concurrently: copies each
+    /// `(offset, destination)` job's bytes into its buffer (zero-filling
+    /// past EOF, as [`read_into`](Self::read_into)), fanning the jobs
+    /// across up to `lanes` scoped threads partitioned by byte weight
+    /// ([`sim_core::partition_by_weight`]). The store's read lock is taken
+    /// **once** for the whole batch, so lanes contend on memory bandwidth
+    /// only — the `preadv`-per-lane of the prefetch pipeline.
+    ///
+    /// Accounted as one read operation per job (identical counters to a
+    /// sequential loop of [`read_into`](Self::read_into) calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live file.
+    pub fn read_ranges_into(&self, id: FileId, jobs: Vec<(u64, &mut [u8])>, lanes: usize) {
+        self.counters
+            .reads
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        if jobs.is_empty() {
+            return;
+        }
+        let inner = self.inner.read();
+        let data = &inner.files[&id].data;
+        let copy_one = |offset: u64, buf: &mut [u8]| {
+            let start = (offset as usize).min(data.len());
+            let end = (offset as usize)
+                .saturating_add(buf.len())
+                .min(data.len());
+            let covered = end - start;
+            buf[..covered].copy_from_slice(&data[start..end]);
+            buf[covered..].fill(0);
+        };
+        let lanes = sim_core::effective_lanes(lanes).min(jobs.len());
+        if lanes == 1 {
+            for (offset, buf) in jobs {
+                copy_one(offset, buf);
+            }
+            return;
+        }
+        let weights: Vec<u64> = jobs.iter().map(|(_, b)| b.len() as u64).collect();
+        let ranges = sim_core::partition_by_weight(&weights, lanes);
+        let mut jobs = jobs;
+        std::thread::scope(|s| {
+            let copy_one = &copy_one;
+            // Peel lane chunks off the tail so each thread owns a disjoint
+            // slice of the job list.
+            for &(start, end) in ranges.iter().rev() {
+                let lane_jobs = jobs.split_off(start);
+                debug_assert_eq!(lane_jobs.len(), end - start);
+                s.spawn(move || {
+                    for (offset, buf) in lane_jobs {
+                        copy_one(offset, buf);
+                    }
+                });
+            }
+        });
+    }
+
     /// Scatter-gather write: assembles `parts` (ranges of other files)
     /// contiguously into `dst` starting at `dst_offset`, in one store
     /// operation with a single destination copy — the `writev` of the WS
@@ -497,6 +555,32 @@ mod tests {
         // Write past EOF zero-fills the gap.
         fs.write_at(id, 10, b"!!");
         assert_eq!(fs.read_at(id, 0, 12), b"abcdXYZW\0\0!!");
+    }
+
+    #[test]
+    fn read_ranges_into_matches_sequential_reads() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 7) as u8).collect();
+        fs.write_at(id, 0, &data);
+        // Mixed in-bounds / cross-EOF / past-EOF ranges.
+        let ranges = [(0u64, 100usize), (4096, 4096), (9_990, 100), (20_000, 8)];
+        for lanes in [1usize, 2, 4, 9] {
+            let mut bufs: Vec<Vec<u8>> = ranges.iter().map(|&(_, l)| vec![0xFF; l]).collect();
+            let reads_before = fs.read_calls();
+            let jobs: Vec<(u64, &mut [u8])> = ranges
+                .iter()
+                .zip(bufs.iter_mut())
+                .map(|(&(off, _), b)| (off, b.as_mut_slice()))
+                .collect();
+            fs.read_ranges_into(id, jobs, lanes);
+            assert_eq!(fs.read_calls() - reads_before, ranges.len() as u64);
+            for (&(off, len), buf) in ranges.iter().zip(&bufs) {
+                assert_eq!(buf, &fs.read_at(id, off, len), "range at {off} (lanes={lanes})");
+            }
+        }
+        // Empty batch is a no-op.
+        fs.read_ranges_into(id, Vec::new(), 4);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # sim-storage
 //!
 //! Storage substrate for the vHive/REAP reproduction: an in-memory file
