@@ -261,9 +261,39 @@ fn bench_timeline(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cluster concurrent serving at small scale (8 independent REAP
+/// instances over 2 functions): the criterion twin of bench-json's
+/// `cluster/invoke_cold_64fn_*` groups. 1-shard vs 2-shard medians meet
+/// on a 1-CPU host (lane gating) and split once cores are available.
+fn bench_cluster(c: &mut Criterion) {
+    use functionbench::FunctionId;
+    use vhive_cluster::{ClusterOrchestrator, ColdRequest};
+    use vhive_core::ColdPolicy;
+
+    let funcs = [FunctionId::helloworld, FunctionId::pyaes];
+    let mut g = c.benchmark_group("cluster");
+    for (name, shards) in [("invoke_cold_8fn_1shard", 1usize), ("invoke_cold_8fn_2shard", 2)] {
+        let mut cluster = ClusterOrchestrator::new(0xC10_5732, shards);
+        for f in funcs {
+            cluster.register(f);
+            cluster.invoke_record(f);
+        }
+        let reqs: Vec<ColdRequest> = (0..8)
+            .map(|i| ColdRequest::independent(funcs[i % funcs.len()], ColdPolicy::Reap))
+            .collect();
+        g.bench_function(name, move |b| {
+            b.iter(|| {
+                let batch = cluster.invoke_concurrent(&reqs);
+                assert_eq!(batch.outcomes.len(), 8);
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_buddy, bench_uffd, bench_ws_file, bench_prefetch_install, bench_prefetch_lanes, bench_fault_path, bench_timeline
+    targets = bench_buddy, bench_uffd, bench_ws_file, bench_prefetch_install, bench_prefetch_lanes, bench_fault_path, bench_timeline, bench_cluster
 }
 criterion_main!(benches);

@@ -54,8 +54,8 @@ fn main() {
             let mut d = sim_storage::Disk::new(orch.device().clone());
             d.set_readahead_pages(ra);
             let programs: Vec<_> = (0..64)
-                .map(|i| {
-                    let (files, _) = orch.shadow_files(f, i);
+                .map(|_| {
+                    let (files, _) = orch.shadow_files(f);
                     orch.cold_program(
                         f,
                         ColdPolicy::Vanilla,

@@ -2,8 +2,8 @@
 //!
 //! Runs the microbench groups (buddy, uffd, ws_file, prefetch,
 //! prefetch_lanes, timeline) plus the end-to-end `fault_path` group and
-//! emits one JSON object with the median wall-clock ns per operation of
-//! each benchmark. CI runs this binary with
+//! the `cluster` concurrent-serving group, and emits one JSON object
+//! with the median wall-clock ns per operation of each benchmark. CI runs this binary with
 //! `--check BENCH_fault_path.json` and fails when any group regresses
 //! more than [`REGRESSION_FACTOR`]x *and* by more than
 //! [`NOISE_FLOOR_NS`] absolute against the checked-in baseline; `--out`
@@ -347,6 +347,48 @@ fn bench_fault_path(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
     });
 }
 
+/// The cluster serving hot path: 64 concurrent, independent REAP cold
+/// starts (16 instances of each of four light functions, shadow
+/// identities — the §6.5 independent-function model) served through a
+/// `ClusterOrchestrator`, measured at 1 shard and at 4 shards.
+///
+/// Each op runs every request's full functional pass (shell restore +
+/// WS prefetch + replay + verification) plus the merged shared-disk
+/// timed pass. Shard fan-out is gated on the host's cores
+/// ([`sim_core::effective_lanes`]): on a 1-CPU machine both geometries
+/// serve serially and the medians meet; with cores available the 4-shard
+/// group's functional passes run genuinely concurrently.
+fn bench_cluster(r: &mut Report) {
+    use functionbench::FunctionId;
+    use vhive_cluster::{ClusterOrchestrator, ColdRequest};
+    use vhive_core::ColdPolicy;
+
+    // Light functions that spread over the shard space (8-20 MB WS each).
+    let funcs = [
+        FunctionId::helloworld,
+        FunctionId::chameleon,
+        FunctionId::pyaes,
+        FunctionId::json_serdes,
+    ];
+    let reqs: Vec<ColdRequest> = (0..64)
+        .map(|i| ColdRequest::independent(funcs[i % funcs.len()], ColdPolicy::Reap))
+        .collect();
+    for (name, shards) in [
+        ("cluster/invoke_cold_64fn_1shard", 1usize),
+        ("cluster/invoke_cold_64fn_4shard", 4usize),
+    ] {
+        let mut cluster = ClusterOrchestrator::new(0xC10_5732, shards);
+        for f in funcs {
+            cluster.register(f);
+            cluster.invoke_record(f);
+        }
+        r.add(name, || {
+            let batch = cluster.invoke_concurrent(&reqs);
+            assert_eq!(batch.outcomes.len(), 64);
+        });
+    }
+}
+
 fn bench_timeline(r: &mut Report, fs: &FileStore) {
     let file = fs.create("bench/timeline-mem");
     fs.set_len(file, 65536 * PAGE_SIZE as u64);
@@ -453,6 +495,7 @@ fn main() {
     bench_prefetch_lanes(&mut report, &fs, &pages);
     bench_fault_path(&mut report, &fs, &pages);
     bench_timeline(&mut report, &fs);
+    bench_cluster(&mut report);
 
     let json = report.to_json();
     print!("{json}");

@@ -1,0 +1,404 @@
+//! The sharded orchestrator and its concurrent serving path.
+
+use std::time::{Duration, Instant};
+
+use functionbench::FunctionId;
+use sim_core::{SimDuration, SimTime};
+use sim_storage::{DeviceProfile, DiskStats, FileStore};
+use vhive_core::{
+    ColdPolicy, HostCostModel, InstanceFiles, InvocationOutcome, Orchestrator, PreparedCold,
+    RegisterInfo, ReapFiles,
+};
+
+use crate::shard_for;
+
+/// One cold invocation of a concurrent batch
+/// ([`ClusterOrchestrator::invoke_concurrent`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ColdRequest {
+    /// The function to invoke (also selects the home shard).
+    pub function: FunctionId,
+    /// Restore policy.
+    pub policy: ColdPolicy,
+    /// When `true`, the instance models an *independent* function with
+    /// its own snapshot identity (shadow files, §6.5's concurrency
+    /// methodology); `false` runs against the function's real snapshot
+    /// files, sharing page-cache state with its siblings.
+    pub independent: bool,
+    /// Arrival time on the shared timeline.
+    pub arrival: SimTime,
+}
+
+impl ColdRequest {
+    /// A request against the function's real snapshot files, arriving at
+    /// time zero.
+    pub fn shared(function: FunctionId, policy: ColdPolicy) -> Self {
+        ColdRequest {
+            function,
+            policy,
+            independent: false,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    /// A request modeling an independent function (fresh shadow
+    /// identity), arriving at time zero.
+    pub fn independent(function: FunctionId, policy: ColdPolicy) -> Self {
+        ColdRequest {
+            independent: true,
+            ..ColdRequest::shared(function, policy)
+        }
+    }
+}
+
+/// Result of one concurrent batch: per-request outcomes plus the shared
+/// disk's counters and the batch-level timings.
+#[derive(Debug)]
+pub struct ClusterBatch {
+    /// Outcomes in request order. Each carries the **batch's** disk
+    /// statistics (instances share one disk; per-instance attribution
+    /// does not exist on real hardware either).
+    pub outcomes: Vec<InvocationOutcome>,
+    /// Counters of the shared timed disk for the whole batch.
+    pub disk_stats: DiskStats,
+    /// Simulated time until the last instance finished.
+    pub makespan: SimDuration,
+    /// Wall-clock time the control plane spent serving the batch
+    /// (functional passes + program compilation + the merged timed pass).
+    /// This is the axis sharding improves; simulated time is not affected
+    /// by shard count (pinned by proptests).
+    pub serve_wall: Duration,
+}
+
+/// The sharded control plane: N shards, each a full
+/// [`Orchestrator`] over its own namespaced snapshot store, fronted by
+/// one dispatch surface. See the crate docs for the design.
+#[derive(Debug)]
+pub struct ClusterOrchestrator {
+    shards: Vec<Orchestrator>,
+    seed: u64,
+}
+
+impl ClusterOrchestrator {
+    /// Creates a cluster of `shards` shards over the paper's default
+    /// platform. Every shard gets the same seed, so a function's state
+    /// depends only on `(seed, function)` — never on the shard geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(seed: u64, shards: usize) -> Self {
+        ClusterOrchestrator::with_device(seed, DeviceProfile::ssd_sata3(), shards)
+    }
+
+    /// Same, with a different (shared) snapshot storage device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_device(seed: u64, device: DeviceProfile, shards: usize) -> Self {
+        assert!(shards > 0, "cluster needs at least one shard");
+        let shards = (0..shards)
+            .map(|k| {
+                Orchestrator::with_store(seed, device.clone(), FileStore::with_namespace(k as u32))
+            })
+            .collect();
+        ClusterOrchestrator { shards, seed }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The cluster seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Home shard index of `f`.
+    pub fn shard_of(&self, f: FunctionId) -> usize {
+        shard_for(f, self.shards.len())
+    }
+
+    /// The shard orchestrator at `index` (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn shard(&self, index: usize) -> &Orchestrator {
+        &self.shards[index]
+    }
+
+    /// The home shard of `f` (read-only).
+    pub fn shard_for_fn(&self, f: FunctionId) -> &Orchestrator {
+        &self.shards[self.shard_of(f)]
+    }
+
+    fn home_mut(&mut self, f: FunctionId) -> &mut Orchestrator {
+        let idx = self.shard_of(f);
+        &mut self.shards[idx]
+    }
+
+    /// The shared host cost model (shards are kept uniform; reads come
+    /// from shard 0).
+    pub fn costs(&self) -> &HostCostModel {
+        self.shards[0].costs()
+    }
+
+    /// Applies `update` to **every** shard's cost model, keeping the
+    /// cluster uniform (the lane sweeps use this to set
+    /// [`HostCostModel::prefetch_lanes`]).
+    pub fn update_costs(&mut self, update: impl Fn(&mut HostCostModel)) {
+        for shard in &mut self.shards {
+            update(shard.costs_mut());
+        }
+    }
+
+    /// Broadcasts §7.2's auto-re-record setting to every shard.
+    pub fn set_auto_rerecord(&mut self, enabled: bool, threshold: f64) {
+        for shard in &mut self.shards {
+            shard.set_auto_rerecord(enabled, threshold);
+        }
+    }
+
+    /// Broadcasts the *functional* prefetch-lane count to every shard
+    /// (wall-clock knob only; see
+    /// [`Orchestrator::set_prefetch_lanes`]).
+    pub fn set_prefetch_lanes(&mut self, lanes: usize) {
+        for shard in &mut self.shards {
+            shard.set_prefetch_lanes(lanes);
+        }
+    }
+
+    /// Registers `f` on its home shard (boot + snapshot capture).
+    pub fn register(&mut self, f: FunctionId) -> RegisterInfo {
+        self.home_mut(f).register(f)
+    }
+
+    /// Removes `f` from its home shard, deleting its files.
+    pub fn unregister(&mut self, f: FunctionId) {
+        self.home_mut(f).unregister(f);
+    }
+
+    /// True if `f` has a recorded working set on its home shard.
+    pub fn has_ws(&self, f: FunctionId) -> bool {
+        self.shard_for_fn(f).has_ws(f)
+    }
+
+    /// True if `f`'s working set was flagged stale (§7.2).
+    pub fn needs_rerecord(&self, f: FunctionId) -> bool {
+        self.shard_for_fn(f).needs_rerecord(f)
+    }
+
+    /// Record-mode cold invocation on the home shard (§5.2.1).
+    pub fn invoke_record(&mut self, f: FunctionId) -> InvocationOutcome {
+        self.home_mut(f).invoke_record(f)
+    }
+
+    /// One cold invocation on the home shard.
+    ///
+    /// # Panics
+    ///
+    /// As [`Orchestrator::invoke_cold`].
+    pub fn invoke_cold(&mut self, f: FunctionId, policy: ColdPolicy) -> InvocationOutcome {
+        self.home_mut(f).invoke_cold(f, policy)
+    }
+
+    /// One warm invocation on the home shard.
+    pub fn invoke_warm(&mut self, f: FunctionId) -> InvocationOutcome {
+        self.home_mut(f).invoke_warm(f)
+    }
+
+    /// §8.2's working-set padding ablation, on the home shard.
+    ///
+    /// # Panics
+    ///
+    /// As [`Orchestrator::pad_working_set`].
+    pub fn pad_working_set(&mut self, f: FunctionId, extra_pages: u64) -> ReapFiles {
+        self.home_mut(f).pad_working_set(f, extra_pages)
+    }
+
+    /// Fresh shadow identities for `f` from its home shard's namespaced
+    /// allocator — globally collision-free across shards.
+    pub fn shadow_files(&mut self, f: FunctionId) -> (InstanceFiles, Option<ReapFiles>) {
+        self.home_mut(f).shadow_files(f)
+    }
+
+    /// Serves a batch of cold invocations concurrently.
+    ///
+    /// The *functional* passes fan out across scoped threads — shards are
+    /// dealt into contiguous, request-count-balanced lanes
+    /// ([`sim_core::partition_by_weight`]) and the lane count is gated on
+    /// the host's parallelism ([`sim_core::effective_lanes`]), exactly
+    /// like the prefetch pipeline. Each thread touches only its own
+    /// shards' state, so results are deterministic and shard-count
+    /// invariant.
+    ///
+    /// The *timed* passes are then merged onto **one** timeline over one
+    /// shared disk (and one shared CPU pool): simulated queueing under
+    /// concurrency emerges across shard boundaries, exactly as instances
+    /// on one worker share the device in §6.5.
+    ///
+    /// # Panics
+    ///
+    /// As [`Orchestrator::invoke_cold`] for any individual request.
+    pub fn invoke_concurrent(&mut self, reqs: &[ColdRequest]) -> ClusterBatch {
+        let started = Instant::now();
+        if reqs.is_empty() {
+            return ClusterBatch {
+                outcomes: Vec::new(),
+                disk_stats: DiskStats::default(),
+                makespan: SimDuration::ZERO,
+                serve_wall: started.elapsed(),
+            };
+        }
+        // Group requests by home shard, preserving input order per shard.
+        let num_shards = self.shards.len();
+        let mut per_shard: Vec<Vec<(usize, ColdRequest)>> = vec![Vec::new(); num_shards];
+        for (i, r) in reqs.iter().enumerate() {
+            per_shard[shard_for(r.function, num_shards)].push((i, *r));
+        }
+        // Pair every busy shard with its work list, in shard order.
+        let mut work: Vec<(&mut Orchestrator, Vec<(usize, ColdRequest)>)> = self
+            .shards
+            .iter_mut()
+            .zip(per_shard)
+            .filter(|(_, w)| !w.is_empty())
+            .collect();
+
+        let lanes = sim_core::effective_lanes(work.len());
+        let mut prepared: Vec<(usize, PreparedCold)> = if lanes <= 1 || work.len() <= 1 {
+            prepare_lane(work)
+        } else {
+            let weights: Vec<u64> = work.iter().map(|(_, w)| w.len() as u64).collect();
+            let ranges = sim_core::partition_by_weight(&weights, lanes);
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(ranges.len());
+                // Peel lane groups off the tail so each thread owns a
+                // disjoint, contiguous slice of the busy shards.
+                for &(start, end) in ranges.iter().rev() {
+                    let lane_work = work.split_off(start);
+                    debug_assert_eq!(lane_work.len(), end - start);
+                    handles.push(s.spawn(move || prepare_lane(lane_work)));
+                }
+                debug_assert!(work.is_empty());
+                handles
+                    .into_iter()
+                    .rev()
+                    .flat_map(|h| h.join().expect("shard lane panicked"))
+                    .collect()
+            })
+        };
+        // Reassemble request order (lanes return shard-grouped chunks).
+        prepared.sort_by_key(|&(i, _)| i);
+
+        // One shared disk + CPU pool for the whole batch.
+        let programs = prepared.iter_mut().map(|(_, p)| p.take_program()).collect();
+        let mut tl = self.shards[0].timeline();
+        let results = tl.run(programs);
+        let disk_stats = tl.disk_stats();
+
+        let mut makespan = SimDuration::ZERO;
+        let outcomes = prepared
+            .into_iter()
+            .zip(results)
+            .map(|((_, p), r)| {
+                makespan = makespan.max(r.end - SimTime::ZERO);
+                p.into_outcome(r, disk_stats)
+            })
+            .collect();
+        ClusterBatch {
+            outcomes,
+            disk_stats,
+            makespan,
+            serve_wall: started.elapsed(),
+        }
+    }
+}
+
+/// Runs one lane's shards sequentially: every request's functional pass +
+/// program compilation, in input order per shard.
+fn prepare_lane(
+    work: Vec<(&mut Orchestrator, Vec<(usize, ColdRequest)>)>,
+) -> Vec<(usize, PreparedCold)> {
+    let mut out = Vec::with_capacity(work.iter().map(|(_, w)| w.len()).sum());
+    for (shard, reqs) in work {
+        for (i, r) in reqs {
+            let prepared = if r.independent {
+                shard.prepare_cold_shadow(r.function, r.policy, r.arrival)
+            } else {
+                shard.prepare_cold(r.function, r.policy, r.arrival)
+            };
+            out.push((i, prepared));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegation_matches_single_orchestrator_behaviour() {
+        let f = FunctionId::helloworld;
+        let mut c = ClusterOrchestrator::new(7, 3);
+        let info = c.register(f);
+        assert!(info.boot_footprint_bytes > 0);
+        assert!(!c.has_ws(f));
+        let rec = c.invoke_record(f);
+        assert!(rec.recorded);
+        assert!(c.has_ws(f));
+        let reap = c.invoke_cold(f, ColdPolicy::Reap);
+        assert!(reap.latency < rec.latency);
+        let warm = c.invoke_warm(f);
+        assert!(warm.latency < reap.latency);
+        c.unregister(f);
+        assert!(!c.has_ws(f));
+    }
+
+    #[test]
+    fn concurrent_batch_serves_all_requests_in_order() {
+        let mut c = ClusterOrchestrator::new(7, 4);
+        let funcs = [FunctionId::helloworld, FunctionId::chameleon, FunctionId::pyaes];
+        for f in funcs {
+            c.register(f);
+            c.invoke_record(f);
+        }
+        let reqs: Vec<ColdRequest> = (0..9)
+            .map(|i| ColdRequest::independent(funcs[i % funcs.len()], ColdPolicy::Reap))
+            .collect();
+        let batch = c.invoke_concurrent(&reqs);
+        assert_eq!(batch.outcomes.len(), 9);
+        for (req, out) in reqs.iter().zip(&batch.outcomes) {
+            assert_eq!(out.function, req.function, "request order preserved");
+            assert_eq!(out.policy, Some(ColdPolicy::Reap));
+        }
+        assert!(batch.makespan >= batch.outcomes.iter().map(|o| o.latency).max().unwrap());
+        assert!(batch.disk_stats.useful_bytes_read > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut c = ClusterOrchestrator::new(7, 2);
+        let batch = c.invoke_concurrent(&[]);
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn update_costs_reaches_every_shard() {
+        let mut c = ClusterOrchestrator::new(7, 3);
+        c.update_costs(|costs| costs.prefetch_lanes = 4);
+        for k in 0..c.num_shards() {
+            assert_eq!(c.shard(k).costs().prefetch_lanes, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shard_cluster_rejected() {
+        let _ = ClusterOrchestrator::new(1, 0);
+    }
+}

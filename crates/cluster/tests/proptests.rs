@@ -1,0 +1,112 @@
+//! Property tests pinning the cluster contracts:
+//!
+//! * **shard-count invariance** — the full `InvocationOutcome` debug
+//!   rendering (latency, breakdown, fault/prefetch/verify counters,
+//!   touched-page set, disk counters) is identical for any shard count,
+//!   across all four [`ColdPolicy`] variants, for both delegated singles
+//!   and concurrent batches;
+//! * **shadow collision-freedom** — shadow identities minted by
+//!   different shards (namespaced stores + per-shard allocators) never
+//!   collide.
+
+use functionbench::FunctionId;
+use proptest::prelude::*;
+use sim_storage::FileId;
+use vhive_cluster::{ClusterOrchestrator, ColdRequest};
+use vhive_core::ColdPolicy;
+
+/// Light two-function workload (keeps boots cheap under many cases).
+const FUNCS: [FunctionId; 2] = [FunctionId::helloworld, FunctionId::pyaes];
+
+/// Registers + records `FUNCS` on a fresh cluster.
+fn prepared_cluster(seed: u64, shards: usize) -> ClusterOrchestrator {
+    let mut c = ClusterOrchestrator::new(seed, shards);
+    for f in FUNCS {
+        c.register(f);
+        c.invoke_record(f);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig { cases: 3 })]
+
+    /// A concurrent batch covering every `ColdPolicy` variant (mixed
+    /// shared/independent instances) renders byte-identically for shard
+    /// counts 1, 2, 3 and 5.
+    #[test]
+    fn batch_outcomes_invariant_across_shard_counts(seed in 0u64..10_000) {
+        let run = |shards: usize| -> String {
+            let mut c = prepared_cluster(seed, shards);
+            let mut reqs = Vec::new();
+            for (i, &f) in FUNCS.iter().enumerate() {
+                for (j, policy) in ColdPolicy::ALL.into_iter().enumerate() {
+                    let req = if (i + j) % 2 == 0 {
+                        ColdRequest::independent(f, policy)
+                    } else {
+                        ColdRequest::shared(f, policy)
+                    };
+                    reqs.push(req);
+                }
+            }
+            let batch = c.invoke_concurrent(&reqs);
+            format!("{:?}", batch.outcomes)
+        };
+        let one = run(1);
+        for shards in [2usize, 3, 5] {
+            prop_assert_eq!(&run(shards), &one, "shards={}", shards);
+        }
+    }
+
+    /// Delegated single invocations (`invoke_cold` through the cluster)
+    /// are likewise shard-count invariant for every policy.
+    #[test]
+    fn single_outcomes_invariant_across_shard_counts(seed in 0u64..10_000) {
+        let run = |shards: usize| -> Vec<String> {
+            let mut c = prepared_cluster(seed, shards);
+            ColdPolicy::ALL
+                .into_iter()
+                .map(|p| format!("{:?}", c.invoke_cold(FunctionId::pyaes, p)))
+                .collect()
+        };
+        let one = run(1);
+        for shards in [2usize, 4] {
+            prop_assert_eq!(&run(shards), &one, "shards={}", shards);
+        }
+    }
+}
+
+proptest! {
+    /// Shadow identities allocated across all shards of a cluster —
+    /// interleaved in any order, plus the real snapshot files — are
+    /// globally distinct `FileId`s.
+    #[test]
+    fn cross_shard_shadow_identities_never_collide(
+        shards in 1usize..6,
+        picks in proptest::collection::vec(0usize..FUNCS.len(), 1..24),
+    ) {
+        let mut c = ClusterOrchestrator::new(17, shards);
+        for f in FUNCS {
+            c.register(f);
+            c.invoke_record(f);
+        }
+        let mut ids: Vec<FileId> = Vec::new();
+        for f in FUNCS {
+            let shard = c.shard_for_fn(f);
+            let real = shard.instance_files(f);
+            ids.push(real.mem_file);
+            ids.push(real.vmm_file);
+        }
+        for &pick in &picks {
+            let f = FUNCS[pick];
+            let (files, reap) = c.shadow_files(f);
+            ids.push(files.mem_file);
+            ids.push(files.vmm_file);
+            let reap = reap.expect("working set recorded");
+            ids.push(reap.trace_file);
+            ids.push(reap.ws_file);
+        }
+        let unique: std::collections::HashSet<FileId> = ids.iter().copied().collect();
+        prop_assert_eq!(unique.len(), ids.len(), "colliding shadow identity");
+    }
+}

@@ -66,11 +66,11 @@ pub use costs::HostCostModel;
 pub use detect::{contiguity, working_set_overlap, ContiguityStats, MispredictionReport, OverlapStats};
 pub use invocation::{Breakdown, ColdPolicy, InstanceFiles, InstanceProgram, Phase, TimedStep};
 pub use monitor::{Monitor, MonitorMode, MonitorStats};
-pub use orchestrator::{InvocationOutcome, Orchestrator, RegisterInfo};
+pub use orchestrator::{InvocationOutcome, Orchestrator, PreparedCold, RegisterInfo};
 pub use policy::{simulate_worker, FunctionCosts, KeepWarmPolicy, WorkerReport};
 pub use rerandomize::{restore_rerandomized, LayoutPermutation, RerandomizedRun};
 pub use router::{route_workload, RouterConfig, RouterReport};
-pub use scale::{concurrency_sweep, ScalePoint};
+pub use scale::{concurrency_sweep, lane_sweep, ScalePoint};
 pub use timeline::{InstanceResult, Timeline};
 pub use ws_file::{
     read_trace_file, read_trace_runs, read_ws_extents, read_ws_file, read_ws_layout,

@@ -62,6 +62,69 @@ pub struct FunctionalRun {
     pub recorded: Option<ReapFiles>,
 }
 
+/// A cold invocation after its functional pass, ready for the timed
+/// pass. Produced by [`Orchestrator::prepare_record`],
+/// [`Orchestrator::prepare_cold`] and
+/// [`Orchestrator::prepare_cold_shadow`]; completed by
+/// [`PreparedCold::into_outcome`] once the timed result is known.
+///
+/// Splitting prepare from finish lets a caller run the timed pass on a
+/// timeline of its choosing — in particular the cluster layer merges the
+/// programs of many shards onto **one shared disk** before finishing each
+/// invocation, so shards contend for the device honestly.
+#[derive(Debug)]
+pub struct PreparedCold {
+    program: InstanceProgram,
+    function: FunctionId,
+    policy: ColdPolicy,
+    recorded: bool,
+    run: FunctionalRun,
+    misprediction: Option<MispredictionReport>,
+}
+
+impl PreparedCold {
+    /// The invoked function.
+    pub fn function(&self) -> FunctionId {
+        self.function
+    }
+
+    /// The compiled timed program (arrival embedded).
+    pub fn program(&self) -> &InstanceProgram {
+        &self.program
+    }
+
+    /// Moves the compiled program out (leaving an empty stand-in), so
+    /// callers can feed [`crate::Timeline::run`] — which consumes
+    /// programs — without deep-copying the step list.
+    pub fn take_program(&mut self) -> InstanceProgram {
+        std::mem::replace(
+            &mut self.program,
+            InstanceProgram {
+                arrival: SimTime::ZERO,
+                steps: Vec::new(),
+            },
+        )
+    }
+
+    /// Completes the invocation with the timed result of its program and
+    /// the disk counters of the timeline it ran on.
+    pub fn into_outcome(
+        self,
+        result: crate::timeline::InstanceResult,
+        disk_stats: DiskStats,
+    ) -> InvocationOutcome {
+        outcome_of(
+            self.function,
+            Some(self.policy),
+            self.recorded,
+            self.run,
+            result,
+            disk_stats,
+            self.misprediction,
+        )
+    }
+}
+
 /// Result of one invocation (functional + timed).
 #[derive(Debug, Clone)]
 pub struct InvocationOutcome {
@@ -122,6 +185,11 @@ pub struct Orchestrator {
     /// never affects simulated outcomes — see
     /// [`set_prefetch_lanes`](Self::set_prefetch_lanes)).
     prefetch_lanes: usize,
+    /// Monotonic shadow-identity allocator (see
+    /// [`shadow_files`](Self::shadow_files)): every shadow set minted by
+    /// this orchestrator gets a fresh tag, so concurrent experiments can
+    /// never hand two instances the same cache identity.
+    next_shadow_tag: u64,
     functions: HashMap<FunctionId, FunctionState>,
 }
 
@@ -129,24 +197,30 @@ impl Orchestrator {
     /// Creates an orchestrator over the paper's default platform (local
     /// SSD, 48 cores).
     pub fn new(seed: u64) -> Self {
-        Orchestrator {
-            fs: FileStore::new(),
-            device: DeviceProfile::ssd_sata3(),
-            costs: HostCostModel::default(),
-            seed,
-            auto_rerecord: false,
-            rerecord_threshold: 0.5,
-            prefetch_lanes: 1,
-            functions: HashMap::new(),
-        }
+        Orchestrator::with_store(seed, DeviceProfile::ssd_sata3(), FileStore::new())
     }
 
     /// Same, with a different snapshot storage device (§6.3's HDD run,
     /// §7.1's remote storage).
     pub fn with_device(seed: u64, device: DeviceProfile) -> Self {
+        Orchestrator::with_store(seed, device, FileStore::new())
+    }
+
+    /// Creates an orchestrator over an externally supplied snapshot store
+    /// (the cluster layer passes one namespaced
+    /// [`FileStore`] per shard so file identities stay globally distinct
+    /// on the shared timed disk).
+    pub fn with_store(seed: u64, device: DeviceProfile, fs: FileStore) -> Self {
         Orchestrator {
+            fs,
             device,
-            ..Orchestrator::new(seed)
+            costs: HostCostModel::default(),
+            seed,
+            auto_rerecord: false,
+            rerecord_threshold: 0.5,
+            prefetch_lanes: 1,
+            next_shadow_tag: 0,
+            functions: HashMap::new(),
         }
     }
 
@@ -398,7 +472,19 @@ impl Orchestrator {
     /// for concurrency experiments where each instance models an
     /// *independent* function with its own snapshot (§6.5). The timed pass
     /// never dereferences file contents, only cache keys.
-    pub fn shadow_files(&self, f: FunctionId, tag: usize) -> (InstanceFiles, Option<ReapFiles>) {
+    ///
+    /// Identities come from a per-orchestrator monotonic allocator (tags
+    /// are never reused), and the backing store's id namespace keeps them
+    /// distinct across cluster shards — callers can no longer mint two
+    /// instances with a colliding shadow identity.
+    ///
+    /// Shadow entries are *identity reservations*, not data: the handles
+    /// carry real sizes but the store entries are dropped again before
+    /// returning (ids are never reused), so long concurrency experiments
+    /// and the bench loops don't grow the store without bound.
+    pub fn shadow_files(&mut self, f: FunctionId) -> (InstanceFiles, Option<ReapFiles>) {
+        let tag = self.next_shadow_tag;
+        self.next_shadow_tag += 1;
         let real = self.instance_files(f);
         let shadow_mem = self.fs.create(&format!("shadow/{f}/{tag}/mem"));
         let shadow_vmm = self.fs.create(&format!("shadow/{f}/{tag}/vmm"));
@@ -414,6 +500,15 @@ impl Orchestrator {
             pages: r.pages,
             extents: r.extents,
         });
+        // The timed pass uses these ids only as cache keys and the sizes
+        // above travel in the returned structs, so the store entries can
+        // go immediately.
+        self.fs.delete(shadow_mem);
+        self.fs.delete(shadow_vmm);
+        if let Some(r) = &reap {
+            self.fs.delete(r.trace_file);
+            self.fs.delete(r.ws_file);
+        }
         (files, reap)
     }
 
@@ -458,35 +553,22 @@ impl Orchestrator {
         })
     }
 
+    /// A fresh (cold-cache) host timeline over this orchestrator's device
+    /// and CPU pool — the page cache starts cold, matching the paper's
+    /// flush-before-measure methodology (§4.1). The cluster layer builds
+    /// **one** such timeline for a whole concurrent batch so every shard's
+    /// programs share the same modeled disk.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::new(Disk::new(self.device.clone()), self.costs.cores)
+    }
+
     /// Runs timed programs on a fresh (cold-cache) host timeline and
-    /// returns results plus disk statistics — the page cache starts cold,
-    /// matching the paper's flush-before-measure methodology (§4.1).
+    /// returns results plus disk statistics.
     pub fn run_timed(&self, programs: Vec<InstanceProgram>) -> (Vec<crate::timeline::InstanceResult>, DiskStats) {
-        let mut tl = Timeline::new(Disk::new(self.device.clone()), self.costs.cores);
+        let mut tl = self.timeline();
         let results = tl.run(programs);
         let stats = tl.disk_stats();
         (results, stats)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn outcome_from(&self, f: FunctionId, policy: Option<ColdPolicy>, recorded: bool, run: FunctionalRun, result: crate::timeline::InstanceResult, disk_stats: DiskStats, misprediction: Option<MispredictionReport>) -> InvocationOutcome {
-        InvocationOutcome {
-            function: f,
-            policy,
-            seq: run.input_seq,
-            breakdown: result.breakdown,
-            latency: result.latency(),
-            uffd_faults: run.conn_trace.uffd_faults + run.proc_trace.uffd_faults,
-            prefetched_pages: run.monitor_stats.prefetched,
-            residual_faults: run.monitor_stats.residual_after_prefetch,
-            ws_pages: run.touched.len() as u64,
-            verified_pages: run.verified_pages,
-            footprint_bytes: run.footprint_bytes,
-            touched: run.touched,
-            recorded,
-            misprediction,
-            disk_stats,
-        }
     }
 
     /// §8.2 ablation: emulates profiling-based working-set estimation
@@ -550,31 +632,10 @@ impl Orchestrator {
         files
     }
 
-    /// First cold invocation of a function under REAP: serves faults on
-    /// demand *and* records the working set (§5.2.1). Subsequent
-    /// [`invoke_cold`](Self::invoke_cold) calls with prefetch policies use
-    /// the recorded files.
-    pub fn invoke_record(&mut self, f: FunctionId) -> InvocationOutcome {
-        let run = self.functional_cold(f, MonitorMode::Record);
-        let reap = run.recorded;
-        let files = self.instance_files(f);
-        let program =
-            self.cold_program(f, ColdPolicy::Vanilla, true, &run, files, reap, SimTime::ZERO);
-        let (results, disk) = self.run_timed(vec![program]);
-        self.outcome_from(f, Some(ColdPolicy::Vanilla), true, run, results[0], disk, None)
-    }
-
-    /// One cold invocation under `policy`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the function is unregistered or a prefetch policy is used
-    /// before [`invoke_record`](Self::invoke_record).
-    pub fn invoke_cold(&mut self, f: FunctionId, policy: ColdPolicy) -> InvocationOutcome {
-        if policy.uses_ws() && self.auto_rerecord && self.needs_rerecord(f) {
-            // §7.2 fallback: refresh the stale working set.
-            return self.invoke_record(f);
-        }
+    /// Runs the functional pass for one cold invocation under `policy`:
+    /// prefetch mode when the policy uses a recorded working set (which
+    /// must exist), on-demand lazy paging otherwise.
+    fn functional_for_policy(&mut self, f: FunctionId, policy: ColdPolicy) -> FunctionalRun {
         let mode = if policy.uses_ws() {
             assert!(
                 self.has_ws(f),
@@ -584,7 +645,39 @@ impl Orchestrator {
         } else {
             MonitorMode::OnDemand
         };
-        let run = self.functional_cold(f, mode);
+        self.functional_cold(f, mode)
+    }
+
+    /// Prepares a record-mode cold invocation (functional pass + compiled
+    /// program) without running the timed pass — see [`PreparedCold`].
+    pub fn prepare_record(&mut self, f: FunctionId, arrival: SimTime) -> PreparedCold {
+        let run = self.functional_cold(f, MonitorMode::Record);
+        let reap = run.recorded;
+        let files = self.instance_files(f);
+        let program = self.cold_program(f, ColdPolicy::Vanilla, true, &run, files, reap, arrival);
+        PreparedCold {
+            program,
+            function: f,
+            policy: ColdPolicy::Vanilla,
+            recorded: true,
+            run,
+            misprediction: None,
+        }
+    }
+
+    /// Prepares one cold invocation under `policy` (functional pass,
+    /// misprediction bookkeeping, compiled program) without running the
+    /// timed pass — see [`PreparedCold`].
+    ///
+    /// # Panics
+    ///
+    /// As [`invoke_cold`](Self::invoke_cold).
+    pub fn prepare_cold(&mut self, f: FunctionId, policy: ColdPolicy, arrival: SimTime) -> PreparedCold {
+        if policy.uses_ws() && self.auto_rerecord && self.needs_rerecord(f) {
+            // §7.2 fallback: refresh the stale working set.
+            return self.prepare_record(f, arrival);
+        }
+        let run = self.functional_for_policy(f, policy);
         let reap = self.state(f).reap;
         let misprediction = if policy.uses_ws() {
             let recorded_pages: BTreeSet<PageIdx> = read_trace_file(
@@ -607,9 +700,61 @@ impl Orchestrator {
             None
         };
         let files = self.instance_files(f);
-        let program = self.cold_program(f, policy, false, &run, files, reap, SimTime::ZERO);
-        let (results, disk) = self.run_timed(vec![program]);
-        self.outcome_from(f, Some(policy), false, run, results[0], disk, misprediction)
+        let program = self.cold_program(f, policy, false, &run, files, reap, arrival);
+        PreparedCold {
+            program,
+            function: f,
+            policy,
+            recorded: false,
+            run,
+            misprediction,
+        }
+    }
+
+    /// Like [`prepare_cold`](Self::prepare_cold), but the compiled program
+    /// runs against freshly allocated [`shadow_files`](Self::shadow_files)
+    /// identities: the instance models an *independent* function with its
+    /// own snapshot (§6.5's concurrency methodology). Misprediction and
+    /// re-record bookkeeping are skipped — the instance stands in for a
+    /// different function than the one whose behaviour it borrows.
+    ///
+    /// # Panics
+    ///
+    /// As [`invoke_cold`](Self::invoke_cold).
+    pub fn prepare_cold_shadow(&mut self, f: FunctionId, policy: ColdPolicy, arrival: SimTime) -> PreparedCold {
+        let run = self.functional_for_policy(f, policy);
+        let (files, reap) = self.shadow_files(f);
+        let program = self.cold_program(f, policy, false, &run, files, reap, arrival);
+        PreparedCold {
+            program,
+            function: f,
+            policy,
+            recorded: false,
+            run,
+            misprediction: None,
+        }
+    }
+
+    /// First cold invocation of a function under REAP: serves faults on
+    /// demand *and* records the working set (§5.2.1). Subsequent
+    /// [`invoke_cold`](Self::invoke_cold) calls with prefetch policies use
+    /// the recorded files.
+    pub fn invoke_record(&mut self, f: FunctionId) -> InvocationOutcome {
+        let mut prepared = self.prepare_record(f, SimTime::ZERO);
+        let (results, disk) = self.run_timed(vec![prepared.take_program()]);
+        prepared.into_outcome(results[0], disk)
+    }
+
+    /// One cold invocation under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is unregistered or a prefetch policy is used
+    /// before [`invoke_record`](Self::invoke_record).
+    pub fn invoke_cold(&mut self, f: FunctionId, policy: ColdPolicy) -> InvocationOutcome {
+        let mut prepared = self.prepare_cold(f, policy, SimTime::ZERO);
+        let (results, disk) = self.run_timed(vec![prepared.take_program()]);
+        prepared.into_outcome(results[0], disk)
     }
 
     /// One warm invocation: the instance is memory-resident; no VMM load,
@@ -648,7 +793,30 @@ impl Orchestrator {
             input_seq: seq,
             recorded: None,
         };
-        self.outcome_from(f, None, false, run, results[0], disk, None)
+        outcome_of(f, None, false, run, results[0], disk, None)
+    }
+}
+
+/// Assembles an [`InvocationOutcome`] from a functional run and its timed
+/// result.
+#[allow(clippy::too_many_arguments)]
+fn outcome_of(f: FunctionId, policy: Option<ColdPolicy>, recorded: bool, run: FunctionalRun, result: crate::timeline::InstanceResult, disk_stats: DiskStats, misprediction: Option<MispredictionReport>) -> InvocationOutcome {
+    InvocationOutcome {
+        function: f,
+        policy,
+        seq: run.input_seq,
+        breakdown: result.breakdown,
+        latency: result.latency(),
+        uffd_faults: run.conn_trace.uffd_faults + run.proc_trace.uffd_faults,
+        prefetched_pages: run.monitor_stats.prefetched,
+        residual_faults: run.monitor_stats.residual_after_prefetch,
+        ws_pages: run.touched.len() as u64,
+        verified_pages: run.verified_pages,
+        footprint_bytes: run.footprint_bytes,
+        touched: run.touched,
+        recorded,
+        misprediction,
+        disk_stats,
     }
 }
 
@@ -818,11 +986,58 @@ mod tests {
         let mut o = orch_with(FunctionId::helloworld);
         o.invoke_record(FunctionId::helloworld);
         let real = o.instance_files(FunctionId::helloworld);
-        let (s1, r1) = o.shadow_files(FunctionId::helloworld, 1);
-        let (s2, _) = o.shadow_files(FunctionId::helloworld, 2);
+        let (s1, r1) = o.shadow_files(FunctionId::helloworld);
+        let (s2, _) = o.shadow_files(FunctionId::helloworld);
         assert_ne!(s1.mem_file, real.mem_file);
         assert_ne!(s1.mem_file, s2.mem_file);
         assert_eq!(s1.mem_pages, real.mem_pages);
         assert!(r1.is_some());
+    }
+
+    #[test]
+    fn shadow_files_do_not_grow_the_store() {
+        // Shadow identities are reservations: minting thousands of them
+        // (bench loops, concurrency sweeps) must leave the store's file
+        // census unchanged.
+        let mut o = orch_with(FunctionId::helloworld);
+        o.invoke_record(FunctionId::helloworld);
+        let census = o.fs().list().len();
+        for _ in 0..100 {
+            let _ = o.shadow_files(FunctionId::helloworld);
+        }
+        assert_eq!(o.fs().list().len(), census);
+    }
+
+    #[test]
+    fn shadow_tags_never_repeat_across_calls_or_functions() {
+        // The allocator is per-orchestrator, not per-call: identities stay
+        // unique across repeated experiments and across functions.
+        let mut o = Orchestrator::new(3);
+        o.register(FunctionId::helloworld);
+        o.register(FunctionId::pyaes);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            for f in [FunctionId::helloworld, FunctionId::pyaes] {
+                let (files, _) = o.shadow_files(f);
+                assert!(seen.insert(files.mem_file), "duplicate shadow identity");
+                assert!(seen.insert(files.vmm_file), "duplicate shadow identity");
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_then_finish_matches_invoke_cold_exactly() {
+        // The prepare/finish split must be invisible: same seed, same
+        // sequence, byte-identical outcome rendering.
+        let f = FunctionId::helloworld;
+        let mut a = orch_with(f);
+        let mut b = orch_with(f);
+        a.invoke_record(f);
+        b.invoke_record(f);
+        let via_invoke = a.invoke_cold(f, ColdPolicy::Reap);
+        let mut prepared = b.prepare_cold(f, ColdPolicy::Reap, SimTime::ZERO);
+        let (results, disk) = b.run_timed(vec![prepared.take_program()]);
+        let via_prepare = prepared.into_outcome(results[0], disk);
+        assert_eq!(format!("{via_invoke:?}"), format!("{via_prepare:?}"));
     }
 }

@@ -21,6 +21,9 @@ pub struct ScalePoint {
     pub concurrency: usize,
     /// Restore policy.
     pub policy: ColdPolicy,
+    /// Modeled prefetch lanes the timed pass ran with
+    /// ([`crate::HostCostModel::prefetch_lanes`]; 1 = the paper's design).
+    pub model_lanes: usize,
     /// Mean per-instance cold-start latency.
     pub mean_latency: SimDuration,
     /// Slowest instance.
@@ -52,8 +55,8 @@ pub fn run_concurrent(orch: &mut Orchestrator, f: FunctionId, policy: ColdPolicy
     let run = orch.functional_cold(f, mode);
 
     let programs: Vec<_> = (0..n)
-        .map(|i| {
-            let (files, reap) = orch.shadow_files(f, i);
+        .map(|_| {
+            let (files, reap) = orch.shadow_files(f);
             orch.cold_program(f, policy, false, &run, files, reap, SimTime::ZERO)
         })
         .collect();
@@ -72,6 +75,7 @@ pub fn run_concurrent(orch: &mut Orchestrator, f: FunctionId, policy: ColdPolicy
     ScalePoint {
         concurrency: n,
         policy,
+        model_lanes: orch.costs().prefetch_lanes,
         mean_latency: SimDuration::from_secs_f64(stats.mean()),
         max_latency,
         makespan,
@@ -88,6 +92,29 @@ pub fn concurrency_sweep(orch: &mut Orchestrator, f: FunctionId, policy: ColdPol
         .collect()
 }
 
+/// The ROADMAP's lane-aware sweep (Fig 9b): the same concurrency level
+/// re-run while sweeping the *modeled* prefetch-lane count
+/// ([`crate::HostCostModel::prefetch_lanes`]) — how much of the lane
+/// pipeline's overlap survives once `concurrency` instances contend for
+/// the shared disk bus. The orchestrator's original lane setting is
+/// restored afterwards.
+///
+/// # Panics
+///
+/// As [`run_concurrent`].
+pub fn lane_sweep(orch: &mut Orchestrator, f: FunctionId, policy: ColdPolicy, concurrency: usize, lanes: &[usize]) -> Vec<ScalePoint> {
+    let original = orch.costs().prefetch_lanes;
+    let points = lanes
+        .iter()
+        .map(|&l| {
+            orch.costs_mut().prefetch_lanes = l.max(1);
+            run_concurrent(orch, f, policy, concurrency)
+        })
+        .collect();
+    orch.costs_mut().prefetch_lanes = original;
+    points
+}
+
 /// §6.3's robustness check: a cold invocation while `n_warm` warm,
 /// memory-resident functions process invocations on the same worker.
 /// Returns `(solo, with_background)` mean latencies; the paper measures
@@ -101,7 +128,7 @@ pub fn with_warm_background(orch: &mut Orchestrator, f: FunctionId, policy: Cold
     let run = orch.functional_cold(f, mode);
     let files = orch.instance_files(f);
     let reap = if policy.uses_ws() {
-        orch.shadow_files(f, usize::MAX - 1).1
+        orch.shadow_files(f).1
     } else {
         None
     };
@@ -186,6 +213,25 @@ mod tests {
             p.useful_mbps
         );
         assert!(p.device_mbps > 1.5 * p.useful_mbps);
+    }
+
+    #[test]
+    fn lane_sweep_overlaps_install_at_low_concurrency() {
+        let f = FunctionId::helloworld;
+        let mut o = prepared(f);
+        let points = lane_sweep(&mut o, f, ColdPolicy::Reap, 1, &[1, 4]);
+        assert_eq!(points[0].model_lanes, 1);
+        assert_eq!(points[1].model_lanes, 4);
+        // Solo instance: the pipelined fetch hides the install (Fig 7b's
+        // 55 -> 50 ms on helloworld).
+        assert!(
+            points[1].mean_latency < points[0].mean_latency,
+            "lanes=4 {:.1} ms should beat lanes=1 {:.1} ms solo",
+            points[1].mean_latency.as_millis_f64(),
+            points[0].mean_latency.as_millis_f64()
+        );
+        // The sweep must not leak its lane setting into the orchestrator.
+        assert_eq!(o.costs().prefetch_lanes, 1);
     }
 
     #[test]

@@ -35,6 +35,11 @@ struct Inner {
     next_id: u64,
 }
 
+/// Width of a store namespace in id-space bits: ids of namespace `n` live
+/// in `[n << 40, (n + 1) << 40)`. 2^40 files per store is unreachable in
+/// practice, so ids from differently-namespaced stores can never collide.
+const NAMESPACE_SHIFT: u32 = 40;
+
 /// Operation counters, shared across store handles. Purely observational
 /// (used by batching regression tests); timing lives in [`crate::Disk`].
 #[derive(Debug, Default)]
@@ -70,6 +75,29 @@ impl FileStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         FileStore::default()
+    }
+
+    /// Creates an empty store whose [`FileId`]s are drawn from a disjoint
+    /// per-namespace range, so handles from stores with *different*
+    /// namespaces never compare equal. Cluster shards use one namespace
+    /// per shard: their per-shard files (snapshots, WS artifacts, shadow
+    /// identities) then stay distinct cache keys when their timed programs
+    /// merge onto one shared [`crate::Disk`]. Namespace `0` is identical
+    /// to [`FileStore::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `namespace` does not fit the id space (≥ 2^24) — a
+    /// silently wrapped base would alias another namespace and break the
+    /// no-collision guarantee.
+    pub fn with_namespace(namespace: u32) -> Self {
+        assert!(
+            (namespace as u64) < (1 << (u64::BITS - NAMESPACE_SHIFT)),
+            "namespace {namespace} exceeds the id space"
+        );
+        let store = FileStore::default();
+        store.inner.write().next_id = (namespace as u64) << NAMESPACE_SHIFT;
+        store
     }
 
     /// Creates (or truncates) a file with the given name and returns its id.
@@ -581,6 +609,28 @@ mod tests {
         }
         // Empty batch is a no-op.
         fs.read_ranges_into(id, Vec::new(), 4);
+    }
+
+    #[test]
+    fn namespaced_stores_never_collide() {
+        let a = FileStore::with_namespace(0);
+        let b = FileStore::with_namespace(1);
+        let c = FileStore::with_namespace(2);
+        // Namespace 0 allocates exactly like a plain store.
+        assert_eq!(a.create("x"), FileStore::new().create("x"));
+        // Same names, different stores: ids must differ pairwise.
+        let ids: Vec<FileId> = [&a, &b, &c]
+            .iter()
+            .flat_map(|fs| (0..10).map(|i| fs.create(&format!("shadow/{i}"))))
+            .collect();
+        let unique: std::collections::HashSet<FileId> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the id space")]
+    fn oversized_namespace_rejected() {
+        let _ = FileStore::with_namespace(1 << 24);
     }
 
     #[test]

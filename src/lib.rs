@@ -21,6 +21,9 @@
 //!   restore.
 //! * [`functionbench`] — behaviour models of the paper's ten functions.
 //! * [`vhive_core`] — the vHive-CRI orchestrator and REAP itself.
+//! * [`vhive_cluster`] — the sharded control plane: per-shard
+//!   orchestrators and stores, concurrent invocation serving over one
+//!   shared modeled disk, shard × lane concurrency sweeps.
 
 pub use functionbench;
 pub use guest_mem;
@@ -28,4 +31,5 @@ pub use guest_os;
 pub use microvm;
 pub use sim_core;
 pub use sim_storage;
+pub use vhive_cluster;
 pub use vhive_core;

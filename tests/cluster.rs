@@ -1,0 +1,120 @@
+//! Cross-crate cluster contracts: a 1-shard cluster is bit-for-bit the
+//! single orchestrator (the Fig 7 ladder included), and the shared timed
+//! disk makes concurrent batches contend honestly.
+
+use functionbench::FunctionId;
+use vhive_cluster::{cluster_concurrent, ClusterOrchestrator, ColdRequest};
+use vhive_core::{ColdPolicy, Orchestrator};
+
+/// A 1-shard cluster must reproduce today's `Orchestrator` exactly:
+/// identical seed, identical call sequence, byte-identical
+/// `InvocationOutcome` debug renderings for every cold policy plus the
+/// record pass.
+#[test]
+fn one_shard_cluster_is_byte_identical_to_orchestrator() {
+    let f = FunctionId::helloworld;
+    let seed = 0xA5_1405;
+
+    let single: Vec<String> = {
+        let mut o = Orchestrator::new(seed);
+        o.register(f);
+        let mut outs = vec![format!("{:?}", o.invoke_record(f))];
+        outs.extend(
+            ColdPolicy::ALL
+                .into_iter()
+                .map(|p| format!("{:?}", o.invoke_cold(f, p))),
+        );
+        outs.push(format!("{:?}", o.invoke_warm(f)));
+        outs
+    };
+
+    let clustered: Vec<String> = {
+        let mut c = ClusterOrchestrator::new(seed, 1);
+        c.register(f);
+        let mut outs = vec![format!("{:?}", c.invoke_record(f))];
+        outs.extend(
+            ColdPolicy::ALL
+                .into_iter()
+                .map(|p| format!("{:?}", c.invoke_cold(f, p))),
+        );
+        outs.push(format!("{:?}", c.invoke_warm(f)));
+        outs
+    };
+
+    assert_eq!(single, clustered, "1-shard cluster must change nothing");
+}
+
+/// The Fig 7 design-point ladder (paper: 232 → 118 → 71 → 60 ms; this
+/// reproduction: 236 → 116 → 75 → 56 ms) holds through the cluster, at
+/// any shard count.
+#[test]
+fn fig7_ladder_reproduces_through_cluster() {
+    let f = FunctionId::helloworld;
+    for shards in [1usize, 4] {
+        let mut c = ClusterOrchestrator::new(26, shards);
+        c.register(f);
+        c.invoke_record(f);
+        let ms = |p: ColdPolicy, c: &mut ClusterOrchestrator| {
+            c.invoke_cold(f, p).latency.as_millis_f64()
+        };
+        let v = ms(ColdPolicy::Vanilla, &mut c);
+        let p = ms(ColdPolicy::ParallelPF, &mut c);
+        let w = ms(ColdPolicy::WsFileCached, &mut c);
+        let r = ms(ColdPolicy::Reap, &mut c);
+        assert!((170.0..300.0).contains(&v), "vanilla {v:.0} ms ({shards} shards)");
+        assert!((80.0..170.0).contains(&p), "parallel {p:.0} ms ({shards} shards)");
+        assert!((55.0..110.0).contains(&w), "ws-file {w:.0} ms ({shards} shards)");
+        assert!((40.0..80.0).contains(&r), "reap {r:.0} ms ({shards} shards)");
+        assert!(v > p && p > w && w > r, "ladder must descend");
+    }
+}
+
+/// Concurrent batches are reproducible: the same seed and request list
+/// give byte-identical outcome renderings on a fresh cluster.
+#[test]
+fn concurrent_batches_are_deterministic() {
+    let run = || -> String {
+        let mut c = ClusterOrchestrator::new(99, 3);
+        let funcs = [FunctionId::helloworld, FunctionId::pyaes, FunctionId::chameleon];
+        for f in funcs {
+            c.register(f);
+            c.invoke_record(f);
+        }
+        let reqs: Vec<ColdRequest> = (0..12)
+            .map(|i| ColdRequest::independent(funcs[i % 3], ColdPolicy::Reap))
+            .collect();
+        format!("{:?}", c.invoke_concurrent(&reqs).outcomes)
+    };
+    assert_eq!(run(), run(), "same seed must reproduce the batch exactly");
+}
+
+/// Shards share one modeled disk: concurrency still queues on the device
+/// even when every instance lives on a different shard — mean REAP
+/// latency grows once the batch saturates the bus, and the baseline
+/// degrades far more (Fig 9's shape, via the cluster).
+#[test]
+fn shared_disk_bus_contention_survives_sharding() {
+    let funcs = [FunctionId::helloworld, FunctionId::chameleon, FunctionId::pyaes];
+    let mut c = ClusterOrchestrator::new(31, 4);
+    for f in funcs {
+        c.register(f);
+        c.invoke_record(f);
+    }
+    let reap_1 = cluster_concurrent(&mut c, &funcs, ColdPolicy::Reap, 3);
+    let reap_48 = cluster_concurrent(&mut c, &funcs, ColdPolicy::Reap, 48);
+    assert!(
+        reap_48.mean_latency > reap_1.mean_latency,
+        "disk-bound at 48: {:.0} ms should exceed {:.0} ms",
+        reap_48.mean_latency.as_millis_f64(),
+        reap_1.mean_latency.as_millis_f64()
+    );
+    let vanilla_48 = cluster_concurrent(&mut c, &funcs, ColdPolicy::Vanilla, 48);
+    assert!(
+        vanilla_48.mean_latency.as_secs_f64() > 3.0 * reap_48.mean_latency.as_secs_f64(),
+        "baseline@48 {:.2}s vs reap@48 {:.2}s",
+        vanilla_48.mean_latency.as_secs_f64(),
+        reap_48.mean_latency.as_secs_f64()
+    );
+    // Readahead waste: the baseline moves far more raw bytes than useful.
+    assert!(vanilla_48.device_mbps > 1.5 * vanilla_48.useful_mbps);
+}
