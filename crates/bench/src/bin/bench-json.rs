@@ -28,7 +28,7 @@ use std::time::Instant;
 use guest_mem::{GuestMemory, PageIdx, PageRun, Uffd, PAGE_SIZE};
 use guest_os::BuddyAllocator;
 use sim_core::{SimDuration, SimTime};
-use sim_storage::{Disk, FileStore};
+use sim_storage::{Disk, FileStore, SnapshotFrameCache};
 use vhive_core::{
     read_ws_layout, write_reap_files, InstanceProgram, Phase, TimedStep, Timeline,
 };
@@ -86,26 +86,48 @@ fn measure<F: FnMut()>(mut op: F) -> (u64, u32) {
 
 struct Report {
     entries: Vec<(&'static str, u64, u32)>,
+    /// `--filter <substr>`: only groups whose name contains the substring
+    /// run (and only matching baseline groups are checked), so a refresh
+    /// can rerun e.g. just the ~25 s-per-sample cluster groups.
+    filter: Option<String>,
 }
 
 impl Report {
+    /// True if `name` passes the `--filter` (benches should skip their
+    /// setup work entirely when none of their groups is wanted).
+    fn wants(&self, name: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| name.contains(f.as_str()))
+    }
+
     fn add<F: FnMut()>(&mut self, name: &'static str, op: F) {
+        if !self.wants(name) {
+            return;
+        }
         let (median, n) = measure(op);
         eprintln!("  {name}: {median} ns/op ({n} samples)");
         self.entries.push((name, median, n));
     }
 
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 1,\n  \"groups\": {\n");
-        for (i, (name, median, n)) in self.entries.iter().enumerate() {
-            let comma = if i + 1 == self.entries.len() { "" } else { "," };
-            out.push_str(&format!(
-                "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {n}}}{comma}\n"
-            ));
-        }
-        out.push_str("  }\n}\n");
-        out
+        let entries: Vec<(String, u64, u32)> = self
+            .entries
+            .iter()
+            .map(|&(name, median, n)| (name.to_string(), median, n))
+            .collect();
+        entries_to_json(&entries)
     }
+}
+
+fn entries_to_json(entries: &[(String, u64, u32)]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"groups\": {\n");
+    for (i, (name, median, n)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{name}\": {{\"median_ns\": {median}, \"samples\": {n}}}{comma}\n"
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
 }
 
 /// A file-store file holding deterministic contents for every WS page.
@@ -121,6 +143,9 @@ fn mem_fixture(fs: &FileStore, name: &str, pages: impl Iterator<Item = PageIdx>)
 }
 
 fn bench_buddy(r: &mut Report) {
+    if !r.wants("buddy/alloc_free_cycle_64p") {
+        return;
+    }
     r.add("buddy/alloc_free_cycle_64p", || {
         let mut buddy = BuddyAllocator::new(PageIdx::new(0), 65536);
         let mut blocks = Vec::with_capacity(64);
@@ -154,6 +179,9 @@ fn serve_window(uffd: &mut Uffd, fs: &FileStore, mem: sim_storage::FileId, windo
 /// The serial fault path: every page of the 64 MB working set faults and
 /// is served from the guest memory file — the §4.2 critical path.
 fn bench_uffd(r: &mut Report, fs: &FileStore) {
+    if !r.wants("uffd/fault_serve_64mb") {
+        return;
+    }
     let windows = segment_layout();
     let mem = mem_fixture(fs, "bench/uffd-mem", windows.iter().flat_map(|w| w.iter()));
     let mut pool = Some(GuestMemory::new(GUEST_BYTES));
@@ -173,6 +201,9 @@ fn bench_uffd(r: &mut Report, fs: &FileStore) {
 }
 
 fn bench_ws_file(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    if !r.wants("ws_file/build_64mb") && !r.wants("ws_file/parse_64mb") {
+        return;
+    }
     let mem = mem_fixture(fs, "bench/ws-mem", pages.iter().copied());
     r.add("ws_file/build_64mb", || {
         let files = write_reap_files(fs, "bench/ws", mem, pages);
@@ -191,6 +222,9 @@ fn bench_ws_file(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
 /// REAP's eager install: WS file fetched, install into a fresh instance
 /// (§5.2.2) straight from its bytes.
 fn bench_prefetch(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    if !r.wants("prefetch/eager_install_64mb") {
+        return;
+    }
     let mem = mem_fixture(fs, "bench/pf-mem", pages.iter().copied());
     let files = write_reap_files(fs, "bench/pf", mem, pages);
     let layout = read_ws_layout(fs, files.ws_file).unwrap();
@@ -220,6 +254,9 @@ fn bench_prefetch(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
 /// them ([`FileStore::read_ranges_into`]): half the copies, and the lanes
 /// run concurrently on multi-core hosts.
 fn bench_prefetch_lanes(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    if !r.wants("prefetch_lanes/fetch_then_install_64mb") && !r.wants("prefetch_lanes/pipelined_64mb") {
+        return;
+    }
     let mem = mem_fixture(fs, "bench/lanes-mem", pages.iter().copied());
     let files = write_reap_files(fs, "bench/lanes", mem, pages);
     let layout = read_ws_layout(fs, files.ws_file).unwrap();
@@ -270,6 +307,11 @@ fn bench_prefetch_lanes(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
 /// from the memory file), persist the REAP artifacts, then restore a
 /// second instance by prefetching them — one full §5.2 cycle.
 fn bench_fault_path(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    if !r.wants("fault_path/record_then_prefetch_64mb")
+        && !r.wants("fault_path/record_then_prefetch_laned_64mb")
+    {
+        return;
+    }
     let mem = mem_fixture(fs, "bench/e2e-mem", pages.iter().copied());
     let windows = guest_mem::coalesce_ordered(pages.iter().copied());
     let mut pool = Some((GuestMemory::new(GUEST_BYTES), GuestMemory::new(GUEST_BYTES)));
@@ -358,6 +400,13 @@ fn bench_fault_path(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
 /// ([`sim_core::effective_lanes`]): on a 1-CPU machine both geometries
 /// serve serially and the medians meet; with cores available the 4-shard
 /// group's functional passes run genuinely concurrently.
+///
+/// The plain groups measure the orchestrator's default configuration —
+/// which now includes the shared [`SnapshotFrameCache`], the reuse layer
+/// that dropped these medians severalfold. The `_cached` twins measure
+/// the steady hot-cache state explicitly and *assert* that repeat cold
+/// starts are served by frame aliasing (cache hits must grow every
+/// batch, and extent installs must stop reading the store).
 fn bench_cluster(r: &mut Report) {
     use functionbench::FunctionId;
     use vhive_cluster::{ClusterOrchestrator, ColdRequest};
@@ -373,10 +422,13 @@ fn bench_cluster(r: &mut Report) {
     let reqs: Vec<ColdRequest> = (0..64)
         .map(|i| ColdRequest::independent(funcs[i % funcs.len()], ColdPolicy::Reap))
         .collect();
-    for (name, shards) in [
-        ("cluster/invoke_cold_64fn_1shard", 1usize),
-        ("cluster/invoke_cold_64fn_4shard", 4usize),
+    for (name, cached_name, shards) in [
+        ("cluster/invoke_cold_64fn_1shard", "cluster/invoke_cold_64fn_1shard_cached", 1usize),
+        ("cluster/invoke_cold_64fn_4shard", "cluster/invoke_cold_64fn_4shard_cached", 4usize),
     ] {
+        if !r.wants(name) && !r.wants(cached_name) {
+            continue;
+        }
         let mut cluster = ClusterOrchestrator::new(0xC10_5732, shards);
         for f in funcs {
             cluster.register(f);
@@ -386,10 +438,70 @@ fn bench_cluster(r: &mut Report) {
             let batch = cluster.invoke_concurrent(&reqs);
             assert_eq!(batch.outcomes.len(), 64);
         });
+        // Steady state: run one explicit warm-up batch first — when
+        // `--filter` skips the plain group, nothing else has populated
+        // the cache yet, and the aliasing assertion below must never see
+        // the cold first batch (measure()'s untimed warm-up runs the
+        // closure, assertion included).
+        if r.wants(cached_name) {
+            let warm = cluster.invoke_concurrent(&reqs);
+            assert_eq!(warm.outcomes.len(), 64);
+        }
+        r.add(cached_name, || {
+            let before = cluster.frame_cache_stats();
+            let batch = cluster.invoke_concurrent(&reqs);
+            assert_eq!(batch.outcomes.len(), 64);
+            let after = cluster.frame_cache_stats();
+            let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+            assert!(
+                hits > 64 && hits > 100 * misses,
+                "repeat cold starts must be served by frame aliasing \
+                 ({hits} hits vs {misses} misses this batch)"
+            );
+        });
     }
 }
 
+/// Pure alias-install throughput: the 64 MB fragmented working set
+/// installed from a warm [`SnapshotFrameCache`] — the zero-copy twin of
+/// `prefetch/eager_install_64mb`. After the first (untimed) pass loads
+/// the cache, every op is 512 extent lookups + refcount bumps + slot
+/// bookkeeping; the store is never read again (asserted).
+fn bench_frame_cache(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    if !r.wants("frame_cache/alias_install_64mb") {
+        return;
+    }
+    let mem = mem_fixture(fs, "bench/fc-mem", pages.iter().copied());
+    let files = write_reap_files(fs, "bench/fc", mem, pages);
+    let layout = read_ws_layout(fs, files.ws_file).unwrap();
+    let cache = SnapshotFrameCache::new();
+    let mut pool = Some(GuestMemory::new(GUEST_BYTES));
+    r.add("frame_cache/alias_install_64mb", || {
+        let mut instance = pool.take().expect("pooled instance");
+        instance.recycle();
+        let mut uffd = Uffd::register(instance, REGION_BASE);
+        for &(run, data_at) in &layout.extents {
+            let src = cache.get_or_load(fs, files.ws_file, data_at, run.byte_len());
+            uffd.alias_run(run, &src, 0).unwrap();
+        }
+        uffd.wake();
+        assert_eq!(uffd.memory().resident_pages(), WS_PAGES);
+        assert_eq!(uffd.memory().aliased_pages(), WS_PAGES, "all installs aliased");
+        pool = Some(uffd.into_memory());
+    });
+    let st = cache.stats();
+    assert_eq!(
+        st.misses,
+        layout.extents.len() as u64,
+        "only the first pass reads the store; every later install aliases"
+    );
+    assert!(st.hits >= st.misses, "steady state is hit-only");
+}
+
 fn bench_timeline(r: &mut Report, fs: &FileStore) {
+    if !r.wants("timeline/2000_serial_faults") {
+        return;
+    }
     let file = fs.create("bench/timeline-mem");
     fs.set_len(file, 65536 * PAGE_SIZE as u64);
     let steps: Vec<TimedStep> = std::iter::once(TimedStep::Phase(Phase::Processing))
@@ -414,25 +526,31 @@ fn bench_timeline(r: &mut Report, fs: &FileStore) {
     });
 }
 
-/// Pulls `"name": {"median_ns": N` pairs out of a baseline JSON emitted by
-/// this binary (hand-rolled: the build container has no serde_json).
-fn parse_baseline(text: &str) -> Vec<(String, u64)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let Some(mpos) = line.find("\"median_ns\":") else {
-            continue;
-        };
-        let name = match line.trim().strip_prefix('"').and_then(|r| r.split('"').next()) {
-            Some(n) => n.to_string(),
-            None => continue,
-        };
-        let digits: String = line[mpos + "\"median_ns\":".len()..]
+/// Pulls `"name": {"median_ns": N, "samples": M}` triples out of a
+/// baseline JSON emitted by this binary (hand-rolled: the build container
+/// has no serde_json).
+fn parse_baseline(text: &str) -> Vec<(String, u64, u32)> {
+    let field_after = |line: &str, field: &str| -> Option<u64> {
+        let pos = line.find(field)?;
+        let digits: String = line[pos + field.len()..]
             .chars()
             .skip_while(|c| c.is_whitespace())
             .take_while(|c| c.is_ascii_digit())
             .collect();
-        if let Ok(v) = digits.parse() {
-            out.push((name, v));
+        digits.parse().ok()
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"median_ns\":") {
+            continue;
+        }
+        let name = match line.trim().strip_prefix('"').and_then(|r| r.split('"').next()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        if let Some(median) = field_after(line, "\"median_ns\":") {
+            let samples = field_after(line, "\"samples\":").unwrap_or(0) as u32;
+            out.push((name, median, samples));
         }
     }
     out
@@ -452,10 +570,15 @@ const REGRESSION_FACTOR: f64 = 3.0;
 const NOISE_FLOOR_NS: u64 = 1_000_000;
 
 /// Compares fresh numbers to a baseline; returns the failing groups,
-/// each naming its baseline so the CI log is self-explanatory.
-fn regressions(baseline: &[(String, u64)], fresh: &Report, factor: f64) -> Vec<String> {
+/// each carrying its per-group delta factor (`now / baseline`) so a
+/// failing CI log is triage-ready without rerunning anything. Baseline
+/// groups excluded by `--filter` are skipped, not reported missing.
+fn regressions(baseline: &[(String, u64, u32)], fresh: &Report, factor: f64) -> Vec<String> {
     let mut failed = Vec::new();
-    for (name, old_ns) in baseline {
+    for (name, old_ns, _) in baseline {
+        if !fresh.wants(name) {
+            continue;
+        }
         let Some((_, new_ns, _)) = fresh.entries.iter().find(|(n, _, _)| n == name) else {
             failed.push(format!("{name}: missing from this run"));
             continue;
@@ -463,10 +586,11 @@ fn regressions(baseline: &[(String, u64)], fresh: &Report, factor: f64) -> Vec<S
         let ratio = *new_ns as f64 / (*old_ns).max(1) as f64;
         let regressed = ratio > factor && new_ns.saturating_sub(*old_ns) > NOISE_FLOOR_NS;
         let verdict = if regressed { "REGRESSED" } else { "ok" };
-        eprintln!("  {name}: baseline {old_ns} ns, now {new_ns} ns ({ratio:.2}x) {verdict}");
+        eprintln!("  {name}: baseline {old_ns} ns, now {new_ns} ns (delta factor {ratio:.2}x) {verdict}");
         if regressed {
             failed.push(format!(
-                "{name}: baseline {old_ns} ns -> {new_ns} ns ({ratio:.2}x > {factor}x and > {} ms absolute)",
+                "{name}: delta factor {ratio:.2}x (baseline {old_ns} ns -> {new_ns} ns; \
+                 threshold {factor}x and > {} ms absolute)",
                 NOISE_FLOOR_NS / 1_000_000
             ));
         }
@@ -483,24 +607,51 @@ fn main() {
     };
     let out_path = flag_value("--out");
     let check_path = flag_value("--check");
+    let filter = flag_value("--filter");
 
     let fs = FileStore::new();
     let pages = ws_layout();
-    let mut report = Report { entries: Vec::new() };
-    eprintln!("running microbench groups (64 MB working set, {WS_PAGES} pages)...");
+    let mut report = Report { entries: Vec::new(), filter };
+    match &report.filter {
+        Some(f) => eprintln!("running microbench groups matching \"{f}\"..."),
+        None => eprintln!("running microbench groups (64 MB working set, {WS_PAGES} pages)..."),
+    }
     bench_buddy(&mut report);
     bench_uffd(&mut report, &fs);
     bench_ws_file(&mut report, &fs, &pages);
     bench_prefetch(&mut report, &fs, &pages);
     bench_prefetch_lanes(&mut report, &fs, &pages);
+    bench_frame_cache(&mut report, &fs, &pages);
     bench_fault_path(&mut report, &fs, &pages);
     bench_timeline(&mut report, &fs);
     bench_cluster(&mut report);
+    assert!(
+        !report.entries.is_empty(),
+        "--filter matched no benchmark group"
+    );
 
     let json = report.to_json();
     print!("{json}");
     if let Some(path) = &out_path {
-        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        // A filtered refresh merges into the existing baseline: only the
+        // re-measured groups change, everything else is carried over, so
+        // `--filter cluster --out BENCH_fault_path.json` never drops the
+        // unmatched groups' entries.
+        let to_write = if report.filter.is_some() && std::path::Path::new(path).exists() {
+            let old = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("reading {path} for merge: {e}"));
+            let mut merged = parse_baseline(&old);
+            for &(name, median, n) in &report.entries {
+                match merged.iter_mut().find(|(m, _, _)| m == name) {
+                    Some(entry) => *entry = (name.to_string(), median, n),
+                    None => merged.push((name.to_string(), median, n)),
+                }
+            }
+            entries_to_json(&merged)
+        } else {
+            json.clone()
+        };
+        std::fs::write(path, &to_write).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path}");
     }
     if let Some(path) = &check_path {

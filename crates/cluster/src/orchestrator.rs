@@ -1,10 +1,11 @@
 //! The sharded orchestrator and its concurrent serving path.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use functionbench::FunctionId;
 use sim_core::{SimDuration, SimTime};
-use sim_storage::{DeviceProfile, DiskStats, FileStore};
+use sim_storage::{DeviceProfile, DiskStats, FileStore, FrameCacheStats, SnapshotFrameCache};
 use vhive_core::{
     ColdPolicy, HostCostModel, InstanceFiles, InvocationOutcome, Orchestrator, PreparedCold,
     RegisterInfo, ReapFiles,
@@ -98,9 +99,19 @@ impl ClusterOrchestrator {
     /// Panics if `shards` is zero.
     pub fn with_device(seed: u64, device: DeviceProfile, shards: usize) -> Self {
         assert!(shards > 0, "cluster needs at least one shard");
+        // ONE frame cache for the whole cluster: per-shard store
+        // namespacing keeps `(FileId, extent)` keys disjoint, so
+        // concurrent batches of the same function hit it from every lane
+        // regardless of which shard owns the function.
+        let frame_cache = Arc::new(SnapshotFrameCache::new());
         let shards = (0..shards)
             .map(|k| {
-                Orchestrator::with_store(seed, device.clone(), FileStore::with_namespace(k as u32))
+                Orchestrator::with_shared_cache(
+                    seed,
+                    device.clone(),
+                    FileStore::with_namespace(k as u32),
+                    frame_cache.clone(),
+                )
             })
             .collect();
         ClusterOrchestrator { shards, seed }
@@ -169,6 +180,32 @@ impl ClusterOrchestrator {
         for shard in &mut self.shards {
             shard.set_prefetch_lanes(lanes);
         }
+    }
+
+    /// The cluster-wide snapshot frame cache (all shards share one
+    /// instance; see [`Orchestrator::frame_cache`]).
+    pub fn frame_cache(&self) -> &Arc<SnapshotFrameCache> {
+        self.shards[0].frame_cache()
+    }
+
+    /// Hit/miss/size counters of the shared frame cache.
+    pub fn frame_cache_stats(&self) -> FrameCacheStats {
+        self.frame_cache().stats()
+    }
+
+    /// Enables/disables the shared frame cache on every shard (see
+    /// [`Orchestrator::set_frame_cache_enabled`]; simulated outcomes are
+    /// identical either way, pinned by this crate's proptests).
+    pub fn set_frame_cache_enabled(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            shard.set_frame_cache_enabled(enabled);
+        }
+    }
+
+    /// Drops every cached snapshot frame cluster-wide (the functional
+    /// analogue of the paper's `drop_caches` methodology, §4.1).
+    pub fn drop_caches(&mut self) {
+        self.frame_cache().clear();
     }
 
     /// Registers `f` on its home shard (boot + snapshot capture).

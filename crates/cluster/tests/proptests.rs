@@ -74,6 +74,54 @@ proptest! {
             prop_assert_eq!(&run(shards), &one, "shards={}", shards);
         }
     }
+
+    /// The cluster-wide shared frame cache is invisible in every
+    /// simulated outcome: a concurrent batch covering all four
+    /// `ColdPolicy` variants renders byte-identically with the cache on
+    /// (default) and off, at shard counts 1, 2 and 3 — and with the
+    /// cache on, repeat batches are served by frame aliasing (hits grow).
+    #[test]
+    fn frame_cache_never_changes_batch_outcomes(seed in 0u64..10_000) {
+        let run = |shards: usize, cache_on: bool| -> String {
+            let mut c = prepared_cluster(seed, shards);
+            c.set_frame_cache_enabled(cache_on);
+            let mut reqs = Vec::new();
+            for (i, &f) in FUNCS.iter().enumerate() {
+                for (j, policy) in ColdPolicy::ALL.into_iter().enumerate() {
+                    let req = if (i + j) % 2 == 0 {
+                        ColdRequest::independent(f, policy)
+                    } else {
+                        ColdRequest::shared(f, policy)
+                    };
+                    reqs.push(req);
+                }
+            }
+            let hits_before = c.frame_cache_stats().hits;
+            let first = c.invoke_concurrent(&reqs);
+            let hits_after_first = c.frame_cache_stats().hits;
+            let repeat = c.invoke_concurrent(&reqs);
+            if cache_on {
+                assert!(
+                    c.frame_cache_stats().hits > hits_after_first,
+                    "repeat batch must alias cached frames (shards={shards})"
+                );
+            } else {
+                assert_eq!(
+                    c.frame_cache_stats().hits,
+                    hits_before,
+                    "disabled cache must not serve"
+                );
+            }
+            format!("{:?}\n{:?}", first.outcomes, repeat.outcomes)
+        };
+        let reference = run(1, false);
+        for shards in [1usize, 2, 3] {
+            prop_assert_eq!(&run(shards, true), &reference, "shards={} cached", shards);
+            if shards > 1 {
+                prop_assert_eq!(&run(shards, false), &reference, "shards={} uncached", shards);
+            }
+        }
+    }
 }
 
 proptest! {

@@ -9,15 +9,16 @@
 //! described in the crate docs.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use functionbench::{FunctionId, GuestOp, InputGenerator};
 use guest_mem::{PageBitmap, PageIdx, PageRun};
 use microvm::{
-    run_lazy, run_resident, verify_restored, BootCostModel, ExecutionTrace, FaultHandler, MicroVm,
-    Snapshot, VmConfig,
+    run_lazy, run_resident, verify_restored_cached, BootCostModel, ExecutionTrace, FaultHandler,
+    MicroVm, Snapshot, VmConfig,
 };
 use sim_core::{SimDuration, SimTime};
-use sim_storage::{DeviceProfile, Disk, DiskStats, FileStore};
+use sim_storage::{DeviceProfile, Disk, DiskStats, FileStore, FrameCacheStats, SnapshotFrameCache};
 
 use crate::costs::HostCostModel;
 use crate::detect::MispredictionReport;
@@ -162,7 +163,9 @@ pub struct InvocationOutcome {
 
 #[derive(Debug)]
 struct FunctionState {
-    snapshot: Snapshot,
+    /// Shared, immutable snapshot metadata: every cold invocation borrows
+    /// this via a refcount bump instead of deep-copying it.
+    snapshot: Arc<Snapshot>,
     reap: Option<ReapFiles>,
     inputs: InputGenerator,
     next_seq: u64,
@@ -190,6 +193,13 @@ pub struct Orchestrator {
     /// this orchestrator gets a fresh tag, so concurrent experiments can
     /// never hand two instances the same cache identity.
     next_shadow_tag: u64,
+    /// The shared snapshot frame cache behind zero-copy cold starts
+    /// (cluster shards all point at one instance). Functional-pass only;
+    /// the timed pass models its own page cache.
+    frame_cache: Arc<SnapshotFrameCache>,
+    /// When false, monitors copy from the store as they did before the
+    /// cache existed (the equivalence proptests pin both paths).
+    frame_cache_enabled: bool,
     functions: HashMap<FunctionId, FunctionState>,
 }
 
@@ -211,6 +221,20 @@ impl Orchestrator {
     /// [`FileStore`] per shard so file identities stay globally distinct
     /// on the shared timed disk).
     pub fn with_store(seed: u64, device: DeviceProfile, fs: FileStore) -> Self {
+        Orchestrator::with_shared_cache(seed, device, fs, Arc::new(SnapshotFrameCache::new()))
+    }
+
+    /// Creates an orchestrator over an externally supplied store *and* an
+    /// externally owned [`SnapshotFrameCache`]: the cluster layer hands
+    /// every shard one cache, so concurrent cold starts of the same
+    /// function hit it from every lane (per-shard store namespacing keeps
+    /// the `(FileId, extent)` keys disjoint across shards).
+    pub fn with_shared_cache(
+        seed: u64,
+        device: DeviceProfile,
+        fs: FileStore,
+        frame_cache: Arc<SnapshotFrameCache>,
+    ) -> Self {
         Orchestrator {
             fs,
             device,
@@ -220,6 +244,8 @@ impl Orchestrator {
             rerecord_threshold: 0.5,
             prefetch_lanes: 1,
             next_shadow_tag: 0,
+            frame_cache,
+            frame_cache_enabled: true,
             functions: HashMap::new(),
         }
     }
@@ -248,6 +274,35 @@ impl Orchestrator {
     pub fn prefetch_lanes(&self) -> usize {
         self.prefetch_lanes
     }
+
+    /// Enables/disables the snapshot frame cache on the functional paths
+    /// (on by default). With the cache off, every install copies from the
+    /// store exactly as the pre-cache pipeline did; outcomes are
+    /// byte-identical either way (pinned by the cache-equivalence
+    /// proptests) — only host-side copies and wall-clock change.
+    pub fn set_frame_cache_enabled(&mut self, enabled: bool) {
+        self.frame_cache_enabled = enabled;
+    }
+
+    /// The shared snapshot frame cache (for stats and cross-orchestrator
+    /// sharing).
+    pub fn frame_cache(&self) -> &Arc<SnapshotFrameCache> {
+        &self.frame_cache
+    }
+
+    /// Frame-cache hit/miss/size counters.
+    pub fn frame_cache_stats(&self) -> FrameCacheStats {
+        self.frame_cache.stats()
+    }
+
+    /// Drops every cached snapshot frame — the functional-pass analogue
+    /// of the paper's `echo 3 > /proc/sys/vm/drop_caches` methodology
+    /// (§4.1): the next cold start of every function pays its store reads
+    /// again.
+    pub fn drop_caches(&mut self) {
+        self.frame_cache.clear();
+    }
+
 
     /// The host cost model.
     pub fn costs(&self) -> &HostCostModel {
@@ -315,10 +370,14 @@ impl Orchestrator {
         vm.pause();
         let snapshot = Snapshot::capture(&vm, &self.fs, &format!("snapshots/{f}"));
         drop(vm); // booted state lives on disk now; free the memory
+        // Re-registering rewrites the snapshot files in place: any frames
+        // cached from a previous generation must go.
+        self.frame_cache.invalidate_file(snapshot.mem_file);
+        self.frame_cache.invalidate_file(snapshot.vmm_file);
         self.functions.insert(
             f,
             FunctionState {
-                snapshot,
+                snapshot: Arc::new(snapshot),
                 reap: None,
                 inputs: InputGenerator::new(f, self.seed),
                 next_seq: 0,
@@ -347,6 +406,8 @@ impl Orchestrator {
         if let Some(reap) = old_reap {
             self.fs.delete(reap.trace_file);
             self.fs.delete(reap.ws_file);
+            self.frame_cache.invalidate_file(reap.trace_file);
+            self.frame_cache.invalidate_file(reap.ws_file);
         }
         let info = self.register_generation(f, generation);
         // Input sequence continues: the function's clients don't restart.
@@ -360,9 +421,13 @@ impl Orchestrator {
         if let Some(st) = self.functions.remove(&f) {
             self.fs.delete(st.snapshot.mem_file);
             self.fs.delete(st.snapshot.vmm_file);
+            self.frame_cache.invalidate_file(st.snapshot.mem_file);
+            self.frame_cache.invalidate_file(st.snapshot.vmm_file);
             if let Some(reap) = st.reap {
                 self.fs.delete(reap.trace_file);
                 self.fs.delete(reap.ws_file);
+                self.frame_cache.invalidate_file(reap.trace_file);
+                self.frame_cache.invalidate_file(reap.ws_file);
             }
         }
     }
@@ -381,17 +446,20 @@ impl Orchestrator {
     /// without recorded files, or if restoration fails verification.
     pub fn functional_cold(&mut self, f: FunctionId, mode: MonitorMode) -> FunctionalRun {
         let fs = self.fs.clone();
+        let cache = self.frame_cache_enabled.then(|| self.frame_cache.clone());
         let (snapshot, reap, input, seq) = {
             let st = self.state_mut(f);
             let input = st.inputs.input(st.next_seq);
             let seq = st.next_seq;
             st.next_seq += 1;
-            (st.snapshot.clone(), st.reap, input, seq)
+            // Arc bump, not a deep copy: snapshot metadata is shared with
+            // the registry for the whole invocation.
+            (Arc::clone(&st.snapshot), st.reap, input, seq)
         };
         let mut vm = snapshot
             .restore_shell(&fs)
             .expect("snapshot restore failed");
-        let mut monitor = Monitor::new(&snapshot, &fs, mode);
+        let mut monitor = Monitor::with_cache(&snapshot, &fs, mode, cache.as_deref());
 
         // §5.2.1: the hypervisor injects the first fault at byte zero so
         // the monitor learns the region base.
@@ -425,7 +493,8 @@ impl Orchestrator {
         let proc_trace = run_lazy(&ops, vm.uffd_mut(), &mut monitor);
 
         // Correctness gate: every resident page equals the snapshot.
-        let verified = verify_restored(&vm, &snapshot, &fs).expect("lossless restoration");
+        let verified = verify_restored_cached(&vm, &snapshot, &fs, cache.as_deref())
+            .expect("lossless restoration");
 
         let mut touched: BTreeSet<PageIdx> = BTreeSet::new();
         for op in &conn_ops {
@@ -437,6 +506,12 @@ impl Orchestrator {
 
         let recorded = if mode == MonitorMode::Record {
             let files = monitor.finish_record(&format!("snapshots/{f}"));
+            // (Re-)recording rewrites the WS artifacts in place (same
+            // FileIds): release any extents cached from the previous
+            // recording. Generation validation already made them
+            // unservable; this frees the memory eagerly.
+            self.frame_cache.invalidate_file(files.trace_file);
+            self.frame_cache.invalidate_file(files.ws_file);
             let st = self.state_mut(f);
             st.reap = Some(files);
             st.needs_rerecord = false;
@@ -628,6 +703,11 @@ impl Orchestrator {
             mem_file,
             &runs,
         );
+        // Padding rewrites the WS artifacts in place: any extents cached
+        // from the unpadded recording are stale (generation validation
+        // makes them unservable; dropping them releases the memory).
+        self.frame_cache.invalidate_file(files.trace_file);
+        self.frame_cache.invalidate_file(files.ws_file);
         self.state_mut(f).reap = Some(files);
         files
     }
@@ -1023,6 +1103,98 @@ mod tests {
                 assert!(seen.insert(files.vmm_file), "duplicate shadow identity");
             }
         }
+    }
+
+    #[test]
+    fn repeat_cold_starts_alias_instead_of_rereading() {
+        // The tentpole property: a repeat REAP cold start must be served
+        // by frame aliasing — cache hits, a fraction of the store reads
+        // the uncached pipeline pays, and not one extra store write.
+        let f = FunctionId::helloworld;
+        let run_second_cold = |cache_on: bool| {
+            let mut o = orch_with(f);
+            o.set_frame_cache_enabled(cache_on);
+            o.invoke_record(f);
+            let _first = o.invoke_cold(f, ColdPolicy::Reap);
+            let reads_before = o.fs().read_calls();
+            let writes_before = o.fs().write_calls();
+            let hits_before = o.frame_cache_stats().hits;
+            let _second = o.invoke_cold(f, ColdPolicy::Reap);
+            (
+                o.fs().read_calls() - reads_before,
+                o.fs().write_calls() - writes_before,
+                o.frame_cache_stats().hits - hits_before,
+            )
+        };
+        let (cached_reads, cached_writes, hits) = run_second_cold(true);
+        let (uncached_reads, uncached_writes, no_hits) = run_second_cold(false);
+        assert_eq!(no_hits, 0);
+        assert!(hits > 10, "repeat cold start must alias ({hits} hits)");
+        assert_eq!(cached_writes, uncached_writes, "a cold start writes nothing new");
+        assert!(
+            cached_reads * 5 < uncached_reads,
+            "aliasing must eliminate the bulk of store reads \
+             ({cached_reads} cached vs {uncached_reads} uncached)"
+        );
+    }
+
+    #[test]
+    fn pad_working_set_invalidates_stale_cache_entries() {
+        // Padding rewrites the WS artifacts in place (same FileIds). A
+        // stale cache would alias the old extent bytes at the new
+        // layout's offsets — verify_restored inside the cold start would
+        // blow up, and the prefetched count would miss the padding.
+        let f = FunctionId::helloworld;
+        let mut o = orch_with(f);
+        o.invoke_record(f);
+        let _warm_cache = o.invoke_cold(f, ColdPolicy::Reap);
+        assert!(o.frame_cache_stats().entries > 0);
+        let inval_before = o.frame_cache_stats().invalidated;
+        let padded = o.pad_working_set(f, 64);
+        assert!(
+            o.frame_cache_stats().invalidated > inval_before,
+            "padding must drop the stale WS extents"
+        );
+        // The repeat cold start serves the *padded* layout (page 0 is
+        // resident from the first-fault handshake, a benign EEXIST).
+        let out = o.invoke_cold(f, ColdPolicy::Reap);
+        assert_eq!(out.prefetched_pages, padded.pages - 1);
+        assert!(out.verified_pages > 0, "no stale byte survived verification");
+    }
+
+    #[test]
+    fn rerecord_invalidates_stale_cache_entries() {
+        let f = FunctionId::helloworld;
+        let mut o = orch_with(f);
+        o.invoke_record(f);
+        let _warm_cache = o.invoke_cold(f, ColdPolicy::Reap);
+        let inval_before = o.frame_cache_stats().invalidated;
+        // Re-recording rewrites trace + WS files under the same ids.
+        o.invoke_record(f);
+        assert!(
+            o.frame_cache_stats().invalidated > inval_before,
+            "re-record must drop the previous recording's extents"
+        );
+        let out = o.invoke_cold(f, ColdPolicy::Reap);
+        assert!(out.verified_pages > 0);
+        assert!(out.prefetched_pages > 0);
+    }
+
+    #[test]
+    fn drop_caches_forces_store_reads_again() {
+        let f = FunctionId::helloworld;
+        let mut o = orch_with(f);
+        o.invoke_record(f);
+        let _warm_cache = o.invoke_cold(f, ColdPolicy::Reap);
+        assert!(o.frame_cache_stats().entries > 0);
+        o.drop_caches();
+        assert_eq!(o.frame_cache_stats().entries, 0);
+        let misses_before = o.frame_cache_stats().misses;
+        let _cold_cache = o.invoke_cold(f, ColdPolicy::Reap);
+        assert!(
+            o.frame_cache_stats().misses > misses_before,
+            "after drop_caches the next cold start repopulates"
+        );
     }
 
     #[test]

@@ -313,3 +313,35 @@ proptest! {
         prop_assert_eq!(run_with(1), run_with(lanes), "lanes={}", lanes);
     }
 }
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig { cases: 3 })]
+
+    /// The snapshot frame cache only removes host-side byte copies: with
+    /// the cache on (default) and off, record + every `ColdPolicy`
+    /// variant + a repeat REAP cold start render byte-identical
+    /// `InvocationOutcome`s — latencies, breakdowns, fault/prefetch/
+    /// EEXIST counters, verified pages, touched sets, disk stats, all of
+    /// it.
+    #[test]
+    fn frame_cache_never_changes_outcomes(seed in 0u64..10_000) {
+        let f = FunctionId::helloworld;
+        let run_with = |cache_on: bool| {
+            let mut o = Orchestrator::new(seed);
+            o.set_frame_cache_enabled(cache_on);
+            o.register(f);
+            let mut out = format!("{:?}", o.invoke_record(f));
+            for policy in ColdPolicy::ALL {
+                out.push_str(&format!("\n{:?}", o.invoke_cold(f, policy)));
+            }
+            // Repeat REAP cold start: the all-hits path must still match.
+            out.push_str(&format!("\n{:?}", o.invoke_cold(f, ColdPolicy::Reap)));
+            if cache_on {
+                let st = o.frame_cache_stats();
+                assert!(st.hits > 0, "repeat invocations must hit the cache");
+            }
+            out
+        };
+        prop_assert_eq!(run_with(true), run_with(false));
+    }
+}

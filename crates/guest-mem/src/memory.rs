@@ -9,8 +9,20 @@
 //! in a single slab arena (one growing allocation, no per-page boxes), so
 //! the batched fault path of §5.2 can install a whole [`PageRun`] with one
 //! bounds check and one copy.
+//!
+//! Frames come in two flavours:
+//!
+//! * **private** — bytes owned by this instance's slab arena (every
+//!   `install_*` API);
+//! * **shared** — refcounted, read-only aliases of a [`FrameBytes`]
+//!   buffer owned elsewhere (the snapshot frame cache), installed by
+//!   [`GuestMemory::alias_run`] with *zero* byte copies. A guest write to
+//!   a shared frame breaks copy-on-write: the page silently gets a
+//!   private copy first, so residency, dirty tracking and every observable
+//!   byte behave exactly as if the page had been copied in eagerly.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::checksum::fnv1a64;
 use crate::page::{GuestAddr, PageIdx, PAGE_SIZE};
@@ -42,6 +54,16 @@ impl std::error::Error for MemError {}
 /// Page has no frame slot assigned.
 const NO_SLOT: u32 = u32::MAX;
 
+/// Slot values with this bit set index the shared-frame table instead of
+/// the private arena ([`NO_SLOT`] is checked first and never aliases).
+const SHARED_BIT: u32 = 1 << 31;
+
+/// A refcounted, immutable buffer whose pages can back guest frames in
+/// many [`GuestMemory`] instances at once (the snapshot frame cache hands
+/// these out). Cloning is a refcount bump; the bytes are never copied
+/// until a guest write forces a CoW break.
+pub type FrameBytes = Arc<Vec<u8>>;
+
 /// Guest physical memory: a fixed-size region of lazily-populated 4 KB
 /// frames, with KVM-style dirty-page tracking (the mechanism behind
 /// Firecracker's *diff snapshots*).
@@ -67,6 +89,13 @@ pub struct GuestMemory {
     arena: Vec<u8>,
     /// Slots freed by eviction, reusable by later installs.
     free_slots: Vec<u32>,
+    /// Shared-frame table: entry `s` backs the page whose slot is
+    /// `SHARED_BIT | s` with page `offset` of the refcounted buffer.
+    /// Entries are `None` after a CoW break or eviction and reused via
+    /// `free_shared`.
+    shared: Vec<Option<(FrameBytes, u32)>>,
+    /// Shared entries freed by CoW breaks/eviction, reusable by aliases.
+    free_shared: Vec<u32>,
     resident: PageBitmap,
     /// Pages written since the last [`clear_dirty`](Self::clear_dirty)
     /// (installs count as writes, as KVM's dirty log sees them).
@@ -88,6 +117,8 @@ impl GuestMemory {
             slots: vec![NO_SLOT; pages as usize],
             arena: Vec::new(),
             free_slots: Vec::new(),
+            shared: Vec::new(),
+            free_shared: Vec::new(),
             resident: PageBitmap::new(pages),
             dirty: PageBitmap::new(pages),
             dirty_tracking: false,
@@ -190,17 +221,60 @@ impl GuestMemory {
         if slot == NO_SLOT {
             return None;
         }
+        if slot & SHARED_BIT != 0 {
+            let (src, off) = self.shared[(slot & !SHARED_BIT) as usize]
+                .as_ref()
+                .expect("slot points at a live shared frame");
+            let base = *off as usize * PAGE_SIZE;
+            return Some(&src[base..base + PAGE_SIZE]);
+        }
         let base = slot as usize * PAGE_SIZE;
         Some(&self.arena[base..base + PAGE_SIZE])
     }
 
+    /// Mutable frame access; breaks copy-on-write first if the page is a
+    /// shared alias, so callers always get exclusively-owned bytes.
     fn frame_mut(&mut self, page: PageIdx) -> Option<&mut [u8]> {
-        let slot = *self.slots.get(page.as_u64() as usize)?;
+        let idx = page.as_u64() as usize;
+        let slot = *self.slots.get(idx)?;
         if slot == NO_SLOT {
             return None;
         }
+        let slot = if slot & SHARED_BIT != 0 {
+            self.break_cow(page)
+        } else {
+            slot
+        };
         let base = slot as usize * PAGE_SIZE;
         Some(&mut self.arena[base..base + PAGE_SIZE])
+    }
+
+    /// Replaces a shared alias with a private copy of its bytes (the CoW
+    /// break a guest write triggers). Returns the new private slot.
+    fn break_cow(&mut self, page: PageIdx) -> u32 {
+        let idx = page.as_u64() as usize;
+        let shared_idx = (self.slots[idx] & !SHARED_BIT) as usize;
+        let (src, off) = self.shared[shared_idx]
+            .take()
+            .expect("CoW break on a live shared frame");
+        self.free_shared.push(shared_idx as u32);
+        let slot = self.alloc_slot();
+        let base = slot as usize * PAGE_SIZE;
+        let sbase = off as usize * PAGE_SIZE;
+        self.arena[base..base + PAGE_SIZE].copy_from_slice(&src[sbase..sbase + PAGE_SIZE]);
+        self.slots[idx] = slot;
+        slot
+    }
+
+    /// Hands out one shared-table entry, recycling freed entries first.
+    fn alloc_shared(&mut self, src: &FrameBytes, page_off: u32) -> u32 {
+        if let Some(i) = self.free_shared.pop() {
+            self.shared[i as usize] = Some((src.clone(), page_off));
+            return i;
+        }
+        let i = self.shared.len() as u32;
+        self.shared.push(Some((src.clone(), page_off)));
+        i
     }
 
     /// Hands out one frame slot, recycling evicted slots first.
@@ -443,6 +517,53 @@ impl GuestMemory {
         Ok(())
     }
 
+    /// Zero-copy alias install: maps `run.len` pages straight onto the
+    /// refcounted buffer `src` starting at byte
+    /// `src_page_offset * PAGE_SIZE`, without copying a single frame byte.
+    /// The pages become resident (and dirty, if tracking — exactly like
+    /// [`install_run`](Self::install_run)); a later guest write breaks
+    /// copy-on-write for just the written page. This is how repeat cold
+    /// starts share one cached snapshot extent across instances and
+    /// shards.
+    ///
+    /// Nothing is installed unless the *entire* run is installable.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`install_run`](Self::install_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not cover the aliased range.
+    pub fn alias_run(
+        &mut self,
+        run: PageRun,
+        src: &FrameBytes,
+        src_page_offset: u64,
+    ) -> Result<(), MemError> {
+        assert!(
+            (src_page_offset + run.len) as usize * PAGE_SIZE <= src.len(),
+            "alias_run source buffer too short for {run}"
+        );
+        if run.is_empty() {
+            return Ok(());
+        }
+        self.check_installable(run)?;
+        for (i, page) in run.iter().enumerate() {
+            let entry = self.alloc_shared(src, (src_page_offset + i as u64) as u32);
+            self.slots[page.as_u64() as usize] = SHARED_BIT | entry;
+        }
+        self.resident.set_run(run);
+        self.mark_dirty_run(run);
+        Ok(())
+    }
+
+    /// Number of resident pages currently backed by shared (aliased)
+    /// frames rather than private arena bytes.
+    pub fn aliased_pages(&self) -> u64 {
+        self.shared.iter().filter(|e| e.is_some()).count() as u64
+    }
+
     /// Installs a run of zero pages (`UFFDIO_ZEROPAGE` over a range).
     ///
     /// # Errors
@@ -481,6 +602,8 @@ impl GuestMemory {
         self.slots.fill(NO_SLOT);
         self.arena.clear();
         self.free_slots.clear();
+        self.shared.clear();
+        self.free_shared.clear();
         self.resident.clear_all();
         self.dirty.clear_all();
         self.dirty_tracking = false;
@@ -598,7 +721,16 @@ impl GuestMemory {
             return false;
         }
         let idx = page.as_u64() as usize;
-        self.free_slots.push(self.slots[idx]);
+        let slot = self.slots[idx];
+        if slot & SHARED_BIT != 0 {
+            // Dropping the alias releases the refcount; no arena slot to
+            // recycle.
+            let shared_idx = (slot & !SHARED_BIT) as usize;
+            self.shared[shared_idx] = None;
+            self.free_shared.push(shared_idx as u32);
+        } else {
+            self.free_slots.push(slot);
+        }
         self.slots[idx] = NO_SLOT;
         self.resident.clear(page);
         true
@@ -950,6 +1082,123 @@ mod tests {
         let dirty: Vec<u64> = mem.dirty_pages().map(|p| p.as_u64()).collect();
         assert_eq!(dirty, vec![0, 1]);
         assert_eq!(mem.dirty_runs(), vec![PageRun::new(PageIdx::new(0), 2)]);
+    }
+
+    fn shared_buf(pages: usize, byte: u8) -> FrameBytes {
+        Arc::new(vec![byte; pages * PAGE_SIZE])
+    }
+
+    #[test]
+    fn alias_run_shares_without_copying() {
+        let mut mem = GuestMemory::new(16 * 4096);
+        let src = shared_buf(4, 0xA5);
+        mem.alias_run(PageRun::new(PageIdx::new(3), 4), &src, 0).unwrap();
+        assert_eq!(mem.resident_pages(), 4);
+        assert_eq!(mem.aliased_pages(), 4);
+        assert_eq!(mem.arena.len(), 0, "no private frame bytes allocated");
+        assert_eq!(Arc::strong_count(&src), 5, "one refcount per aliased page");
+        assert_eq!(mem.read(PageIdx::new(4).base_addr(), 2).unwrap(), vec![0xA5, 0xA5]);
+        // Aliased pages behave as resident everywhere.
+        assert!(mem.is_run_resident(PageRun::new(PageIdx::new(3), 4)));
+        assert_eq!(
+            mem.page_checksum(PageIdx::new(3)),
+            Some(fnv1a64(&[0xA5u8; PAGE_SIZE]))
+        );
+    }
+
+    #[test]
+    fn alias_run_with_page_offset_maps_the_right_bytes() {
+        let mut mem = GuestMemory::new(16 * 4096);
+        let mut bytes = vec![0u8; 3 * PAGE_SIZE];
+        for (i, chunk) in bytes.chunks_mut(PAGE_SIZE).enumerate() {
+            chunk.fill(i as u8 + 1);
+        }
+        let src = Arc::new(bytes);
+        mem.alias_run(PageRun::new(PageIdx::new(8), 2), &src, 1).unwrap();
+        assert_eq!(mem.read(PageIdx::new(8).base_addr(), 1).unwrap(), vec![2]);
+        assert_eq!(mem.read(PageIdx::new(9).base_addr(), 1).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn alias_run_errors_match_install_run() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        let src = shared_buf(4, 1);
+        mem.install_page(PageIdx::new(2), &page_of(9)).unwrap();
+        let err = mem.alias_run(PageRun::new(PageIdx::new(1), 3), &src, 0).unwrap_err();
+        assert_eq!(err, MemError::AlreadyResident(PageIdx::new(2)));
+        assert_eq!(mem.aliased_pages(), 0, "nothing aliased on error");
+        let err = mem.alias_run(PageRun::new(PageIdx::new(6), 4), &src, 0).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds(_)));
+        // Empty run is a no-op.
+        mem.alias_run(PageRun::new(PageIdx::new(0), 0), &src, 0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "source buffer too short")]
+    fn alias_run_rejects_short_source() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        let src = shared_buf(2, 0);
+        let _ = mem.alias_run(PageRun::new(PageIdx::new(0), 3), &src, 0);
+    }
+
+    #[test]
+    fn write_to_alias_breaks_cow_privately() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        let src = shared_buf(3, 0x11);
+        mem.alias_run(PageRun::new(PageIdx::new(0), 3), &src, 0).unwrap();
+        mem.set_dirty_tracking(true);
+        mem.write(PageIdx::new(1).base_addr().add(5), &[0xFF, 0xFE]).unwrap();
+        // Only the written page went private; the source is untouched.
+        assert_eq!(mem.aliased_pages(), 2);
+        assert_eq!(Arc::strong_count(&src), 3);
+        assert!(src.iter().all(|&b| b == 0x11), "shared source never mutated");
+        let got = mem.read(PageIdx::new(1).base_addr(), 8).unwrap();
+        assert_eq!(got, vec![0x11, 0x11, 0x11, 0x11, 0x11, 0xFF, 0xFE, 0x11]);
+        // Dirty semantics identical to a private-frame write.
+        let dirty: Vec<u64> = mem.dirty_pages().map(|p| p.as_u64()).collect();
+        assert_eq!(dirty, vec![1]);
+        // Neighbouring aliases still serve the shared bytes.
+        assert_eq!(mem.read(PageIdx::new(2).base_addr(), 1).unwrap(), vec![0x11]);
+    }
+
+    #[test]
+    fn evict_and_recycle_release_aliases() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        let src = shared_buf(2, 7);
+        mem.alias_run(PageRun::new(PageIdx::new(0), 2), &src, 0).unwrap();
+        assert!(mem.evict_page(PageIdx::new(0)));
+        assert_eq!(Arc::strong_count(&src), 2);
+        assert_eq!(mem.aliased_pages(), 1);
+        // The freed shared entry is reused by the next alias.
+        mem.alias_run(PageRun::new(PageIdx::new(4), 1), &src, 1).unwrap();
+        assert_eq!(mem.shared.len(), 2, "freed entry reused, table did not grow");
+        mem.recycle();
+        assert_eq!(Arc::strong_count(&src), 1, "recycle drops every alias");
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_run_into_spans_aliased_and_private_frames() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        let src = shared_buf(1, 0xAA);
+        mem.install_page(PageIdx::new(0), &page_of(0xBB)).unwrap();
+        mem.alias_run(PageRun::new(PageIdx::new(1), 1), &src, 0).unwrap();
+        let mut buf = vec![0u8; 2 * PAGE_SIZE];
+        mem.read_run_into(PageRun::new(PageIdx::new(0), 2), &mut buf).unwrap();
+        assert!(buf[..PAGE_SIZE].iter().all(|&b| b == 0xBB));
+        assert!(buf[PAGE_SIZE..].iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn cloned_memory_shares_aliases_then_diverges_on_write() {
+        let mut mem = GuestMemory::new(8 * 4096);
+        let src = shared_buf(2, 3);
+        mem.alias_run(PageRun::new(PageIdx::new(0), 2), &src, 0).unwrap();
+        let mut twin = mem.clone();
+        assert_eq!(Arc::strong_count(&src), 5, "clone bumps refcounts only");
+        twin.write(PageIdx::new(0).base_addr(), &[9]).unwrap();
+        assert_eq!(mem.read(PageIdx::new(0).base_addr(), 1).unwrap(), vec![3]);
+        assert_eq!(twin.read(PageIdx::new(0).base_addr(), 1).unwrap(), vec![9]);
     }
 
     #[test]

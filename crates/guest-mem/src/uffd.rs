@@ -25,7 +25,7 @@
 
 use std::collections::VecDeque;
 
-use crate::memory::{GuestMemory, MemError};
+use crate::memory::{FrameBytes, GuestMemory, MemError};
 use crate::page::{GuestAddr, PageIdx, PAGE_SIZE};
 use crate::run::PageRun;
 
@@ -375,6 +375,61 @@ impl Uffd {
         }
     }
 
+    /// Monitor-side zero-copy bulk install: like
+    /// [`copy_run`](Self::copy_run), but the run's frames become shared
+    /// aliases of the refcounted `src` buffer (starting at page
+    /// `src_page_offset`) instead of copies — the snapshot-frame-cache
+    /// serve path. Accounting is **arithmetically identical** to
+    /// `copy_run`: a fully-missing run counts `run.len` copies; a run
+    /// with resident holes falls back to per-page aliasing, counting each
+    /// resident page as one EEXIST, exactly as the copying fallback does.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] if the run leaves the region; EEXIST is
+    /// *not* an error here, it is reported in the returned counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not cover the aliased range.
+    pub fn alias_run(
+        &mut self,
+        run: PageRun,
+        src: &FrameBytes,
+        src_page_offset: u64,
+    ) -> Result<RunInstall, MemError> {
+        match self.mem.alias_run(run, src, src_page_offset) {
+            Ok(()) => {
+                self.stats.copies += run.len;
+                Ok(RunInstall {
+                    installed: run.len,
+                    eexist: 0,
+                })
+            }
+            Err(MemError::AlreadyResident(_)) => {
+                let mut result = RunInstall::default();
+                for (i, page) in run.iter().enumerate() {
+                    match self
+                        .mem
+                        .alias_run(PageRun::single(page), src, src_page_offset + i as u64)
+                    {
+                        Ok(()) => {
+                            self.stats.copies += 1;
+                            result.installed += 1;
+                        }
+                        Err(MemError::AlreadyResident(_)) => {
+                            self.stats.copy_eexist += 1;
+                            result.eexist += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(result)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Monitor-side `UFFDIO_ZEROPAGE`.
     ///
     /// # Errors
@@ -590,6 +645,52 @@ mod tests {
         let err = u.copy_runs_with(&runs, |_| {}).unwrap_err();
         assert!(matches!(err, MemError::AlreadyResident(_)));
         assert_eq!(u.stats().copy_eexist, 1);
+    }
+
+    #[test]
+    fn alias_run_counts_exactly_like_copy_run() {
+        // Two channels served the same shape — one by copy, one by alias —
+        // must end with identical stats and identical bytes.
+        let mut by_copy = setup();
+        let mut by_alias = setup();
+        // Page 3 resident in both, so the run has an EEXIST hole.
+        by_copy.copy(PageIdx::new(3), &[0xEE; PAGE_SIZE]).unwrap();
+        by_alias.copy(PageIdx::new(3), &[0xEE; PAGE_SIZE]).unwrap();
+        let run = PageRun::new(PageIdx::new(2), 3);
+        let data = vec![0x55u8; run.byte_len() as usize];
+        let src: FrameBytes = std::sync::Arc::new(data.clone());
+        let a = by_copy.copy_run(run, &data).unwrap();
+        let b = by_alias.alias_run(run, &src, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, RunInstall { installed: 2, eexist: 1 });
+        assert_eq!(by_copy.stats(), by_alias.stats());
+        for p in 2..5u64 {
+            assert_eq!(
+                by_copy.memory().page_bytes(PageIdx::new(p)),
+                by_alias.memory().page_bytes(PageIdx::new(p)),
+                "page {p}"
+            );
+        }
+        // A fully-missing aliased run is zero-copy and counted as copies.
+        let run2 = PageRun::new(PageIdx::new(8), 2);
+        let src2: FrameBytes = std::sync::Arc::new(vec![1u8; run2.byte_len() as usize]);
+        assert_eq!(
+            by_alias.alias_run(run2, &src2, 0).unwrap(),
+            RunInstall { installed: 2, eexist: 0 }
+        );
+        assert_eq!(by_alias.memory().aliased_pages(), 4);
+    }
+
+    #[test]
+    fn alias_run_out_of_bounds() {
+        let mut u = setup();
+        let run = PageRun::new(PageIdx::new(15), 4);
+        let src: FrameBytes = std::sync::Arc::new(vec![0u8; run.byte_len() as usize]);
+        assert!(matches!(
+            u.alias_run(run, &src, 0),
+            Err(MemError::OutOfBounds(_))
+        ));
+        assert_eq!(u.stats().copies, 0);
     }
 
     #[test]

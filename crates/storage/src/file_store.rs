@@ -26,6 +26,10 @@ impl fmt::Display for FileId {
 struct FileData {
     name: String,
     data: Vec<u8>,
+    /// Bumped on every content mutation (write, append, truncate,
+    /// gather). The snapshot frame cache validates this at lookup, so a
+    /// rewritten file can never be served from stale cached bytes.
+    generation: u64,
 }
 
 #[derive(Debug, Default)]
@@ -104,12 +108,12 @@ impl FileStore {
     pub fn create(&self, name: &str) -> FileId {
         let mut inner = self.inner.write();
         if let Some(&id) = inner.by_name.get(name) {
-            inner
+            let fd = inner
                 .files
                 .get_mut(&id)
-                .expect("name index points at live file")
-                .data
-                .clear();
+                .expect("name index points at live file");
+            fd.data.clear();
+            fd.generation += 1;
             return id;
         }
         let id = FileId(inner.next_id);
@@ -119,6 +123,7 @@ impl FileStore {
             FileData {
                 name: name.to_string(),
                 data: Vec::new(),
+                generation: 0,
             },
         );
         inner.by_name.insert(name.to_string(), id);
@@ -170,11 +175,12 @@ impl FileStore {
     pub fn write_at(&self, id: FileId, offset: u64, bytes: &[u8]) {
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
-        let data = &mut inner
+        let fd = inner
             .files
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("write to dead {id}"))
-            .data;
+            .unwrap_or_else(|| panic!("write to dead {id}"));
+        fd.generation += 1;
+        let data = &mut fd.data;
         let offset = offset as usize;
         let end = offset + bytes.len();
         if end <= data.len() {
@@ -201,13 +207,13 @@ impl FileStore {
     pub fn append(&self, id: FileId, bytes: &[u8]) -> u64 {
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
-        let data = &mut inner
+        let fd = inner
             .files
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("append to dead {id}"))
-            .data;
-        let offset = data.len() as u64;
-        data.extend_from_slice(bytes);
+            .unwrap_or_else(|| panic!("append to dead {id}"));
+        fd.generation += 1;
+        let offset = fd.data.len() as u64;
+        fd.data.extend_from_slice(bytes);
         offset
     }
 
@@ -336,13 +342,12 @@ impl FileStore {
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
         // Take the destination out so sources can be borrowed freely.
-        let mut dst_data = std::mem::take(
-            &mut inner
-                .files
-                .get_mut(&dst)
-                .unwrap_or_else(|| panic!("gather into dead {dst}"))
-                .data,
-        );
+        let dst_fd = inner
+            .files
+            .get_mut(&dst)
+            .unwrap_or_else(|| panic!("gather into dead {dst}"));
+        dst_fd.generation += 1;
+        let mut dst_data = std::mem::take(&mut dst_fd.data);
         assert!(
             dst_offset as usize <= dst_data.len(),
             "gather at {dst_offset} past EOF of {dst}"
@@ -393,12 +398,22 @@ impl FileStore {
     /// Panics if `id` does not refer to a live file.
     pub fn set_len(&self, id: FileId, len: u64) {
         let mut inner = self.inner.write();
-        inner
+        let fd = inner
             .files
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("set_len on dead {id}"))
-            .data
-            .resize(len as usize, 0);
+            .unwrap_or_else(|| panic!("set_len on dead {id}"));
+        fd.generation += 1;
+        fd.data.resize(len as usize, 0);
+    }
+
+    /// The file's content generation: bumped on every mutation
+    /// ([`write_at`](Self::write_at), [`append`](Self::append),
+    /// [`set_len`](Self::set_len), [`gather_into`](Self::gather_into) and
+    /// re-[`create`](Self::create) truncation). `None` if the file was
+    /// deleted. Cache layers compare generations at lookup so rewritten
+    /// contents can never be served stale.
+    pub fn generation(&self, id: FileId) -> Option<u64> {
+        self.inner.read().files.get(&id).map(|fd| fd.generation)
     }
 
     /// Deletes a file. Returns true if it existed.
@@ -631,6 +646,38 @@ mod tests {
     #[should_panic(expected = "exceeds the id space")]
     fn oversized_namespace_rejected() {
         let _ = FileStore::with_namespace(1 << 24);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        let g0 = fs.generation(id).unwrap();
+        fs.write_at(id, 0, b"abc");
+        let g1 = fs.generation(id).unwrap();
+        assert!(g1 > g0);
+        fs.append(id, b"d");
+        let g2 = fs.generation(id).unwrap();
+        assert!(g2 > g1);
+        fs.set_len(id, 2);
+        let g3 = fs.generation(id).unwrap();
+        assert!(g3 > g2);
+        let src = fs.create("src");
+        fs.write_at(src, 0, b"xy");
+        fs.gather_into(id, 0, &[(src, 0, 2)]);
+        let g4 = fs.generation(id).unwrap();
+        assert!(g4 > g3);
+        // Re-creating (truncating) the same name bumps too.
+        let same = fs.create("f");
+        assert_eq!(same, id);
+        assert!(fs.generation(id).unwrap() > g4);
+        // Reads never bump.
+        let _ = fs.read_at(id, 0, 2);
+        let g5 = fs.generation(id).unwrap();
+        fs.with_range(id, 0, 2, |_| ());
+        assert_eq!(fs.generation(id), Some(g5));
+        fs.delete(id);
+        assert_eq!(fs.generation(id), None);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The shared snapshot frame cache behind zero-copy cold starts.
+//!
+//! The paper's core observation is that cold starts repeatedly pay for
+//! the *same* guest-memory pages; "How Low Can You Go?" (Tan et al.)
+//! shows page-cache residency and cross-start reuse set the practical
+//! cold-start floor. This module is that reuse layer for the *functional*
+//! pipeline: a content store keyed by `(file, extent)` holding each
+//! snapshot/WS extent's bytes exactly once, as refcounted
+//! [`guest_mem::FrameBytes`] buffers that many guest-memory
+//! instances alias simultaneously (copy-on-write; see
+//! `guest_mem::GuestMemory::alias_run`).
+//!
+//! * The **first** cold start of a function misses: the extent is read
+//!   from the [`FileStore`] once and populated.
+//! * **Every subsequent** cold start of the same function — from any
+//!   invocation lane of any cluster shard — hits: the install is a
+//!   refcount bump, zero byte copies, no store read.
+//!
+//! ## Staleness is structurally impossible
+//!
+//! Every entry records the backing file's content
+//! [`generation`](FileStore::generation) at load time and re-validates it
+//! on each lookup: a rewritten file (re-record, `pad_working_set`,
+//! snapshot re-generation, diff-snapshot merge — anything that mutates
+//! bytes) makes all of its cached extents misses automatically, so a
+//! stale byte can never be served even if a caller forgets to
+//! invalidate. Explicit [`invalidate_file`](SnapshotFrameCache::invalidate_file)
+//! / [`clear`](SnapshotFrameCache::clear) calls exist to release the
+//! memory eagerly (the orchestrator issues them on re-record,
+//! `pad_working_set` and `drop_caches`).
+//!
+//! One cache is shared across all shards of a cluster: per-shard
+//! [`FileStore`] namespacing already guarantees `(FileId, extent)` keys
+//! from different shards never collide.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use guest_mem::FrameBytes;
+use parking_lot::RwLock;
+
+use crate::file_store::{FileId, FileStore};
+
+/// Counters for the cache's effectiveness (asserted by the perf
+/// regression harness: repeat cold starts must be served by aliasing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameCacheStats {
+    /// Lookups served from a live cached extent (zero-copy).
+    pub hits: u64,
+    /// Lookups that read the backing store and populated an entry
+    /// (includes generation-mismatch reloads).
+    pub misses: u64,
+    /// Entries dropped by explicit invalidation (`invalidate_file`,
+    /// `clear`).
+    pub invalidated: u64,
+    /// Live entries.
+    pub entries: u64,
+    /// Bytes held by live entries (cache copies only — aliased guest
+    /// frames share these same allocations).
+    pub bytes: u64,
+}
+
+/// An extent's identity: `(file, byte offset, byte len)`.
+type ExtentKey = (FileId, u64, u64);
+
+/// A cached extent: the content generation it was loaded at + the bytes.
+type Entry = (u64, FrameBytes);
+
+/// A content-keyed, generation-validated cache of snapshot-file extents,
+/// shared by every monitor (and every cluster shard) that serves cold
+/// starts from one logical snapshot store. See the module docs for the
+/// design; thread-safe, cheap to share behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct SnapshotFrameCache {
+    entries: RwLock<HashMap<ExtentKey, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl SnapshotFrameCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SnapshotFrameCache::default()
+    }
+
+    /// Returns the extent `[offset, offset + len)` of `file`, serving it
+    /// from the cache when a live entry exists and its recorded content
+    /// generation still matches the store's. On a miss the bytes are read
+    /// from `fs` once (zero-filled past EOF, like
+    /// [`FileStore::read_at`]) and cached for every later cold start.
+    ///
+    /// The returned buffer is refcounted and immutable: callers alias it
+    /// into guest memory (`Uffd::alias_run`) instead of copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` does not refer to a live file.
+    pub fn get_or_load(&self, fs: &FileStore, file: FileId, offset: u64, len: u64) -> FrameBytes {
+        let generation = fs
+            .generation(file)
+            .unwrap_or_else(|| panic!("frame-cache load from dead {file}"));
+        let key = (file, offset, len);
+        if let Some((cached_gen, bytes)) = self.entries.read().get(&key) {
+            if *cached_gen == generation {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return bytes.clone();
+            }
+        }
+        // Miss (or stale generation): read outside any cache lock, then
+        // publish. A racing lane may load the same extent concurrently;
+        // last write wins and both serve identical bytes.
+        let bytes: FrameBytes = std::sync::Arc::new(fs.read_at(file, offset, len as usize));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .write()
+            .insert(key, (generation, bytes.clone()));
+        bytes
+    }
+
+    /// Looks up an extent without loading on miss (tests/introspection).
+    pub fn peek(&self, file: FileId, offset: u64, len: u64) -> Option<FrameBytes> {
+        self.entries
+            .read()
+            .get(&(file, offset, len))
+            .map(|(_, b)| b.clone())
+    }
+
+    /// True if a lookup of this extent would hit: a live entry exists
+    /// *and* its recorded generation matches the store's current one.
+    /// Lets callers choose between the zero-copy hit path and a
+    /// copy-parallelizing cold path without perturbing the counters.
+    pub fn contains_current(&self, fs: &FileStore, file: FileId, offset: u64, len: u64) -> bool {
+        let Some(generation) = fs.generation(file) else {
+            return false;
+        };
+        self.entries
+            .read()
+            .get(&(file, offset, len))
+            .is_some_and(|(g, _)| *g == generation)
+    }
+
+    /// Drops every cached extent of `file` (re-record, padding and
+    /// snapshot re-generation rewrite artifacts in place; generation
+    /// validation already makes the old bytes unservable — this releases
+    /// their memory too). Returns the number of entries dropped.
+    pub fn invalidate_file(&self, file: FileId) -> u64 {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|&(f, _, _), _| f != file);
+        let dropped = (before - entries.len()) as u64;
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Drops everything — the frame-cache analogue of
+    /// `echo 3 > /proc/sys/vm/drop_caches` (the paper's flush-before-
+    /// measure methodology, §4.1).
+    pub fn clear(&self) {
+        let mut entries = self.entries.write();
+        self.invalidated
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        entries.clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FrameCacheStats {
+        let entries = self.entries.read();
+        FrameCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: entries.len() as u64,
+            bytes: entries.values().map(|(_, b)| b.len() as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_serves_the_same_buffer() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("snap/mem");
+        fs.write_at(f, 0, b"0123456789");
+        let reads_before = fs.read_calls();
+        let a = cache.get_or_load(&fs, f, 2, 4);
+        assert_eq!(&a[..], b"2345");
+        assert_eq!(fs.read_calls() - reads_before, 1);
+        let b = cache.get_or_load(&fs, f, 2, 4);
+        assert!(FrameBytes::ptr_eq(&a, &b), "hit returns the same allocation");
+        assert_eq!(fs.read_calls() - reads_before, 1, "hit reads nothing");
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.entries, st.bytes), (1, 1, 1, 4));
+    }
+
+    #[test]
+    fn rewritten_file_is_never_served_stale() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("snap/ws");
+        fs.write_at(f, 0, b"old bytes!");
+        let stale = cache.get_or_load(&fs, f, 0, 9);
+        assert_eq!(&stale[..], b"old bytes");
+        // Rewrite in place (what re-record / pad_working_set do).
+        fs.write_at(f, 0, b"new bytes!");
+        let fresh = cache.get_or_load(&fs, f, 0, 9);
+        assert_eq!(&fresh[..], b"new bytes", "generation mismatch reloads");
+        assert!(!FrameBytes::ptr_eq(&stale, &fresh));
+        assert_eq!(cache.stats().misses, 2);
+        // Truncating re-create is a rewrite too.
+        fs.create("snap/ws");
+        let empty = cache.get_or_load(&fs, f, 0, 9);
+        assert!(empty.iter().all(|&b| b == 0), "truncated file reads zeros");
+    }
+
+    #[test]
+    fn invalidate_file_drops_only_that_file() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let a = fs.create("a");
+        let b = fs.create("b");
+        fs.write_at(a, 0, b"aaaa");
+        fs.write_at(b, 0, b"bbbb");
+        cache.get_or_load(&fs, a, 0, 2);
+        cache.get_or_load(&fs, a, 2, 2);
+        cache.get_or_load(&fs, b, 0, 4);
+        assert_eq!(cache.invalidate_file(a), 2);
+        let st = cache.stats();
+        assert_eq!((st.entries, st.invalidated), (1, 2));
+        assert!(cache.peek(b, 0, 4).is_some());
+        assert!(cache.peek(a, 0, 2).is_none());
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().invalidated, 3);
+    }
+
+    #[test]
+    fn distinct_extents_are_distinct_entries() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("f");
+        fs.write_at(f, 0, &[7u8; 64]);
+        let whole = cache.get_or_load(&fs, f, 0, 64);
+        let head = cache.get_or_load(&fs, f, 0, 32);
+        assert!(!FrameBytes::ptr_eq(&whole, &head));
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn contains_current_tracks_liveness_and_generation() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("f");
+        fs.write_at(f, 0, b"abcd");
+        assert!(!cache.contains_current(&fs, f, 0, 4), "nothing cached yet");
+        let misses_before = cache.stats().misses;
+        cache.get_or_load(&fs, f, 0, 4);
+        assert!(cache.contains_current(&fs, f, 0, 4));
+        // The probe itself never perturbs hit/miss counters.
+        assert_eq!(cache.stats().misses, misses_before + 1);
+        assert_eq!(cache.stats().hits, 0);
+        // A rewrite makes the entry non-current; a dead file too.
+        fs.write_at(f, 0, b"ABCD");
+        assert!(!cache.contains_current(&fs, f, 0, 4));
+        fs.delete(f);
+        assert!(!cache.contains_current(&fs, f, 0, 4));
+    }
+
+    #[test]
+    fn past_eof_reads_cache_zeros() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("f");
+        fs.write_at(f, 0, b"xy");
+        let got = cache.get_or_load(&fs, f, 1, 4);
+        assert_eq!(&got[..], &[b'y', 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead")]
+    fn load_from_dead_file_panics() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("f");
+        fs.delete(f);
+        let _ = cache.get_or_load(&fs, f, 0, 4);
+    }
+}

@@ -36,12 +36,14 @@ pub mod device;
 pub mod disk;
 pub mod file_store;
 pub mod fio;
+pub mod frame_cache;
 pub mod io_trace;
 pub mod page_cache;
 
 pub use device::{DeviceProfile, DiskKind};
 pub use disk::{Access, Disk, DiskStats, ReadOutcome};
 pub use file_store::{FileId, FileStore};
+pub use frame_cache::{FrameCacheStats, SnapshotFrameCache};
 pub use io_trace::{IoKind, IoRecord, IoTrace};
 pub use page_cache::PageCache;
 

@@ -211,14 +211,40 @@ impl Snapshot {
 ///
 /// Returns a description of the first mismatching page.
 pub fn verify_restored(vm: &MicroVm, snapshot: &Snapshot, fs: &FileStore) -> Result<u64, String> {
+    verify_restored_cached(vm, snapshot, fs, None)
+}
+
+/// [`verify_restored`] with the expected bytes optionally served through a
+/// shared [`sim_storage::SnapshotFrameCache`]: repeat cold starts of the same function
+/// verify the same resident runs, so the snapshot-file reads collapse to
+/// refcount bumps after the first pass. Every page is still compared —
+/// only the host-side copy of the expected bytes disappears.
+///
+/// # Errors
+///
+/// As [`verify_restored`].
+pub fn verify_restored_cached(
+    vm: &MicroVm,
+    snapshot: &Snapshot,
+    fs: &FileStore,
+    cache: Option<&sim_storage::SnapshotFrameCache>,
+) -> Result<u64, String> {
     let mem = vm.memory();
     let mut verified = 0;
-    let mut expect = Vec::new();
-    // One file read per maximal resident run; comparison stays per page so
-    // the error names the exact mismatching frame.
+    let mut staged = Vec::new();
+    // One file read (or one cache lookup) per maximal resident run; the
+    // comparison stays per page so the error names the exact mismatching
+    // frame.
     for run in mem.resident_runs() {
-        expect.resize(run.byte_len() as usize, 0);
-        snapshot.read_run_into(fs, run, &mut expect);
+        let cached;
+        let expect: &[u8] = if let Some(cache) = cache {
+            cached = cache.get_or_load(fs, snapshot.mem_file, run.file_offset(), run.byte_len());
+            &cached
+        } else {
+            staged.resize(run.byte_len() as usize, 0);
+            snapshot.read_run_into(fs, run, &mut staged);
+            &staged
+        };
         for (i, page) in run.iter().enumerate() {
             let got = mem.page_bytes(page).expect("resident page");
             let want = &expect[i * PAGE_SIZE..(i + 1) * PAGE_SIZE];
