@@ -460,6 +460,43 @@ fn bench_cluster(r: &mut Report) {
             );
         });
     }
+
+    // Budget-starved twin: the cache is warmed to its natural working
+    // set, then capped at half of it. Every measured batch must stay
+    // within the budget (the LRU evicts under pressure — asserted) while
+    // the simulated outcomes stay untouched; the median shows what cold
+    // starts cost when the reuse layer can only hold half the fleet.
+    let budget_name = "cluster/invoke_cold_64fn_budgeted";
+    if r.wants(budget_name) {
+        let mut cluster = ClusterOrchestrator::new(0xC10_5732, 4);
+        for f in funcs {
+            cluster.register(f);
+            cluster.invoke_record(f);
+        }
+        let warm = cluster.invoke_concurrent(&reqs);
+        assert_eq!(warm.outcomes.len(), 64);
+        let full = cluster.frame_cache_stats().bytes;
+        assert!(full > 0, "warm batch must populate the cache");
+        let budget = full / 2;
+        cluster.set_frame_cache_budget(Some(budget));
+        let evicted_at_start = cluster.frame_cache_stats().evicted;
+        assert!(evicted_at_start > 0, "halving the budget evicts immediately");
+        r.add(budget_name, || {
+            let batch = cluster.invoke_concurrent(&reqs);
+            assert_eq!(batch.outcomes.len(), 64);
+            let st = cluster.frame_cache_stats();
+            assert!(
+                st.bytes <= budget,
+                "budget overrun: {} cached bytes > {budget} budget",
+                st.bytes
+            );
+        });
+        let st = cluster.frame_cache_stats();
+        assert!(
+            st.evicted > evicted_at_start,
+            "half-budget batches must keep evicting under pressure"
+        );
+    }
 }
 
 /// Pure alias-install throughput: the 64 MB fragmented working set
@@ -468,6 +505,7 @@ fn bench_cluster(r: &mut Report) {
 /// the cache, every op is 512 extent lookups + refcount bumps + slot
 /// bookkeeping; the store is never read again (asserted).
 fn bench_frame_cache(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    bench_frame_cache_dedup(r, fs, pages);
     if !r.wants("frame_cache/alias_install_64mb") {
         return;
     }
@@ -481,7 +519,9 @@ fn bench_frame_cache(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
         instance.recycle();
         let mut uffd = Uffd::register(instance, REGION_BASE);
         for &(run, data_at) in &layout.extents {
-            let src = cache.get_or_load(fs, files.ws_file, data_at, run.byte_len());
+            let src = cache
+                .get_or_load(fs, files.ws_file, data_at, run.byte_len())
+                .expect("bench WS file stays live");
             uffd.alias_run(run, &src, 0).unwrap();
         }
         uffd.wake();
@@ -496,6 +536,60 @@ fn bench_frame_cache(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
         "only the first pass reads the store; every later install aliases"
     );
     assert!(st.hits >= st.misses, "steady state is hit-only");
+}
+
+/// Cross-function dedup: `FNS` functions whose snapshots were cut from
+/// the *same* runtime image (byte-identical WS files under distinct
+/// `FileId`s) all install through one content-addressed cache. The
+/// content store holds the shared pages once fleet-wide — `bytes` stays
+/// at one working set, not `FNS` of them — while the per-function extent
+/// index keeps every `(file, extent)` independently invalidatable.
+fn bench_frame_cache_dedup(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
+    if !r.wants("frame_cache/dedup_cross_fn") {
+        return;
+    }
+    const FNS: usize = 4;
+    let mem = mem_fixture(fs, "bench/fc-dedup-mem", pages.iter().copied());
+    let fn_files: Vec<_> = (0..FNS)
+        .map(|i| write_reap_files(fs, &format!("bench/fc-dedup{i}"), mem, pages))
+        .collect();
+    let layouts: Vec<_> = fn_files
+        .iter()
+        .map(|f| read_ws_layout(fs, f.ws_file).unwrap())
+        .collect();
+    let cache = SnapshotFrameCache::new();
+    let mut pool: Vec<Option<GuestMemory>> =
+        (0..FNS).map(|_| Some(GuestMemory::new(GUEST_BYTES))).collect();
+    r.add("frame_cache/dedup_cross_fn", || {
+        for (i, (files, layout)) in fn_files.iter().zip(&layouts).enumerate() {
+            let mut instance = pool[i].take().expect("pooled instance");
+            instance.recycle();
+            let mut uffd = Uffd::register(instance, REGION_BASE);
+            for &(run, data_at) in &layout.extents {
+                let src = cache
+                    .get_or_load(fs, files.ws_file, data_at, run.byte_len())
+                    .expect("bench WS file stays live");
+                uffd.alias_run(run, &src, 0).unwrap();
+            }
+            uffd.wake();
+            assert_eq!(uffd.memory().resident_pages(), WS_PAGES);
+            pool[i] = Some(uffd.into_memory());
+        }
+    });
+    let st = cache.stats();
+    let extents = layouts[0].extents.len() as u64;
+    assert_eq!(st.entries, FNS as u64 * extents, "one index entry per (fn, extent)");
+    assert_eq!(st.content_entries, extents, "shared pages held once fleet-wide");
+    assert_eq!(
+        st.bytes,
+        WS_PAGES * PAGE_SIZE as u64,
+        "content bytes are one working set, not {FNS} of them"
+    );
+    assert_eq!(
+        st.deduped,
+        (FNS as u64 - 1) * extents,
+        "every function after the first dedups onto the shared content"
+    );
 }
 
 fn bench_timeline(r: &mut Report, fs: &FileStore) {

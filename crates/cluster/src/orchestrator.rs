@@ -202,6 +202,16 @@ impl ClusterOrchestrator {
         }
     }
 
+    /// Caps the **cluster-wide** cache's deduplicated content bytes —
+    /// one budget for all shards, since they share one cache (see
+    /// [`Orchestrator::set_frame_cache_budget`]). `None` = unbounded.
+    /// Simulated outcomes are byte-identical at any budget (pinned by
+    /// this crate's proptests); only resident cache bytes and wall-clock
+    /// change.
+    pub fn set_frame_cache_budget(&self, budget_bytes: Option<u64>) {
+        self.frame_cache().set_budget(budget_bytes);
+    }
+
     /// Drops every cached snapshot frame cluster-wide (the functional
     /// analogue of the paper's `drop_caches` methodology, §4.1).
     pub fn drop_caches(&mut self) {

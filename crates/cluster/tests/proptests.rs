@@ -78,13 +78,15 @@ proptest! {
     /// The cluster-wide shared frame cache is invisible in every
     /// simulated outcome: a concurrent batch covering all four
     /// `ColdPolicy` variants renders byte-identically with the cache on
-    /// (default) and off, at shard counts 1, 2 and 3 — and with the
-    /// cache on, repeat batches are served by frame aliasing (hits grow).
+    /// (default), off, and on-but-budget-starved, at shard counts 1, 2
+    /// and 3 — and with the cache on, repeat batches are served by
+    /// frame aliasing (hits grow).
     #[test]
     fn frame_cache_never_changes_batch_outcomes(seed in 0u64..10_000) {
-        let run = |shards: usize, cache_on: bool| -> String {
+        let run = |shards: usize, cache_on: bool, budget: Option<u64>| -> String {
             let mut c = prepared_cluster(seed, shards);
             c.set_frame_cache_enabled(cache_on);
+            c.set_frame_cache_budget(budget);
             let mut reqs = Vec::new();
             for (i, &f) in FUNCS.iter().enumerate() {
                 for (j, policy) in ColdPolicy::ALL.into_iter().enumerate() {
@@ -100,25 +102,37 @@ proptest! {
             let first = c.invoke_concurrent(&reqs);
             let hits_after_first = c.frame_cache_stats().hits;
             let repeat = c.invoke_concurrent(&reqs);
-            if cache_on {
+            let st = c.frame_cache_stats();
+            if cache_on && budget.is_none() {
                 assert!(
-                    c.frame_cache_stats().hits > hits_after_first,
+                    st.hits > hits_after_first,
                     "repeat batch must alias cached frames (shards={shards})"
                 );
-            } else {
-                assert_eq!(
-                    c.frame_cache_stats().hits,
-                    hits_before,
-                    "disabled cache must not serve"
-                );
+            }
+            if !cache_on {
+                assert_eq!(st.hits, hits_before, "disabled cache must not serve");
+            }
+            if let Some(b) = budget {
+                assert!(st.bytes <= b, "cache must respect its byte budget");
+                if cache_on {
+                    assert!(st.evicted > 0, "a starved budget must evict (shards={shards})");
+                }
             }
             format!("{:?}\n{:?}", first.outcomes, repeat.outcomes)
         };
-        let reference = run(1, false);
+        let reference = run(1, false, None);
         for shards in [1usize, 2, 3] {
-            prop_assert_eq!(&run(shards, true), &reference, "shards={} cached", shards);
+            prop_assert_eq!(&run(shards, true, None), &reference, "shards={} cached", shards);
+            // A budget far below the working set forces constant
+            // eviction; simulated outcomes must not move.
+            prop_assert_eq!(
+                &run(shards, true, Some(64 * 1024)),
+                &reference,
+                "shards={} budgeted",
+                shards
+            );
             if shards > 1 {
-                prop_assert_eq!(&run(shards, false), &reference, "shards={} uncached", shards);
+                prop_assert_eq!(&run(shards, false, None), &reference, "shards={} uncached", shards);
             }
         }
     }

@@ -159,8 +159,17 @@ impl<'a> Monitor<'a> {
                 // loads the extent once; every later one aliases the
                 // cached bytes into the guest — zero copies, no store
                 // read.
-                let src = cache.get_or_load(self.fs, files.ws_file, data_at, run.byte_len());
-                uffd.alias_run(run, &src, 0)
+                match cache.get_or_load(self.fs, files.ws_file, data_at, run.byte_len()) {
+                    Ok(src) => uffd.alias_run(run, &src, 0),
+                    // The WS file died mid-pass (an unregister racing
+                    // this cold start): degrade to a plain store read;
+                    // if that is gone too, fail the prefetch cleanly
+                    // instead of poisoning the serving thread.
+                    Err(gone) => match self.fs.try_read_at(files.ws_file, data_at, run.byte_len() as usize) {
+                        Some(src) => uffd.copy_run(run, &src),
+                        None => return Err(format!("prefetch install failed: {gone}")),
+                    },
+                }
             } else {
                 // Install straight from the WS file's bytes: one copy per
                 // extent, no staging buffer.
@@ -312,9 +321,21 @@ impl Monitor<'_> {
         let install = if let Some(cache) = self.cache {
             // Demand faults repeat across cold starts of the same
             // function (deterministic replay): alias the cached run.
-            let src =
-                cache.get_or_load(self.fs, self.snapshot.mem_file, run.file_offset(), run.byte_len());
-            uffd.alias_run(run, &src, 0)?
+            match cache.get_or_load(self.fs, self.snapshot.mem_file, run.file_offset(), run.byte_len()) {
+                Ok(src) => uffd.alias_run(run, &src, 0)?,
+                // Snapshot file unregistered mid-serve: degrade to a
+                // plain store read; if the file is truly gone, the run
+                // stays missing and the serve fails cleanly instead of
+                // poisoning the serving thread.
+                Err(_gone) => match self.fs.try_read_at(
+                    self.snapshot.mem_file,
+                    run.file_offset(),
+                    run.byte_len() as usize,
+                ) {
+                    Some(src) => uffd.copy_run(run, &src)?,
+                    None => return Err(MemError::NotResident(run.first)),
+                },
+            }
         } else {
             self.fs
                 .with_range(self.snapshot.mem_file, run.file_offset(), run.byte_len(), |src| {

@@ -284,6 +284,17 @@ impl Orchestrator {
         self.frame_cache_enabled = enabled;
     }
 
+    /// Caps the frame cache's deduplicated content bytes (`None` =
+    /// unbounded, the default). Over-budget LRU content entries are
+    /// evicted immediately and on every later admission; evicted extents
+    /// simply re-read the store on their next cold start, so simulated
+    /// outcomes are byte-identical at any budget (pinned by the
+    /// cache-equivalence proptests) — only resident cache bytes and
+    /// wall-clock change.
+    pub fn set_frame_cache_budget(&self, budget_bytes: Option<u64>) {
+        self.frame_cache.set_budget(budget_bytes);
+    }
+
     /// The shared snapshot frame cache (for stats and cross-orchestrator
     /// sharing).
     pub fn frame_cache(&self) -> &Arc<SnapshotFrameCache> {

@@ -318,17 +318,18 @@ proptest! {
     #![proptest_config(proptest::test_runner::ProptestConfig { cases: 3 })]
 
     /// The snapshot frame cache only removes host-side byte copies: with
-    /// the cache on (default) and off, record + every `ColdPolicy`
-    /// variant + a repeat REAP cold start render byte-identical
-    /// `InvocationOutcome`s — latencies, breakdowns, fault/prefetch/
-    /// EEXIST counters, verified pages, touched sets, disk stats, all of
-    /// it.
+    /// the cache on (default), off, and on-but-budget-starved, record +
+    /// every `ColdPolicy` variant + a repeat REAP cold start render
+    /// byte-identical `InvocationOutcome`s — latencies, breakdowns,
+    /// fault/prefetch/EEXIST counters, verified pages, touched sets,
+    /// disk stats, all of it.
     #[test]
     fn frame_cache_never_changes_outcomes(seed in 0u64..10_000) {
         let f = FunctionId::helloworld;
-        let run_with = |cache_on: bool| {
+        let run_with = |cache_on: bool, budget: Option<u64>| {
             let mut o = Orchestrator::new(seed);
             o.set_frame_cache_enabled(cache_on);
+            o.set_frame_cache_budget(budget);
             o.register(f);
             let mut out = format!("{:?}", o.invoke_record(f));
             for policy in ColdPolicy::ALL {
@@ -336,12 +337,22 @@ proptest! {
             }
             // Repeat REAP cold start: the all-hits path must still match.
             out.push_str(&format!("\n{:?}", o.invoke_cold(f, ColdPolicy::Reap)));
-            if cache_on {
-                let st = o.frame_cache_stats();
+            let st = o.frame_cache_stats();
+            if cache_on && budget.is_none() {
                 assert!(st.hits > 0, "repeat invocations must hit the cache");
+            }
+            if let Some(b) = budget {
+                assert!(st.bytes <= b, "cache must respect its byte budget");
+                if cache_on {
+                    assert!(st.evicted > 0, "a starved budget must evict");
+                }
             }
             out
         };
-        prop_assert_eq!(run_with(true), run_with(false));
+        let reference = run_with(false, None);
+        prop_assert_eq!(run_with(true, None), reference.clone());
+        // A budget far below the working set forces constant eviction;
+        // outcomes must still be byte-identical.
+        prop_assert_eq!(run_with(true, Some(64 * 1024)), reference);
     }
 }

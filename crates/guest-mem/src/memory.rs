@@ -564,6 +564,24 @@ impl GuestMemory {
         self.shared.iter().filter(|e| e.is_some()).count() as u64
     }
 
+    /// The refcounted buffer `page` currently aliases, if it is backed by
+    /// a shared frame (`None` for non-resident or private pages). Lets
+    /// dedup tests and benches observe that instances of *different*
+    /// functions cloned from one runtime image really share a single
+    /// allocation — and that a cache eviction leaves the alias intact.
+    pub fn aliased_source(&self, page: PageIdx) -> Option<FrameBytes> {
+        if !self.resident.get(page) {
+            return None;
+        }
+        let slot = self.slots[page.as_u64() as usize];
+        if slot & SHARED_BIT == 0 {
+            return None;
+        }
+        self.shared[(slot & !SHARED_BIT) as usize]
+            .as_ref()
+            .map(|(src, _)| src.clone())
+    }
+
     /// Installs a run of zero pages (`UFFDIO_ZEROPAGE` over a range).
     ///
     /// # Errors

@@ -236,6 +236,23 @@ impl FileStore {
         out
     }
 
+    /// Non-panicking twin of [`read_at`](Self::read_at): returns `None`
+    /// when `id` is dead (deleted) instead of panicking — the plain-read
+    /// fallback for callers racing an unregister (the frame cache's
+    /// dead-file path).
+    pub fn try_read_at(&self, id: FileId, offset: u64, len: usize) -> Option<Vec<u8>> {
+        let inner = self.inner.read();
+        let data = &inner.files.get(&id)?.data;
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        let start = (offset as usize).min(data.len());
+        let end = (offset as usize + len).min(data.len());
+        let mut out = Vec::new();
+        sim_core::extend_par(&mut out, &data[start..end]);
+        // Zero-fill only the past-EOF tail (sparse-file semantics).
+        out.resize(len, 0);
+        Some(out)
+    }
+
     /// Copies `len` bytes at `offset` into `buf` (zero-filling past EOF).
     ///
     /// # Panics

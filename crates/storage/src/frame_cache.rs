@@ -4,40 +4,70 @@
 //! the *same* guest-memory pages; "How Low Can You Go?" (Tan et al.)
 //! shows page-cache residency and cross-start reuse set the practical
 //! cold-start floor. This module is that reuse layer for the *functional*
-//! pipeline: a content store keyed by `(file, extent)` holding each
-//! snapshot/WS extent's bytes exactly once, as refcounted
-//! [`guest_mem::FrameBytes`] buffers that many guest-memory
-//! instances alias simultaneously (copy-on-write; see
-//! `guest_mem::GuestMemory::alias_run`).
+//! pipeline, and it is **content-addressed**: extents whose bytes are
+//! identical — the runtime/libc/interpreter pages that every function
+//! cloned from one runtime image shares — are held **once fleet-wide**,
+//! no matter how many snapshot files they appear in.
+//!
+//! ## Two-level structure
+//!
+//! * The **extent index** maps `(FileId, byte offset, byte len)` to a
+//!   refcounted *content entry*, remembering the backing file's content
+//!   [`generation`](FileStore::generation) at load time.
+//! * The **content store** holds each distinct byte string once, as a
+//!   [`guest_mem::FrameBytes`] (`Arc<Vec<u8>>`) buffer keyed by a 64-bit
+//!   FNV-1a hash of the bytes (verified byte-for-byte on every match, so
+//!   a hash collision can never alias two different extents). A content
+//!   entry lives exactly as long as index entries reference it.
 //!
 //! * The **first** cold start of a function misses: the extent is read
-//!   from the [`FileStore`] once and populated.
+//!   from the [`FileStore`] once. If an identical extent is already
+//!   cached — any file, any cluster shard — the index entry attaches to
+//!   it and no new bytes are held ([`FrameCacheStats::deduped`]).
 //! * **Every subsequent** cold start of the same function — from any
 //!   invocation lane of any cluster shard — hits: the install is a
 //!   refcount bump, zero byte copies, no store read.
 //!
+//! ## Bounded growth
+//!
+//! The content store is capacity-budgeted
+//! ([`SnapshotFrameCache::set_budget`]): when deduped bytes exceed the
+//! budget, whole content entries are evicted in LRU order (an intrusive
+//! doubly-linked list threaded through the content slab, the same O(1)
+//! design as [`crate::PageCache`]). Eviction only drops the *cache's*
+//! reference: guest memories aliasing the buffer keep it alive through
+//! their own `Arc` clones, so an evicted extent can never free or
+//! mutate live guest frames — the next cold start simply re-reads the
+//! store. The default budget is unbounded, matching the pre-budget
+//! behaviour.
+//!
 //! ## Staleness is structurally impossible
 //!
-//! Every entry records the backing file's content
-//! [`generation`](FileStore::generation) at load time and re-validates it
-//! on each lookup: a rewritten file (re-record, `pad_working_set`,
-//! snapshot re-generation, diff-snapshot merge — anything that mutates
-//! bytes) makes all of its cached extents misses automatically, so a
-//! stale byte can never be served even if a caller forgets to
-//! invalidate. Explicit [`invalidate_file`](SnapshotFrameCache::invalidate_file)
-//! / [`clear`](SnapshotFrameCache::clear) calls exist to release the
+//! Every index entry records the backing file's content generation at
+//! load time and re-validates it on each lookup: a rewritten file
+//! (re-record, `pad_working_set`, snapshot re-generation, diff-snapshot
+//! merge — anything that mutates bytes) makes all of its cached extents
+//! misses automatically, so a stale byte can never be served even if a
+//! caller forgets to invalidate. The load path re-checks the generation
+//! *after* reading the store too, so a rewrite landing mid-read can
+//! never publish freshly-written bytes under the pre-write generation
+//! (the loser serves its bytes uncached and counts
+//! [`raced`](FrameCacheStats::raced), not a miss). Explicit
+//! [`invalidate_file`](SnapshotFrameCache::invalidate_file) /
+//! [`clear`](SnapshotFrameCache::clear) calls exist to release the
 //! memory eagerly (the orchestrator issues them on re-record,
 //! `pad_working_set` and `drop_caches`).
 //!
 //! One cache is shared across all shards of a cluster: per-shard
 //! [`FileStore`] namespacing already guarantees `(FileId, extent)` keys
-//! from different shards never collide.
+//! from different shards never collide — and identical bytes from
+//! *different* shards still collapse onto one content entry.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
 
 use guest_mem::FrameBytes;
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
 use crate::file_store::{FileId, FileStore};
 
@@ -47,83 +77,385 @@ use crate::file_store::{FileId, FileStore};
 pub struct FrameCacheStats {
     /// Lookups served from a live cached extent (zero-copy).
     pub hits: u64,
-    /// Lookups that read the backing store and populated an entry
+    /// Lookups that read the backing store and populated an index entry
     /// (includes generation-mismatch reloads).
     pub misses: u64,
-    /// Entries dropped by explicit invalidation (`invalidate_file`,
-    /// `clear`).
+    /// Lookups that read the store but did **not** populate: the load
+    /// lost either to a concurrent identical load (coalesced onto the
+    /// winner's entry) or to a concurrent rewrite of the backing file
+    /// (the bytes are served uncached — publishing them under the
+    /// pre-rewrite generation would cache stale bytes).
+    pub raced: u64,
+    /// Index entries dropped by explicit invalidation
+    /// (`invalidate_file`, `clear`).
     pub invalidated: u64,
-    /// Live entries.
+    /// Content entries created (a populating miss whose bytes were not
+    /// already cached).
+    pub admitted: u64,
+    /// Populating misses whose bytes were already cached under another
+    /// extent — the index entry attached to the existing content entry
+    /// instead of holding a second copy.
+    pub deduped: u64,
+    /// Content entries evicted by the capacity budget (each drops all of
+    /// its extent mappings; bytes still aliased by guest memory stay
+    /// alive through their own refcounts).
+    pub evicted: u64,
+    /// Live extent-index entries.
     pub entries: u64,
-    /// Bytes held by live entries (cache copies only — aliased guest
-    /// frames share these same allocations).
+    /// Live content entries (deduplicated byte strings).
+    pub content_entries: u64,
+    /// Bytes held by live content entries — deduplicated content is
+    /// counted **once**, however many extents map onto it (cache copies
+    /// only; aliased guest frames share these same allocations).
     pub bytes: u64,
 }
+
+/// The backing file of a cached extent vanished mid-load: an unregister
+/// raced a concurrent cold start. Callers degrade to a plain store read
+/// (or surface a clean serve failure) instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameCacheGone(pub FileId);
+
+impl fmt::Display for FrameCacheGone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame-cache load from dead {}", self.0)
+    }
+}
+
+impl std::error::Error for FrameCacheGone {}
 
 /// An extent's identity: `(file, byte offset, byte len)`.
 type ExtentKey = (FileId, u64, u64);
 
-/// A cached extent: the content generation it was loaded at + the bytes.
-type Entry = (u64, FrameBytes);
+/// Null link in the content-entry LRU list.
+const NIL: u32 = u32::MAX;
 
-/// A content-keyed, generation-validated cache of snapshot-file extents,
-/// shared by every monitor (and every cluster shard) that serves cold
-/// starts from one logical snapshot store. See the module docs for the
-/// design; thread-safe, cheap to share behind an `Arc`.
-#[derive(Debug, Default)]
+/// One deduplicated byte string: the bytes, the extents mapping onto
+/// them (the refcount is `keys.len()`), and intrusive LRU links (MRU
+/// towards `head`).
+#[derive(Debug)]
+struct ContentEntry {
+    hash: u64,
+    bytes: FrameBytes,
+    keys: Vec<ExtentKey>,
+    prev: u32,
+    next: u32,
+}
+
+/// All mutable cache state under one lock: the hit path updates LRU
+/// recency, so even lookups write.
+#[derive(Debug)]
+struct Inner {
+    /// Extent -> (content generation at load time, content slab index).
+    index: HashMap<ExtentKey, (u64, u32)>,
+    /// Content slab; freed slots are recycled via `free`.
+    slab: Vec<Option<ContentEntry>>,
+    /// (bytes hash, bytes len) -> slab indices (collision bucket; bytes
+    /// are compared on every match, so len > 1 only on a real FNV
+    /// collision).
+    by_hash: HashMap<(u64, u64), Vec<u32>>,
+    free: Vec<u32>,
+    /// Most recently used content entry, or NIL.
+    head: u32,
+    /// Least recently used content entry (eviction victim), or NIL.
+    tail: u32,
+    /// Bytes held by live content entries (deduped content once).
+    bytes: u64,
+    /// Capacity budget in bytes; `u64::MAX` = unbounded.
+    budget: u64,
+    hits: u64,
+    misses: u64,
+    raced: u64,
+    invalidated: u64,
+    admitted: u64,
+    deduped: u64,
+    evicted: u64,
+}
+
+impl Inner {
+    /// Unlinks content entry `n` from the LRU list (it must be linked).
+    fn unlink(&mut self, n: u32) {
+        let (prev, next) = {
+            let e = self.slab[n as usize].as_ref().expect("linked entry");
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].as_mut().expect("live prev").next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].as_mut().expect("live next").prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links content entry `n` at the MRU end.
+    fn link_front(&mut self, n: u32) {
+        {
+            let e = self.slab[n as usize].as_mut().expect("live entry");
+            e.prev = NIL;
+            e.next = self.head;
+        }
+        if self.head != NIL {
+            self.slab[self.head as usize].as_mut().expect("live head").prev = n;
+        } else {
+            self.tail = n;
+        }
+        self.head = n;
+    }
+
+    /// Refreshes recency of content entry `n`.
+    fn touch(&mut self, n: u32) {
+        if self.head != n {
+            self.unlink(n);
+            self.link_front(n);
+        }
+    }
+
+    fn bytes_of(&self, n: u32) -> FrameBytes {
+        self.slab[n as usize].as_ref().expect("live entry").bytes.clone()
+    }
+
+    /// Drops `key`'s index entry (if any); the content entry goes with it
+    /// when its last extent mapping disappears. Returns true if an index
+    /// entry was removed.
+    fn detach(&mut self, key: ExtentKey) -> bool {
+        let Some((_, idx)) = self.index.remove(&key) else {
+            return false;
+        };
+        let entry = self.slab[idx as usize].as_mut().expect("live entry");
+        let pos = entry
+            .keys
+            .iter()
+            .position(|k| *k == key)
+            .expect("index entry has a back-reference");
+        entry.keys.swap_remove(pos);
+        if entry.keys.is_empty() {
+            self.drop_content(idx);
+        }
+        true
+    }
+
+    /// Frees content entry `idx` (which must have no extent mappings
+    /// left): unlinks it, drops its hash-bucket slot, releases the bytes
+    /// accounting and recycles the slab slot. Guest memories still
+    /// aliasing the buffer keep it alive through their own `Arc` clones.
+    fn drop_content(&mut self, idx: u32) {
+        self.unlink(idx);
+        let entry = self.slab[idx as usize].take().expect("live entry");
+        debug_assert!(entry.keys.is_empty(), "content freed while mapped");
+        let bucket_key = (entry.hash, entry.bytes.len() as u64);
+        let bucket = self.by_hash.get_mut(&bucket_key).expect("hash bucket");
+        bucket.retain(|&i| i != idx);
+        if bucket.is_empty() {
+            self.by_hash.remove(&bucket_key);
+        }
+        self.bytes -= entry.bytes.len() as u64;
+        self.free.push(idx);
+    }
+
+    /// Maps `key` (valid at `generation`) onto `bytes`, deduplicating
+    /// against identical live content, then enforces the budget. Returns
+    /// the canonical buffer (the already-cached one on a dedup).
+    fn attach(&mut self, key: ExtentKey, generation: u64, bytes: FrameBytes, hash: u64) -> FrameBytes {
+        // A stale mapping for this extent (old generation) dies first.
+        self.detach(key);
+        let bucket_key = (hash, bytes.len() as u64);
+        let existing = self.by_hash.get(&bucket_key).and_then(|bucket| {
+            bucket.iter().copied().find(|&i| {
+                self.slab[i as usize].as_ref().expect("live entry").bytes[..] == bytes[..]
+            })
+        });
+        let idx = match existing {
+            Some(idx) => {
+                self.deduped += 1;
+                self.touch(idx);
+                idx
+            }
+            None => {
+                let entry = ContentEntry {
+                    hash,
+                    bytes,
+                    keys: Vec::new(),
+                    prev: NIL,
+                    next: NIL,
+                };
+                let idx = match self.free.pop() {
+                    Some(i) => {
+                        self.slab[i as usize] = Some(entry);
+                        i
+                    }
+                    None => {
+                        self.slab.push(Some(entry));
+                        (self.slab.len() - 1) as u32
+                    }
+                };
+                self.by_hash.entry(bucket_key).or_default().push(idx);
+                self.bytes += self.bytes_of(idx).len() as u64;
+                self.link_front(idx);
+                self.admitted += 1;
+                idx
+            }
+        };
+        self.slab[idx as usize].as_mut().expect("live entry").keys.push(key);
+        self.index.insert(key, (generation, idx));
+        let out = self.bytes_of(idx);
+        self.evict_to_budget();
+        out
+    }
+
+    /// Evicts LRU content entries (and all of their extent mappings)
+    /// until the deduped bytes fit the budget. The entry just returned
+    /// to a caller may evict itself — the caller holds its own `Arc`, so
+    /// that is a pass-through serve, not a correctness hazard.
+    fn evict_to_budget(&mut self) {
+        while self.bytes > self.budget {
+            let victim = self.tail;
+            if victim == NIL {
+                break;
+            }
+            let keys = std::mem::take(
+                &mut self.slab[victim as usize].as_mut().expect("live tail").keys,
+            );
+            for k in keys {
+                self.index.remove(&k);
+            }
+            self.drop_content(victim);
+            self.evicted += 1;
+        }
+    }
+}
+
+/// A content-addressed, generation-validated, capacity-budgeted cache of
+/// snapshot-file extents, shared by every monitor (and every cluster
+/// shard) that serves cold starts from one logical snapshot store. See
+/// the module docs for the design; thread-safe, cheap to share behind an
+/// `Arc`.
+#[derive(Debug)]
 pub struct SnapshotFrameCache {
-    entries: RwLock<HashMap<ExtentKey, Entry>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidated: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl Default for SnapshotFrameCache {
+    fn default() -> Self {
+        SnapshotFrameCache {
+            inner: Mutex::new(Inner {
+                index: HashMap::new(),
+                slab: Vec::new(),
+                by_hash: HashMap::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                bytes: 0,
+                budget: u64::MAX,
+                hits: 0,
+                misses: 0,
+                raced: 0,
+                invalidated: 0,
+                admitted: 0,
+                deduped: 0,
+                evicted: 0,
+            }),
+        }
+    }
 }
 
 impl SnapshotFrameCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache (cap it with
+    /// [`set_budget`](Self::set_budget)).
     pub fn new() -> Self {
         SnapshotFrameCache::default()
+    }
+
+    /// Caps the deduplicated content bytes the cache may hold; `None`
+    /// restores the unbounded default. Shrinking below the current
+    /// occupancy evicts LRU content entries immediately.
+    pub fn set_budget(&self, budget_bytes: Option<u64>) {
+        let mut inner = self.inner.lock();
+        inner.budget = budget_bytes.unwrap_or(u64::MAX);
+        inner.evict_to_budget();
+    }
+
+    /// The current budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        let budget = self.inner.lock().budget;
+        (budget != u64::MAX).then_some(budget)
     }
 
     /// Returns the extent `[offset, offset + len)` of `file`, serving it
     /// from the cache when a live entry exists and its recorded content
     /// generation still matches the store's. On a miss the bytes are read
     /// from `fs` once (zero-filled past EOF, like
-    /// [`FileStore::read_at`]) and cached for every later cold start.
+    /// [`FileStore::read_at`]); identical bytes already cached under any
+    /// other extent are shared instead of duplicated.
     ///
     /// The returned buffer is refcounted and immutable: callers alias it
     /// into guest memory (`Uffd::alias_run`) instead of copying.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `file` does not refer to a live file.
-    pub fn get_or_load(&self, fs: &FileStore, file: FileId, offset: u64, len: u64) -> FrameBytes {
-        let generation = fs
-            .generation(file)
-            .unwrap_or_else(|| panic!("frame-cache load from dead {file}"));
+    /// [`FrameCacheGone`] if `file` is dead (deleted — e.g. an
+    /// unregister racing this cold start), including mid-load: the
+    /// caller falls back to a plain store read or fails its serve
+    /// cleanly. The cache itself never panics on a dead file.
+    pub fn get_or_load(
+        &self,
+        fs: &FileStore,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Result<FrameBytes, FrameCacheGone> {
         let key = (file, offset, len);
-        if let Some((cached_gen, bytes)) = self.entries.read().get(&key) {
-            if *cached_gen == generation {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return bytes.clone();
+        let generation = fs.generation(file).ok_or(FrameCacheGone(file))?;
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&(cached_gen, idx)) = inner.index.get(&key) {
+                if cached_gen == generation {
+                    inner.touch(idx);
+                    inner.hits += 1;
+                    return Ok(inner.bytes_of(idx));
+                }
             }
         }
-        // Miss (or stale generation): read outside any cache lock, then
-        // publish. A racing lane may load the same extent concurrently;
-        // last write wins and both serve identical bytes.
-        let bytes: FrameBytes = std::sync::Arc::new(fs.read_at(file, offset, len as usize));
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.entries
-            .write()
-            .insert(key, (generation, bytes.clone()));
-        bytes
+        // Miss (or stale generation): read and hash outside the cache
+        // lock, then re-validate before publishing.
+        let raw = fs
+            .try_read_at(file, offset, len as usize)
+            .ok_or(FrameCacheGone(file))?;
+        let hash = guest_mem::fnv1a64(&raw);
+        let bytes: FrameBytes = std::sync::Arc::new(raw);
+        if fs.generation(file) != Some(generation) {
+            // A rewrite landed between the generation check and the read:
+            // publishing would pin possibly-new bytes under the old
+            // generation. Serve what we read, cache nothing; the next
+            // lookup reloads under the new generation.
+            self.inner.lock().raced += 1;
+            return Ok(bytes);
+        }
+        let mut inner = self.inner.lock();
+        if let Some(&(cached_gen, idx)) = inner.index.get(&key) {
+            if cached_gen == generation {
+                // A concurrent identical load won the publish; coalesce
+                // onto its entry so both lanes serve one allocation.
+                inner.touch(idx);
+                inner.raced += 1;
+                return Ok(inner.bytes_of(idx));
+            }
+        }
+        inner.misses += 1;
+        Ok(inner.attach(key, generation, bytes, hash))
     }
 
-    /// Looks up an extent without loading on miss (tests/introspection).
+    /// Looks up an extent without loading on miss (tests/introspection);
+    /// recency and counters are untouched.
     pub fn peek(&self, file: FileId, offset: u64, len: u64) -> Option<FrameBytes> {
-        self.entries
-            .read()
+        let inner = self.inner.lock();
+        inner
+            .index
             .get(&(file, offset, len))
-            .map(|(_, b)| b.clone())
+            .map(|&(_, idx)| inner.bytes_of(idx))
     }
 
     /// True if a lookup of this extent would hit: a live entry exists
@@ -134,44 +466,65 @@ impl SnapshotFrameCache {
         let Some(generation) = fs.generation(file) else {
             return false;
         };
-        self.entries
-            .read()
+        self.inner
+            .lock()
+            .index
             .get(&(file, offset, len))
-            .is_some_and(|(g, _)| *g == generation)
+            .is_some_and(|&(g, _)| g == generation)
     }
 
     /// Drops every cached extent of `file` (re-record, padding and
     /// snapshot re-generation rewrite artifacts in place; generation
     /// validation already makes the old bytes unservable — this releases
-    /// their memory too). Returns the number of entries dropped.
+    /// their memory too). Content shared with other files' extents stays
+    /// as long as those mappings live. Returns the number of index
+    /// entries dropped.
     pub fn invalidate_file(&self, file: FileId) -> u64 {
-        let mut entries = self.entries.write();
-        let before = entries.len();
-        entries.retain(|&(f, _, _), _| f != file);
-        let dropped = (before - entries.len()) as u64;
-        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
-        dropped
+        let mut inner = self.inner.lock();
+        let keys: Vec<ExtentKey> = inner
+            .index
+            .keys()
+            .filter(|&&(f, _, _)| f == file)
+            .copied()
+            .collect();
+        for &k in &keys {
+            inner.detach(k);
+        }
+        inner.invalidated += keys.len() as u64;
+        keys.len() as u64
     }
 
     /// Drops everything — the frame-cache analogue of
     /// `echo 3 > /proc/sys/vm/drop_caches` (the paper's flush-before-
-    /// measure methodology, §4.1).
+    /// measure methodology, §4.1). All structural state (index, content
+    /// slab, hash buckets, LRU links) is reset; counters and the budget
+    /// survive.
     pub fn clear(&self) {
-        let mut entries = self.entries.write();
-        self.invalidated
-            .fetch_add(entries.len() as u64, Ordering::Relaxed);
-        entries.clear();
+        let mut inner = self.inner.lock();
+        inner.invalidated += inner.index.len() as u64;
+        inner.index.clear();
+        inner.slab.clear();
+        inner.by_hash.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+        inner.bytes = 0;
     }
 
     /// Current counters.
     pub fn stats(&self) -> FrameCacheStats {
-        let entries = self.entries.read();
+        let inner = self.inner.lock();
         FrameCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidated: self.invalidated.load(Ordering::Relaxed),
-            entries: entries.len() as u64,
-            bytes: entries.values().map(|(_, b)| b.len() as u64).sum(),
+            hits: inner.hits,
+            misses: inner.misses,
+            raced: inner.raced,
+            invalidated: inner.invalidated,
+            admitted: inner.admitted,
+            deduped: inner.deduped,
+            evicted: inner.evicted,
+            entries: inner.index.len() as u64,
+            content_entries: inner.slab.iter().filter(|e| e.is_some()).count() as u64,
+            bytes: inner.bytes,
         }
     }
 }
@@ -187,14 +540,15 @@ mod tests {
         let f = fs.create("snap/mem");
         fs.write_at(f, 0, b"0123456789");
         let reads_before = fs.read_calls();
-        let a = cache.get_or_load(&fs, f, 2, 4);
+        let a = cache.get_or_load(&fs, f, 2, 4).unwrap();
         assert_eq!(&a[..], b"2345");
         assert_eq!(fs.read_calls() - reads_before, 1);
-        let b = cache.get_or_load(&fs, f, 2, 4);
+        let b = cache.get_or_load(&fs, f, 2, 4).unwrap();
         assert!(FrameBytes::ptr_eq(&a, &b), "hit returns the same allocation");
         assert_eq!(fs.read_calls() - reads_before, 1, "hit reads nothing");
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.entries, st.bytes), (1, 1, 1, 4));
+        assert_eq!((st.admitted, st.deduped, st.content_entries), (1, 0, 1));
     }
 
     #[test]
@@ -203,18 +557,146 @@ mod tests {
         let cache = SnapshotFrameCache::new();
         let f = fs.create("snap/ws");
         fs.write_at(f, 0, b"old bytes!");
-        let stale = cache.get_or_load(&fs, f, 0, 9);
+        let stale = cache.get_or_load(&fs, f, 0, 9).unwrap();
         assert_eq!(&stale[..], b"old bytes");
         // Rewrite in place (what re-record / pad_working_set do).
         fs.write_at(f, 0, b"new bytes!");
-        let fresh = cache.get_or_load(&fs, f, 0, 9);
+        let fresh = cache.get_or_load(&fs, f, 0, 9).unwrap();
         assert_eq!(&fresh[..], b"new bytes", "generation mismatch reloads");
         assert!(!FrameBytes::ptr_eq(&stale, &fresh));
         assert_eq!(cache.stats().misses, 2);
+        // The stale mapping is gone with its content (no other extent
+        // shares those bytes).
+        assert_eq!(cache.stats().content_entries, 1);
+        assert_eq!(cache.stats().bytes, 9);
         // Truncating re-create is a rewrite too.
         fs.create("snap/ws");
-        let empty = cache.get_or_load(&fs, f, 0, 9);
+        let empty = cache.get_or_load(&fs, f, 0, 9).unwrap();
         assert!(empty.iter().all(|&b| b == 0), "truncated file reads zeros");
+    }
+
+    #[test]
+    fn identical_extents_across_files_share_one_content_entry() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        // N functions cloned from one runtime image: same bytes, distinct
+        // snapshot files.
+        let image = b"shared runtime image page bytes!";
+        let files: Vec<_> = (0..4)
+            .map(|i| {
+                let f = fs.create(&format!("snap/fn{i}"));
+                fs.write_at(f, 0, image);
+                f
+            })
+            .collect();
+        let bufs: Vec<FrameBytes> = files
+            .iter()
+            .map(|&f| cache.get_or_load(&fs, f, 0, image.len() as u64).unwrap())
+            .collect();
+        for b in &bufs[1..] {
+            assert!(
+                FrameBytes::ptr_eq(&bufs[0], b),
+                "identical content is one allocation fleet-wide"
+            );
+        }
+        let st = cache.stats();
+        assert_eq!(st.entries, 4, "one index entry per extent");
+        assert_eq!(st.content_entries, 1, "one content entry for shared bytes");
+        assert_eq!(st.bytes, image.len() as u64, "deduped content counted once");
+        assert_eq!((st.admitted, st.deduped, st.misses), (1, 3, 4));
+        // Dropping one mapping keeps the shared content alive…
+        assert_eq!(cache.invalidate_file(files[0]), 1);
+        let st = cache.stats();
+        assert_eq!((st.entries, st.content_entries, st.bytes), (3, 1, 32));
+        // …and dropping the rest releases it.
+        for &f in &files[1..] {
+            cache.invalidate_file(f);
+        }
+        let st = cache.stats();
+        assert_eq!((st.entries, st.content_entries, st.bytes), (0, 0, 0));
+    }
+
+    #[test]
+    fn budget_evicts_lru_content_and_bounds_bytes() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("f");
+        // Four 16-byte extents with distinct contents.
+        for i in 0..4u8 {
+            fs.write_at(f, i as u64 * 16, &[i + 1; 16]);
+        }
+        cache.set_budget(Some(32));
+        let a = cache.get_or_load(&fs, f, 0, 16).unwrap();
+        cache.get_or_load(&fs, f, 16, 16).unwrap();
+        // Touch extent 0 so extent 1 is the LRU victim.
+        cache.get_or_load(&fs, f, 0, 16).unwrap();
+        cache.get_or_load(&fs, f, 32, 16).unwrap();
+        let st = cache.stats();
+        assert_eq!(st.evicted, 1, "third admit evicts the LRU entry");
+        assert!(st.bytes <= 32, "budget bounds deduped bytes");
+        assert!(cache.peek(f, 0, 16).is_some(), "touched entry survives");
+        assert!(cache.peek(f, 16, 16).is_none(), "LRU entry evicted");
+        // The evicted extent reloads as a fresh miss; the caller's old
+        // buffer was never freed or mutated (it holds its own Arc).
+        assert_eq!(&a[..], &[1u8; 16]);
+        let st_before = cache.stats();
+        cache.get_or_load(&fs, f, 16, 16).unwrap();
+        assert_eq!(cache.stats().misses, st_before.misses + 1);
+        // Lifting the budget stops eviction.
+        cache.set_budget(None);
+        cache.get_or_load(&fs, f, 48, 16).unwrap();
+        assert_eq!(cache.stats().evicted, 2, "unbounded again: no new evictions");
+    }
+
+    #[test]
+    fn shrinking_the_budget_evicts_immediately() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("f");
+        fs.write_at(f, 0, &[8u8; 32]);
+        fs.write_at(f, 32, &[9u8; 32]);
+        cache.get_or_load(&fs, f, 0, 32).unwrap();
+        cache.get_or_load(&fs, f, 32, 32).unwrap();
+        assert_eq!(cache.stats().bytes, 64);
+        cache.set_budget(Some(40));
+        let st = cache.stats();
+        assert!(st.bytes <= 40);
+        assert_eq!(st.evicted, 1);
+        assert_eq!(cache.budget(), Some(40));
+    }
+
+    #[test]
+    fn eviction_never_frees_or_mutates_aliased_guest_frames() {
+        use guest_mem::{GuestMemory, PageRun, PAGE_SIZE};
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("snap/mem");
+        let mut page = vec![0u8; 2 * PAGE_SIZE];
+        guest_mem::checksum::fill_deterministic(&mut page, 0xA11A5, 0);
+        fs.write_at(f, 0, &page);
+        let src = cache
+            .get_or_load(&fs, f, 0, 2 * PAGE_SIZE as u64)
+            .unwrap();
+        // A live guest memory aliases the cached extent.
+        let mut mem = GuestMemory::new(16 * PAGE_SIZE as u64);
+        mem.alias_run(PageRun::new(guest_mem::PageIdx::new(0), 2), &src, 0)
+            .unwrap();
+        let refs_before = FrameBytes::strong_count(&src);
+        // Evict it (budget 0 keeps nothing).
+        cache.set_budget(Some(0));
+        assert_eq!(cache.stats().evicted, 1);
+        assert_eq!(cache.stats().bytes, 0);
+        assert!(cache.peek(f, 0, 2 * PAGE_SIZE as u64).is_none());
+        // Only the cache's reference dropped; the guest's aliases and the
+        // bytes behind them are untouched.
+        assert_eq!(FrameBytes::strong_count(&src), refs_before - 1);
+        for p in 0..2u64 {
+            assert_eq!(
+                mem.page_bytes(guest_mem::PageIdx::new(p)).unwrap(),
+                &page[p as usize * PAGE_SIZE..(p as usize + 1) * PAGE_SIZE],
+                "aliased frame survives eviction byte-for-byte"
+            );
+        }
     }
 
     #[test]
@@ -225,9 +707,9 @@ mod tests {
         let b = fs.create("b");
         fs.write_at(a, 0, b"aaaa");
         fs.write_at(b, 0, b"bbbb");
-        cache.get_or_load(&fs, a, 0, 2);
-        cache.get_or_load(&fs, a, 2, 2);
-        cache.get_or_load(&fs, b, 0, 4);
+        cache.get_or_load(&fs, a, 0, 2).unwrap();
+        cache.get_or_load(&fs, a, 2, 2).unwrap();
+        cache.get_or_load(&fs, b, 0, 4).unwrap();
         assert_eq!(cache.invalidate_file(a), 2);
         let st = cache.stats();
         assert_eq!((st.entries, st.invalidated), (1, 2));
@@ -244,10 +726,11 @@ mod tests {
         let cache = SnapshotFrameCache::new();
         let f = fs.create("f");
         fs.write_at(f, 0, &[7u8; 64]);
-        let whole = cache.get_or_load(&fs, f, 0, 64);
-        let head = cache.get_or_load(&fs, f, 0, 32);
+        let whole = cache.get_or_load(&fs, f, 0, 64).unwrap();
+        let head = cache.get_or_load(&fs, f, 0, 32).unwrap();
         assert!(!FrameBytes::ptr_eq(&whole, &head));
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().content_entries, 2, "different lengths never dedup");
         assert_eq!(cache.stats().misses, 2);
     }
 
@@ -259,7 +742,7 @@ mod tests {
         fs.write_at(f, 0, b"abcd");
         assert!(!cache.contains_current(&fs, f, 0, 4), "nothing cached yet");
         let misses_before = cache.stats().misses;
-        cache.get_or_load(&fs, f, 0, 4);
+        cache.get_or_load(&fs, f, 0, 4).unwrap();
         assert!(cache.contains_current(&fs, f, 0, 4));
         // The probe itself never perturbs hit/miss counters.
         assert_eq!(cache.stats().misses, misses_before + 1);
@@ -277,17 +760,50 @@ mod tests {
         let cache = SnapshotFrameCache::new();
         let f = fs.create("f");
         fs.write_at(f, 0, b"xy");
-        let got = cache.get_or_load(&fs, f, 1, 4);
+        let got = cache.get_or_load(&fs, f, 1, 4).unwrap();
         assert_eq!(&got[..], &[b'y', 0, 0, 0]);
     }
 
     #[test]
-    #[should_panic(expected = "dead")]
-    fn load_from_dead_file_panics() {
+    fn load_from_dead_file_errs_instead_of_panicking() {
         let fs = FileStore::new();
         let cache = SnapshotFrameCache::new();
         let f = fs.create("f");
+        fs.write_at(f, 0, b"abcd");
+        cache.get_or_load(&fs, f, 0, 4).unwrap();
         fs.delete(f);
-        let _ = cache.get_or_load(&fs, f, 0, 4);
+        // An unregister racing a cold start degrades to a clean error the
+        // caller can turn into a plain store read / serve failure.
+        assert_eq!(cache.get_or_load(&fs, f, 0, 4), Err(FrameCacheGone(f)));
+        let st = cache.stats();
+        assert_eq!(st.misses, 1, "failed load is not a populating miss");
+    }
+
+    #[test]
+    fn concurrent_identical_loads_coalesce_and_count_once() {
+        use std::sync::Arc;
+        let fs = Arc::new(FileStore::new());
+        let cache = Arc::new(SnapshotFrameCache::new());
+        let f = fs.create("f");
+        fs.write_at(f, 0, &[42u8; 4096]);
+        const THREADS: u64 = 8;
+        const ITERS: u64 = 50;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let (fs, cache) = (fs.clone(), cache.clone());
+                s.spawn(move || {
+                    for _ in 0..ITERS {
+                        let b = cache.get_or_load(&fs, f, 0, 4096).unwrap();
+                        assert_eq!(b[0], 42);
+                    }
+                });
+            }
+        });
+        let st = cache.stats();
+        // Every lookup is accounted exactly once; duplicate loads that
+        // lost the publish race are `raced`, not extra misses.
+        assert_eq!(st.hits + st.misses + st.raced, THREADS * ITERS);
+        assert_eq!(st.misses, 1, "one extent, one populating miss");
+        assert_eq!((st.entries, st.content_entries, st.bytes), (1, 1, 4096));
     }
 }

@@ -43,7 +43,7 @@ pub mod page_cache;
 pub use device::{DeviceProfile, DiskKind};
 pub use disk::{Access, Disk, DiskStats, ReadOutcome};
 pub use file_store::{FileId, FileStore};
-pub use frame_cache::{FrameCacheStats, SnapshotFrameCache};
+pub use frame_cache::{FrameCacheGone, FrameCacheStats, SnapshotFrameCache};
 pub use io_trace::{IoKind, IoRecord, IoTrace};
 pub use page_cache::PageCache;
 

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sim_core::SimTime;
-use sim_storage::{Access, Disk, FileStore, PageCache, PAGE_SIZE};
+use sim_storage::{Access, Disk, FileStore, PageCache, SnapshotFrameCache, PAGE_SIZE};
 
 proptest! {
     /// Read-after-write always returns the written bytes, regardless of
@@ -127,5 +127,96 @@ proptest! {
         prop_assert!(!out.cache_hit);
         let again = d.read_buffered(out.ready, f, first * PAGE_SIZE, count * PAGE_SIZE);
         prop_assert!(again.cache_hit);
+    }
+
+    /// Frame-cache eviction is purely structural: no matter what budget
+    /// churn (including zero) hits the cache, pages a live guest memory
+    /// aliased out of it are never freed or mutated, and whenever a
+    /// budget is in force the cache's accounted bytes respect it.
+    #[test]
+    fn frame_cache_eviction_never_corrupts_live_aliases(
+        selectors in proptest::collection::vec(0usize..4, 2..6),
+        budget_pages in proptest::collection::vec(0u64..7, 1..8),
+    ) {
+        use guest_mem::{GuestMemory, PageIdx, PageRun, PAGE_SIZE};
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        // A small pool of page images; files picking the same selector
+        // carry identical bytes and dedup to one content entry.
+        let pool: Vec<Vec<u8>> = (0..4u64)
+            .map(|i| {
+                let mut img = vec![0u8; PAGE_SIZE];
+                guest_mem::checksum::fill_deterministic(&mut img, 0xD00D + i, 0);
+                img
+            })
+            .collect();
+        let mut mem = GuestMemory::new(selectors.len() as u64 * PAGE_SIZE as u64);
+        let mut files = Vec::new();
+        for (i, &sel) in selectors.iter().enumerate() {
+            let f = fs.create(&format!("fn{i}/mem"));
+            fs.write_at(f, 0, &pool[sel]);
+            let src = cache.get_or_load(&fs, f, 0, PAGE_SIZE as u64).unwrap();
+            mem.alias_run(PageRun::new(PageIdx::new(i as u64), 1), &src, 0)
+                .unwrap();
+            files.push(f);
+        }
+        // Deduped content is counted once up front.
+        let distinct: std::collections::HashSet<usize> = selectors.iter().copied().collect();
+        let st = cache.stats();
+        prop_assert_eq!(st.entries as usize, selectors.len());
+        prop_assert_eq!(st.content_entries as usize, distinct.len());
+        prop_assert_eq!(st.bytes as usize, distinct.len() * PAGE_SIZE);
+        // Churn the budget, forcing arbitrary eviction waves, and reload
+        // extents between waves so evict -> repopulate cycles happen.
+        for pages in budget_pages {
+            // 6 is the sentinel for "no budget" (unbounded).
+            let budget = (pages < 6).then(|| pages * PAGE_SIZE as u64);
+            cache.set_budget(budget);
+            for &f in &files {
+                let _ = cache.get_or_load(&fs, f, 0, PAGE_SIZE as u64).unwrap();
+            }
+            let st = cache.stats();
+            if let Some(b) = budget {
+                prop_assert!(st.bytes <= b, "budget overrun: {:?}", st);
+            }
+            // Live aliases never move: every guest page still matches
+            // the image it was installed from, byte for byte.
+            for (i, &sel) in selectors.iter().enumerate() {
+                prop_assert_eq!(
+                    mem.page_bytes(PageIdx::new(i as u64)).unwrap(),
+                    &pool[sel][..],
+                    "guest page {} corrupted by eviction", i
+                );
+            }
+        }
+    }
+
+    /// `stats().bytes` charges deduplicated content exactly once: with
+    /// arbitrary byte images assigned to arbitrary files, the accounted
+    /// bytes equal the sum of *distinct* image lengths while the extent
+    /// index keeps one entry per file.
+    #[test]
+    fn frame_cache_bytes_count_deduped_content_once(
+        images in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..128), 3),
+        assignment in proptest::collection::vec(0usize..3, 1..10),
+    ) {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        for (i, &sel) in assignment.iter().enumerate() {
+            let f = fs.create(&format!("f{i}"));
+            fs.write_at(f, 0, &images[sel]);
+            cache.get_or_load(&fs, f, 0, images[sel].len() as u64).unwrap();
+        }
+        // Random images may coincide byte-for-byte, so count distinct
+        // *content*, not distinct selectors.
+        let distinct: std::collections::HashSet<&[u8]> = assignment
+            .iter()
+            .map(|&sel| images[sel].as_slice())
+            .collect();
+        let expected: usize = distinct.iter().map(|img| img.len()).sum();
+        let st = cache.stats();
+        prop_assert_eq!(st.entries as usize, assignment.len());
+        prop_assert_eq!(st.bytes as usize, expected, "deduped content charged more than once");
+        prop_assert_eq!(st.admitted + st.deduped, st.misses);
     }
 }

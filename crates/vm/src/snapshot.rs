@@ -238,7 +238,9 @@ pub fn verify_restored_cached(
     for run in mem.resident_runs() {
         let cached;
         let expect: &[u8] = if let Some(cache) = cache {
-            cached = cache.get_or_load(fs, snapshot.mem_file, run.file_offset(), run.byte_len());
+            cached = cache
+                .get_or_load(fs, snapshot.mem_file, run.file_offset(), run.byte_len())
+                .map_err(|gone| format!("verify source vanished: {gone}"))?;
             &cached
         } else {
             staged.resize(run.byte_len() as usize, 0);
