@@ -592,6 +592,79 @@ fn bench_frame_cache_dedup(r: &mut Report, fs: &FileStore, pages: &[PageIdx]) {
     );
 }
 
+/// Recovery-path costs under injected faults — what the failure
+/// semantics added on top of the clean paths actually cost end to end:
+///
+/// * `fault/retry_transient_64mb` — one REAP cold start healing two
+///   transient restore faults on its VMM state file, with the working
+///   set padded to the 64 MB scale the other groups use. Each op
+///   attaches a fresh budgeted injector (the budget burns within one
+///   retry loop), so every sample pays the full retry-with-backoff
+///   path and must report exactly two retries.
+/// * `cluster/invoke_cold_64fn_1shard_dead` — the §6.5 64-request
+///   concurrent batch served with one of four shards dead: requests
+///   homed on the dead shard re-route to survivors (the warm-up batch
+///   pays the one-time state rebuild; measured batches ride the sticky
+///   failover table).
+fn bench_fault_recovery(r: &mut Report) {
+    use std::sync::Arc;
+
+    use functionbench::FunctionId;
+    use sim_storage::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
+    use vhive_cluster::{ClusterOrchestrator, ColdRequest};
+    use vhive_core::{ColdPolicy, Orchestrator};
+
+    let retry_name = "fault/retry_transient_64mb";
+    if r.wants(retry_name) {
+        let f = FunctionId::helloworld;
+        let mut o = Orchestrator::new(0xFA_017);
+        o.register(f);
+        o.invoke_record(f);
+        // Pad the recorded working set up to the 64 MB scale shared by
+        // the other `*_64mb` groups.
+        let recorded = o.invoke_cold(f, ColdPolicy::Reap).ws_pages;
+        o.pad_working_set(f, WS_PAGES.saturating_sub(recorded));
+        r.add(retry_name, || {
+            let plan = FaultPlan::new().rule(
+                FaultRule::new(
+                    FaultScope::NameContains("vmm_state".into()),
+                    FaultKind::TransientError,
+                )
+                .count(2),
+            );
+            o.fs().attach_injector(Arc::new(FaultInjector::new(plan)));
+            let out = o.invoke_cold(f, ColdPolicy::Reap);
+            assert_eq!(out.recovery.transient_retries, 2, "both faults retried");
+            assert_eq!(out.policy, Some(ColdPolicy::Reap), "no fallback");
+        });
+    }
+
+    let dead_name = "cluster/invoke_cold_64fn_1shard_dead";
+    if r.wants(dead_name) {
+        let funcs = [
+            FunctionId::helloworld,
+            FunctionId::chameleon,
+            FunctionId::pyaes,
+            FunctionId::json_serdes,
+        ];
+        let mut cluster = ClusterOrchestrator::new(0xC10_5732, 4);
+        for f in funcs {
+            cluster.register(f);
+            cluster.invoke_record(f);
+        }
+        cluster.fail_shard(cluster.shard_of(funcs[0]));
+        // Shared identities: failover routing re-homes a *function*, and
+        // the shadow identities of independent requests never re-route.
+        let reqs: Vec<ColdRequest> = (0..64)
+            .map(|i| ColdRequest::shared(funcs[i % funcs.len()], ColdPolicy::Reap))
+            .collect();
+        r.add(dead_name, || {
+            let batch = cluster.invoke_concurrent(&reqs);
+            assert_eq!(batch.outcomes.len(), 64, "no request dropped");
+        });
+    }
+}
+
 fn bench_timeline(r: &mut Report, fs: &FileStore) {
     if !r.wants("timeline/2000_serial_faults") {
         return;
@@ -719,6 +792,7 @@ fn main() {
     bench_fault_path(&mut report, &fs, &pages);
     bench_timeline(&mut report, &fs);
     bench_cluster(&mut report);
+    bench_fault_recovery(&mut report);
     assert!(
         !report.entries.is_empty(),
         "--filter matched no benchmark group"

@@ -61,7 +61,7 @@
 pub mod orchestrator;
 pub mod sweep;
 
-pub use orchestrator::{ClusterBatch, ClusterOrchestrator, ColdRequest};
+pub use orchestrator::{ClusterBatch, ClusterOrchestrator, ColdRequest, ShardHealth};
 pub use sweep::{cluster_concurrent, shard_lane_sweep, ClusterScalePoint};
 
 use functionbench::FunctionId;

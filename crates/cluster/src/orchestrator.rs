@@ -1,17 +1,38 @@
 //! The sharded orchestrator and its concurrent serving path.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use functionbench::FunctionId;
 use sim_core::{SimDuration, SimTime};
-use sim_storage::{DeviceProfile, DiskStats, FileStore, FrameCacheStats, SnapshotFrameCache};
+use sim_storage::{
+    DeviceProfile, DiskStats, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope,
+    FileStore, FrameCacheStats, SnapshotFrameCache,
+};
 use vhive_core::{
     ColdPolicy, HostCostModel, InstanceFiles, InvocationOutcome, Orchestrator, PreparedCold,
-    RegisterInfo, ReapFiles,
+    RegisterInfo, ReapFiles, ShardUnavailable,
 };
 
 use crate::shard_for;
+
+/// One busy shard's slice of a concurrent batch: the shard's index, the
+/// shard itself, and its `(request index, request)` work list.
+type ShardWork<'a> = (usize, &'a mut Orchestrator, Vec<(usize, ColdRequest)>);
+
+/// Health of one shard, exposed in batch stats and steered around by the
+/// router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// Served at least one invocation only after transient-fault retries.
+    Degraded,
+    /// Storage unreachable; requests are routed past it and its functions
+    /// rebuilt on survivors.
+    Dead,
+}
 
 /// One cold invocation of a concurrent batch
 /// ([`ClusterOrchestrator::invoke_concurrent`]).
@@ -69,6 +90,8 @@ pub struct ClusterBatch {
     /// This is the axis sharding improves; simulated time is not affected
     /// by shard count (pinned by proptests).
     pub serve_wall: Duration,
+    /// Per-shard health after the batch (index = shard index).
+    pub shard_health: Vec<ShardHealth>,
 }
 
 /// The sharded control plane: N shards, each a full
@@ -78,6 +101,10 @@ pub struct ClusterBatch {
 pub struct ClusterOrchestrator {
     shards: Vec<Orchestrator>,
     seed: u64,
+    health: Vec<ShardHealth>,
+    /// Functions moved off their (dead) home shard, and where they live
+    /// now.
+    failover: HashMap<FunctionId, usize>,
 }
 
 impl ClusterOrchestrator {
@@ -113,8 +140,14 @@ impl ClusterOrchestrator {
                     frame_cache.clone(),
                 )
             })
-            .collect();
-        ClusterOrchestrator { shards, seed }
+            .collect::<Vec<_>>();
+        let health = vec![ShardHealth::Healthy; shards.len()];
+        ClusterOrchestrator {
+            shards,
+            seed,
+            health,
+            failover: HashMap::new(),
+        }
     }
 
     /// Number of shards.
@@ -127,9 +160,33 @@ impl ClusterOrchestrator {
         self.seed
     }
 
-    /// Home shard index of `f`.
+    /// Home shard index of `f` (the hash placement, health-blind).
     pub fn shard_of(&self, f: FunctionId) -> usize {
         shard_for(f, self.shards.len())
+    }
+
+    /// The shard `f` is actually served from: its failover placement if
+    /// it was moved off a dead home shard, else the first live shard at
+    /// or after its hash home (probing forward wraps around).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every shard is dead.
+    pub fn route_of(&self, f: FunctionId) -> usize {
+        if let Some(&s) = self.failover.get(&f) {
+            if self.health[s] != ShardHealth::Dead {
+                return s;
+            }
+        }
+        let home = self.shard_of(f);
+        let n = self.shards.len();
+        for k in 0..n {
+            let idx = (home + k) % n;
+            if self.health[idx] != ShardHealth::Dead {
+                return idx;
+            }
+        }
+        panic!("all {n} shards are dead; nowhere to route {f}")
     }
 
     /// The shard orchestrator at `index` (read-only).
@@ -141,14 +198,66 @@ impl ClusterOrchestrator {
         &self.shards[index]
     }
 
-    /// The home shard of `f` (read-only).
+    /// The shard currently serving `f` (read-only; routes past dead
+    /// shards).
     pub fn shard_for_fn(&self, f: FunctionId) -> &Orchestrator {
-        &self.shards[self.shard_of(f)]
+        &self.shards[self.route_of(f)]
     }
 
     fn home_mut(&mut self, f: FunctionId) -> &mut Orchestrator {
-        let idx = self.shard_of(f);
+        let idx = self.route_of(f);
+        // Routed off a dead home shard: move the function's state to the
+        // survivor first (no-op for fresh registrations — there is no
+        // state anywhere yet to rebuild from).
+        if idx != self.shard_of(f) && !self.shards[idx].is_registered(f) {
+            if let Some(meta) = self.rebuild_meta_for(f, idx) {
+                self.shards[idx].rebuild_from(f, meta);
+                self.failover.insert(f, idx);
+            }
+        }
         &mut self.shards[idx]
+    }
+
+    /// Rebuild directions for `f` from whichever shard still holds its
+    /// registry state in memory (a dead shard's registry survives its
+    /// storage blackout), excluding `dst` itself.
+    fn rebuild_meta_for(&self, f: FunctionId, dst: usize) -> Option<vhive_core::RebuildMeta> {
+        (0..self.shards.len())
+            .filter(|&k| k != dst)
+            .find_map(|k| self.shards[k].export_rebuild_meta(f))
+    }
+
+    /// Health of shard `index`.
+    pub fn shard_health(&self, index: usize) -> ShardHealth {
+        self.health[index]
+    }
+
+    /// Per-shard health, index = shard index.
+    pub fn health(&self) -> &[ShardHealth] {
+        &self.health
+    }
+
+    /// Kills shard `index`: marks it [`ShardHealth::Dead`] and blacks out
+    /// its snapshot store (every fault-aware access fails, files present
+    /// as gone), exactly the signature of a worker losing its disk. Any
+    /// injector previously attached to that store is replaced. The
+    /// router steers around the shard; queued requests re-route and its
+    /// functions are rebuilt on survivors on first use.
+    pub fn fail_shard(&mut self, index: usize) {
+        self.health[index] = ShardHealth::Dead;
+        let blackout = FaultInjector::new(FaultPlan::new().rule(FaultRule::new(
+            FaultScope::Namespace(index as u32),
+            FaultKind::Blackout,
+        )));
+        self.shards[index].fs().attach_injector(Arc::new(blackout));
+    }
+
+    /// Revives shard `index`: detaches the blackout and marks it healthy
+    /// again. Functions moved off it keep their failover placement (their
+    /// state lives on the survivor now).
+    pub fn revive_shard(&mut self, index: usize) {
+        self.shards[index].fs().detach_injector();
+        self.health[index] = ShardHealth::Healthy;
     }
 
     /// The shared host cost model (shards are kept uniform; reads come
@@ -287,9 +396,23 @@ impl ClusterOrchestrator {
     /// concurrency emerges across shard boundaries, exactly as instances
     /// on one worker share the device in §6.5.
     ///
+    /// ## Failover
+    ///
+    /// A shard whose snapshot store is unreachable (blackout, persistent
+    /// faults) fails its requests with [`ShardUnavailable`]; the batch
+    /// marks the shard [`ShardHealth::Dead`], rebuilds the affected
+    /// functions on the next live shard (same seed ⇒ bit-identical
+    /// snapshot; the record invocation replays at its pinned seq), and
+    /// re-queues the failed requests there in their original order — no
+    /// request is ever dropped, and re-routed requests complete with the
+    /// same simulated outcome the fault-free run would have produced
+    /// (only [`InvocationOutcome::recovery`] differs). Shards that needed
+    /// transient-fault retries are marked [`ShardHealth::Degraded`].
+    ///
     /// # Panics
     ///
-    /// As [`Orchestrator::invoke_cold`] for any individual request.
+    /// As [`Orchestrator::invoke_cold`] for any individual request, or if
+    /// every shard dies before the batch can be placed.
     pub fn invoke_concurrent(&mut self, reqs: &[ColdRequest]) -> ClusterBatch {
         let started = Instant::now();
         if reqs.is_empty() {
@@ -298,50 +421,130 @@ impl ClusterOrchestrator {
                 disk_stats: DiskStats::default(),
                 makespan: SimDuration::ZERO,
                 serve_wall: started.elapsed(),
+                shard_health: self.health.clone(),
             };
         }
-        // Group requests by home shard, preserving input order per shard.
-        let num_shards = self.shards.len();
-        let mut per_shard: Vec<Vec<(usize, ColdRequest)>> = vec![Vec::new(); num_shards];
-        for (i, r) in reqs.iter().enumerate() {
-            per_shard[shard_for(r.function, num_shards)].push((i, *r));
-        }
-        // Pair every busy shard with its work list, in shard order.
-        let mut work: Vec<(&mut Orchestrator, Vec<(usize, ColdRequest)>)> = self
-            .shards
-            .iter_mut()
-            .zip(per_shard)
-            .filter(|(_, w)| !w.is_empty())
-            .collect();
-
-        let lanes = sim_core::effective_lanes(work.len());
-        let mut prepared: Vec<(usize, PreparedCold)> = if lanes <= 1 || work.len() <= 1 {
-            prepare_lane(work)
-        } else {
-            let weights: Vec<u64> = work.iter().map(|(_, w)| w.len() as u64).collect();
-            let ranges = sim_core::partition_by_weight(&weights, lanes);
-            std::thread::scope(|s| {
-                let mut handles = Vec::with_capacity(ranges.len());
-                // Peel lane groups off the tail so each thread owns a
-                // disjoint, contiguous slice of the busy shards.
-                for &(start, end) in ranges.iter().rev() {
-                    let lane_work = work.split_off(start);
-                    debug_assert_eq!(lane_work.len(), end - start);
-                    handles.push(s.spawn(move || prepare_lane(lane_work)));
+        let n = reqs.len();
+        let mut slots: Vec<Option<PreparedCold>> = (0..n).map(|_| None).collect();
+        let mut rerouted = vec![false; n];
+        let mut rebuilt = vec![false; n];
+        // Every request starts pending; failed ones re-queue for the next
+        // round. Each extra round kills at least one shard, so the round
+        // count is bounded by the shard count.
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut rounds = 0usize;
+        while !pending.is_empty() {
+            assert!(
+                rounds <= self.shards.len(),
+                "cold batch undeliverable: no live shard can serve it"
+            );
+            rounds += 1;
+            // Group pending requests by routed shard, preserving input
+            // order per shard.
+            let num_shards = self.shards.len();
+            let mut per_shard: Vec<Vec<(usize, ColdRequest)>> = vec![Vec::new(); num_shards];
+            for &i in &pending {
+                let f = reqs[i].function;
+                let dst = self.route_of(f);
+                if dst != self.shard_of(f) {
+                    // Served off its hash home (the home is dead, or the
+                    // function failed over in an earlier batch): pin the
+                    // placement and rebuild the function's state on the
+                    // survivor if it never lived there (same seed ⇒
+                    // bit-identical snapshot; the record replays at its
+                    // pinned seq).
+                    if !self.shards[dst].is_registered(f) {
+                        let meta = self.rebuild_meta_for(f, dst).unwrap_or_else(|| {
+                            panic!("{f} is registered on no shard; cannot rebuild")
+                        });
+                        self.shards[dst].rebuild_from(f, meta);
+                        rebuilt[i] = true;
+                        rerouted[i] = true;
+                    }
+                    self.failover.insert(f, dst);
                 }
-                debug_assert!(work.is_empty());
-                handles
-                    .into_iter()
-                    .rev()
-                    .flat_map(|h| h.join().expect("shard lane panicked"))
-                    .collect()
-            })
-        };
-        // Reassemble request order (lanes return shard-grouped chunks).
-        prepared.sort_by_key(|&(i, _)| i);
+                per_shard[dst].push((i, reqs[i]));
+            }
+            // Pair every busy shard with its work list, in shard order.
+            let mut work: Vec<ShardWork<'_>> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .zip(per_shard)
+                .filter(|(_, w)| !w.is_empty())
+                .map(|((k, shard), w)| (k, shard, w))
+                .collect();
+
+            let lanes = sim_core::effective_lanes(work.len());
+            let results: Vec<(usize, usize, Result<PreparedCold, ShardUnavailable>)> =
+                if lanes <= 1 || work.len() <= 1 {
+                    prepare_lane(work)
+                } else {
+                    let weights: Vec<u64> = work.iter().map(|(_, _, w)| w.len() as u64).collect();
+                    let ranges = sim_core::partition_by_weight(&weights, lanes);
+                    std::thread::scope(|s| {
+                        let mut handles = Vec::with_capacity(ranges.len());
+                        // Peel lane groups off the tail so each thread owns
+                        // a disjoint, contiguous slice of the busy shards.
+                        for &(start, end) in ranges.iter().rev() {
+                            let lane_work = work.split_off(start);
+                            debug_assert_eq!(lane_work.len(), end - start);
+                            handles.push(s.spawn(move || prepare_lane(lane_work)));
+                        }
+                        debug_assert!(work.is_empty());
+                        handles
+                            .into_iter()
+                            .rev()
+                            .flat_map(|h| h.join().expect("shard lane panicked"))
+                            .collect()
+                    })
+                };
+
+            let mut requeue: Vec<usize> = Vec::new();
+            for (i, shard_idx, res) in results {
+                match res {
+                    Ok(p) => {
+                        if p.recovery().transient_retries > 0
+                            && self.health[shard_idx] == ShardHealth::Healthy
+                        {
+                            self.health[shard_idx] = ShardHealth::Degraded;
+                        }
+                        slots[i] = Some(p);
+                    }
+                    Err(_) => {
+                        // The shard's store is unreachable: declare it dead
+                        // (replacing any scoped injector with a full
+                        // blackout) and re-queue the request.
+                        if self.health[shard_idx] != ShardHealth::Dead {
+                            self.fail_shard(shard_idx);
+                        }
+                        rerouted[i] = true;
+                        requeue.push(i);
+                    }
+                }
+            }
+            // Failed requests go back in input order; the next round's
+            // routing pass re-homes them (and rebuilds their functions)
+            // on the surviving shards.
+            requeue.sort_unstable();
+            pending = requeue;
+        }
+
+        let mut prepared: Vec<PreparedCold> = slots
+            .into_iter()
+            .map(|p| p.expect("every request prepared"))
+            .collect();
+        for (i, p) in prepared.iter_mut().enumerate() {
+            if rerouted[i] {
+                p.recovery_mut().rerouted = true;
+            }
+            if rebuilt[i] {
+                p.recovery_mut().rebuilt = true;
+            }
+        }
 
         // One shared disk + CPU pool for the whole batch.
-        let programs = prepared.iter_mut().map(|(_, p)| p.take_program()).collect();
+        let programs = prepared.iter_mut().map(|p| p.take_program()).collect();
         let mut tl = self.shards[0].timeline();
         let results = tl.run(programs);
         let disk_stats = tl.disk_stats();
@@ -350,7 +553,7 @@ impl ClusterOrchestrator {
         let outcomes = prepared
             .into_iter()
             .zip(results)
-            .map(|((_, p), r)| {
+            .map(|(p, r)| {
                 makespan = makespan.max(r.end - SimTime::ZERO);
                 p.into_outcome(r, disk_stats)
             })
@@ -360,24 +563,30 @@ impl ClusterOrchestrator {
             disk_stats,
             makespan,
             serve_wall: started.elapsed(),
+            shard_health: self.health.clone(),
         }
     }
 }
 
 /// Runs one lane's shards sequentially: every request's functional pass +
-/// program compilation, in input order per shard.
+/// program compilation, in input order per shard. Returns
+/// `(request index, shard index, prepared-or-unavailable)` — a shard that
+/// cannot serve (storage blackout, persistent faults) yields errors for
+/// the caller's failover round instead of panicking the lane. Shadow
+/// (`independent`) requests have no fallible twin; they model concurrency
+/// experiments and keep the panicking path.
 fn prepare_lane(
-    work: Vec<(&mut Orchestrator, Vec<(usize, ColdRequest)>)>,
-) -> Vec<(usize, PreparedCold)> {
-    let mut out = Vec::with_capacity(work.iter().map(|(_, w)| w.len()).sum());
-    for (shard, reqs) in work {
+    work: Vec<ShardWork<'_>>,
+) -> Vec<(usize, usize, Result<PreparedCold, ShardUnavailable>)> {
+    let mut out = Vec::with_capacity(work.iter().map(|(_, _, w)| w.len()).sum());
+    for (shard_idx, shard, reqs) in work {
         for (i, r) in reqs {
-            let prepared = if r.independent {
-                shard.prepare_cold_shadow(r.function, r.policy, r.arrival)
+            let res = if r.independent {
+                Ok(shard.prepare_cold_shadow(r.function, r.policy, r.arrival))
             } else {
-                shard.prepare_cold(r.function, r.policy, r.arrival)
+                shard.try_prepare_cold(r.function, r.policy, r.arrival)
             };
-            out.push((i, prepared));
+            out.push((i, shard_idx, res));
         }
     }
     out

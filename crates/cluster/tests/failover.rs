@@ -1,0 +1,225 @@
+//! Cluster failover and degraded-mode tests: shard blackouts, vanishing
+//! artifacts and transient storage faults must never drop a request.
+//! Every completed invocation's simulated outcome stays byte-identical
+//! to the fault-free run of its *effective* policy — recovery work is
+//! visible only in the [`InvocationOutcome::recovery`] ledger and in the
+//! per-shard health report.
+
+use std::sync::Arc;
+
+use functionbench::FunctionId;
+use sim_storage::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
+use vhive_cluster::{ClusterOrchestrator, ColdRequest, ShardHealth};
+use vhive_core::{ColdPolicy, InvocationOutcome, RecoveryReport};
+
+const FUNCS: [FunctionId; 2] = [FunctionId::helloworld, FunctionId::pyaes];
+
+/// Registers + records `FUNCS` on a fresh cluster.
+fn prepared_cluster(seed: u64, shards: usize) -> ClusterOrchestrator {
+    let mut c = ClusterOrchestrator::new(seed, shards);
+    for f in FUNCS {
+        c.register(f);
+        c.invoke_record(f);
+    }
+    c
+}
+
+/// Debug rendering with the recovery ledger normalised away — the
+/// equality the chaos invariant is stated over.
+fn normalized(outcome: &InvocationOutcome) -> String {
+    let mut o = outcome.clone();
+    o.recovery = RecoveryReport::default();
+    format!("{o:?}")
+}
+
+/// One shared REAP request per function. Distinct functions keep batch
+/// outcomes placement-independent: same-function shared requests alias
+/// page-cache state (their FileIds), which re-routing would split.
+fn reap_batch() -> Vec<ColdRequest> {
+    FUNCS
+        .iter()
+        .map(|&f| ColdRequest::shared(f, ColdPolicy::Reap))
+        .collect()
+}
+
+fn attach(c: &ClusterOrchestrator, shard: usize, rule: FaultRule) {
+    c.shard(shard)
+        .fs()
+        .attach_injector(Arc::new(FaultInjector::new(FaultPlan::new().rule(rule))));
+}
+
+#[test]
+fn dead_shard_reroutes_and_rebuilds_without_dropping_requests() {
+    let seed = 21;
+    let shards = 3;
+    let mut r = prepared_cluster(seed, shards);
+    let reference = r.invoke_concurrent(&reap_batch());
+
+    let mut c = prepared_cluster(seed, shards);
+    let dead = c.shard_of(FUNCS[0]);
+    c.fail_shard(dead);
+    let batch = c.invoke_concurrent(&reap_batch());
+
+    assert_eq!(batch.outcomes.len(), FUNCS.len(), "no request dropped");
+    assert_eq!(batch.shard_health[dead], ShardHealth::Dead);
+    for ((out, rout), &f) in batch.outcomes.iter().zip(&reference.outcomes).zip(&FUNCS) {
+        let was_homed_on_dead = c.shard_of(f) == dead;
+        assert_eq!(out.recovery.rerouted, was_homed_on_dead, "{f}");
+        assert_eq!(out.recovery.rebuilt, was_homed_on_dead, "{f}");
+        assert_eq!(out.policy, Some(ColdPolicy::Reap), "no fallback needed");
+        assert_eq!(normalized(out), normalized(rout), "{f}");
+    }
+
+    // The failover placement is sticky: later delegated singles route to
+    // the survivor and serve cleanly, matching the fault-free world.
+    assert_ne!(c.route_of(FUNCS[0]), dead);
+    let single = c.invoke_cold(FUNCS[0], ColdPolicy::Reap);
+    assert!(single.recovery.is_clean());
+    assert_eq!(
+        normalized(&single),
+        normalized(&r.invoke_cold(FUNCS[0], ColdPolicy::Reap))
+    );
+}
+
+#[test]
+fn revived_shard_keeps_failover_placement() {
+    let mut c = prepared_cluster(22, 3);
+    let dead = c.shard_of(FUNCS[0]);
+    c.fail_shard(dead);
+    let _ = c.invoke_concurrent(&reap_batch());
+    let survivor = c.route_of(FUNCS[0]);
+    assert_ne!(survivor, dead);
+
+    c.revive_shard(dead);
+    assert_eq!(c.shard_health(dead), ShardHealth::Healthy);
+    // The function's live state (registry, artifacts, seq counters) moved
+    // to the survivor; routing must not snap back to the stale home.
+    assert_eq!(c.route_of(FUNCS[0]), survivor);
+    assert!(c.invoke_cold(FUNCS[0], ColdPolicy::Reap).recovery.is_clean());
+}
+
+#[test]
+fn delegated_single_survives_home_shard_death() {
+    let mut r = prepared_cluster(26, 3);
+    let mut c = prepared_cluster(26, 3);
+    let dead = c.shard_of(FUNCS[0]);
+    c.fail_shard(dead);
+    // No batch in between: the delegation path itself must rebuild the
+    // function on the survivor before serving.
+    let out = c.invoke_cold(FUNCS[0], ColdPolicy::Reap);
+    assert_eq!(
+        normalized(&out),
+        normalized(&r.invoke_cold(FUNCS[0], ColdPolicy::Reap))
+    );
+    assert_ne!(c.route_of(FUNCS[0]), dead);
+}
+
+#[test]
+fn transient_faults_mark_the_shard_degraded_not_dead() {
+    let seed = 23;
+    let mut r = prepared_cluster(seed, 2);
+    let reference = r.invoke_concurrent(&reap_batch());
+
+    let mut c = prepared_cluster(seed, 2);
+    let idx = c.route_of(FUNCS[0]);
+    attach(
+        &c,
+        idx,
+        FaultRule::new(
+            FaultScope::NameContains(format!("snapshots/{}/vmm_state", FUNCS[0])),
+            FaultKind::TransientError,
+        )
+        .count(2),
+    );
+    let batch = c.invoke_concurrent(&reap_batch());
+
+    assert_eq!(batch.shard_health[idx], ShardHealth::Degraded);
+    assert!(!batch.shard_health.contains(&ShardHealth::Dead));
+    assert_eq!(batch.outcomes[0].recovery.transient_retries, 2);
+    assert!(!batch.outcomes[0].recovery.rerouted, "retries stay local");
+    for (out, rout) in batch.outcomes.iter().zip(&reference.outcomes) {
+        assert_eq!(normalized(out), normalized(rout));
+    }
+}
+
+/// The unregister race, made deterministic: a function's REAP artifacts
+/// disappear from the store after the batch is accepted but before its
+/// prefetch runs — exactly what racing `unregister` against an in-flight
+/// concurrent batch produces. A true thread race would be flaky by
+/// construction; deleting the stored artifacts up front drives the
+/// identical code path (frame-cache load finds the file gone, the
+/// checked fallback read reports a dead file, the prepare loop
+/// quarantines and falls back to Vanilla) deterministically.
+#[test]
+fn ws_artifacts_vanishing_under_a_batch_fall_back_to_vanilla() {
+    let seed = 24;
+    let mut r = prepared_cluster(seed, 2);
+    let mut ref_reqs = reap_batch();
+    ref_reqs[0].policy = ColdPolicy::Vanilla;
+    let reference = r.invoke_concurrent(&ref_reqs);
+
+    let mut c = prepared_cluster(seed, 2);
+    let idx = c.route_of(FUNCS[0]);
+    for name in ["ws_trace", "ws_pages"] {
+        let id = c
+            .shard(idx)
+            .fs()
+            .open(&format!("snapshots/{}/{name}", FUNCS[0]))
+            .expect("recorded artifact exists");
+        assert!(c.shard(idx).fs().delete(id));
+    }
+    let batch = c.invoke_concurrent(&reap_batch());
+
+    let out = &batch.outcomes[0];
+    assert_eq!(out.policy, Some(ColdPolicy::Vanilla), "fell back");
+    assert!(out.recovery.quarantined);
+    assert!(out.recovery.fallback_vanilla);
+    assert!(!out.recovery.rerouted, "store is up; only the artifacts died");
+    assert_eq!(batch.shard_health[idx], ShardHealth::Healthy);
+    assert!(c.needs_rerecord(FUNCS[0]), "fallback schedules a re-record");
+
+    let clean = &batch.outcomes[1];
+    assert_eq!(clean.policy, Some(ColdPolicy::Reap));
+    assert!(clean.recovery.is_clean(), "siblings unaffected");
+    for (out, rout) in batch.outcomes.iter().zip(&reference.outcomes) {
+        assert_eq!(normalized(out), normalized(rout));
+    }
+}
+
+/// Partial storage loss: a blackout scoped to one function's REAP
+/// artifacts (the store keeps serving everything else). The affected
+/// request falls back to Vanilla on its home shard — scoped loss must
+/// not be escalated to whole-shard death.
+#[test]
+fn ws_scoped_blackout_falls_back_without_killing_the_shard() {
+    let seed = 25;
+    let mut r = prepared_cluster(seed, 2);
+    let mut ref_reqs = reap_batch();
+    ref_reqs[0].policy = ColdPolicy::Vanilla;
+    let reference = r.invoke_concurrent(&ref_reqs);
+
+    let mut c = prepared_cluster(seed, 2);
+    let idx = c.route_of(FUNCS[0]);
+    attach(
+        &c,
+        idx,
+        FaultRule::new(
+            FaultScope::NameContains(format!("snapshots/{}/ws_", FUNCS[0])),
+            FaultKind::Blackout,
+        ),
+    );
+    let batch = c.invoke_concurrent(&reap_batch());
+
+    let out = &batch.outcomes[0];
+    assert_eq!(out.policy, Some(ColdPolicy::Vanilla));
+    assert!(out.recovery.quarantined);
+    assert!(out.recovery.fallback_vanilla);
+    assert_eq!(
+        batch.shard_health[idx],
+        ShardHealth::Healthy,
+        "scoped artifact loss is not shard death"
+    );
+    for (out, rout) in batch.outcomes.iter().zip(&reference.outcomes) {
+        assert_eq!(normalized(out), normalized(rout));
+    }
+}

@@ -55,6 +55,7 @@ pub mod invocation;
 pub mod monitor;
 pub mod orchestrator;
 pub mod policy;
+pub mod recovery;
 pub mod report;
 pub mod rerandomize;
 pub mod router;
@@ -65,9 +66,10 @@ pub mod ws_file;
 pub use costs::HostCostModel;
 pub use detect::{contiguity, working_set_overlap, ContiguityStats, MispredictionReport, OverlapStats};
 pub use invocation::{Breakdown, ColdPolicy, InstanceFiles, InstanceProgram, Phase, TimedStep};
-pub use monitor::{Monitor, MonitorMode, MonitorStats};
+pub use monitor::{Monitor, MonitorMode, MonitorStats, PrefetchError};
 pub use orchestrator::{InvocationOutcome, Orchestrator, PreparedCold, RegisterInfo};
 pub use policy::{simulate_worker, FunctionCosts, KeepWarmPolicy, WorkerReport};
+pub use recovery::{AttemptError, RebuildMeta, RecoveryReport, RetryPolicy, ShardUnavailable};
 pub use rerandomize::{restore_rerandomized, LayoutPermutation, RerandomizedRun};
 pub use router::{route_workload, RouterConfig, RouterReport};
 pub use scale::{concurrency_sweep, lane_sweep, ScalePoint};

@@ -34,11 +34,55 @@
 //! [`MonitorStats`] and [`guest_mem::UffdStats`] are arithmetically
 //! identical with and without the cache (pinned by proptests).
 
+use std::fmt;
+
 use guest_mem::{push_coalesced, FaultEvent, MemError, PageIdx, PageRun, Uffd, PAGE_SIZE};
 use microvm::{FaultHandler, Snapshot};
-use sim_storage::{FileStore, SnapshotFrameCache};
+use sim_storage::{FileStore, SnapshotFrameCache, StorageError};
 
-use crate::ws_file::{read_ws_layout, write_reap_files_runs, ReapFiles};
+use crate::ws_file::{read_ws_layout, write_reap_files_runs, ReapFiles, WsError};
+
+/// Why a working-set prefetch failed — typed so the orchestrator's
+/// recovery policy can tell *retry* (transient storage fault) from
+/// *quarantine-and-fall-back* (corrupt artifact) from *route-elsewhere*
+/// (shard blackout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefetchError {
+    /// The store failed while reading the artifact (transient fault,
+    /// blackout, dead file). Says nothing about the artifact's contents.
+    Storage(StorageError),
+    /// The artifact's bytes are malformed (bad magic, truncation,
+    /// invalid extents). Either stored corruption — quarantine — or
+    /// corruption injected on the read path, which one retry heals.
+    Artifact(WsError),
+    /// Installing prefetched pages into guest memory failed (monitor
+    /// invariant violation — not recoverable by policy).
+    Install(String),
+}
+
+impl PrefetchError {
+    pub(crate) fn from_ws(e: WsError) -> Self {
+        // Hoist storage faults out of the parse error so class-based
+        // recovery never mistakes an unreadable artifact for a corrupt
+        // one.
+        match e {
+            WsError::Io(se) => PrefetchError::Storage(se),
+            other => PrefetchError::Artifact(other),
+        }
+    }
+}
+
+impl fmt::Display for PrefetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefetchError::Storage(e) => write!(f, "prefetch storage fault: {e}"),
+            PrefetchError::Artifact(e) => write!(f, "corrupt REAP artifact: {e}"),
+            PrefetchError::Install(s) => write!(f, "prefetch install failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefetchError {}
 
 /// Monitor operating mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,10 +193,11 @@ impl<'a> Monitor<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates [`crate::ws_file::WsError`] as a string if the WS file
-    /// is corrupt.
-    pub fn prefetch(&mut self, uffd: &mut Uffd, files: &ReapFiles) -> Result<u64, String> {
-        let layout = read_ws_layout(self.fs, files.ws_file).map_err(|e| e.to_string())?;
+    /// Returns a typed [`PrefetchError`]: [`PrefetchError::Artifact`] for
+    /// corrupt WS bytes, [`PrefetchError::Storage`] when the store cannot
+    /// serve the artifact (dead file, injected fault, blackout).
+    pub fn prefetch(&mut self, uffd: &mut Uffd, files: &ReapFiles) -> Result<u64, PrefetchError> {
+        let layout = read_ws_layout(self.fs, files.ws_file).map_err(PrefetchError::from_ws)?;
         for (run, data_at) in layout.extents {
             let install = if let Some(cache) = self.cache {
                 // Frame-cache path: first cold start of this WS file
@@ -162,13 +207,16 @@ impl<'a> Monitor<'a> {
                 match cache.get_or_load(self.fs, files.ws_file, data_at, run.byte_len()) {
                     Ok(src) => uffd.alias_run(run, &src, 0),
                     // The WS file died mid-pass (an unregister racing
-                    // this cold start): degrade to a plain store read;
-                    // if that is gone too, fail the prefetch cleanly
-                    // instead of poisoning the serving thread.
-                    Err(gone) => match self.fs.try_read_at(files.ws_file, data_at, run.byte_len() as usize) {
-                        Some(src) => uffd.copy_run(run, &src),
-                        None => return Err(format!("prefetch install failed: {gone}")),
-                    },
+                    // this cold start, or a blackout): degrade to a plain
+                    // store read; if that is gone too, fail the prefetch
+                    // cleanly — with the *typed* storage fault — instead
+                    // of poisoning the serving thread.
+                    Err(_gone) => {
+                        match self.fs.checked_read_at(files.ws_file, data_at, run.byte_len() as usize) {
+                            Ok(src) => uffd.copy_run(run, &src),
+                            Err(e) => return Err(PrefetchError::Storage(e)),
+                        }
+                    }
                 }
             } else {
                 // Install straight from the WS file's bytes: one copy per
@@ -178,7 +226,7 @@ impl<'a> Monitor<'a> {
                         uffd.copy_run(run, src)
                     })
             }
-            .map_err(|e| format!("prefetch install failed: {e}"))?;
+            .map_err(|e| PrefetchError::Install(e.to_string()))?;
             self.stats.prefetched += install.installed;
             self.stats.eexist_races += install.eexist;
         }
@@ -220,12 +268,12 @@ impl<'a> Monitor<'a> {
         uffd: &mut Uffd,
         files: &ReapFiles,
         lanes: usize,
-    ) -> Result<u64, String> {
+    ) -> Result<u64, PrefetchError> {
         if lanes <= 1 {
             return self.prefetch(uffd, files);
         }
         if let Some(cache) = self.cache {
-            let layout = read_ws_layout(self.fs, files.ws_file).map_err(|e| e.to_string())?;
+            let layout = read_ws_layout(self.fs, files.ws_file).map_err(PrefetchError::from_ws)?;
             if layout
                 .extents
                 .iter()
@@ -242,7 +290,7 @@ impl<'a> Monitor<'a> {
             // sequential serve — stats are identical on every route
             // (pinned by the lane- and cache-equivalence proptests).
         }
-        let layout = read_ws_layout(self.fs, files.ws_file).map_err(|e| e.to_string())?;
+        let layout = read_ws_layout(self.fs, files.ws_file).map_err(PrefetchError::from_ws)?;
 
         // Split every extent into its missing sub-runs (bulk-installed by
         // the lanes) and its already-resident pages (served per page so
@@ -283,7 +331,7 @@ impl<'a> Monitor<'a> {
                     .collect();
                 fs.read_ranges_into(ws_file, lane_jobs, lanes);
             })
-            .map_err(|e| format!("prefetch install failed: {e}"))?;
+            .map_err(|e| PrefetchError::Install(e.to_string()))?;
         self.stats.prefetched += installed;
 
         // Attempt the resident pages exactly as the sequential per-page
@@ -293,7 +341,7 @@ impl<'a> Monitor<'a> {
             match uffd.copy(page, &data) {
                 Err(MemError::AlreadyResident(_)) => self.stats.eexist_races += 1,
                 Ok(()) => unreachable!("page {page} was resident during the split"),
-                Err(e) => return Err(format!("prefetch install failed: {e}")),
+                Err(e) => return Err(PrefetchError::Install(e.to_string())),
             }
         }
         uffd.wake();

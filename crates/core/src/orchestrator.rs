@@ -12,13 +12,16 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use functionbench::{FunctionId, GuestOp, InputGenerator};
-use guest_mem::{PageBitmap, PageIdx, PageRun};
+use guest_mem::{fnv1a64, PageBitmap, PageIdx, PageRun};
 use microvm::{
     run_lazy, run_resident, verify_restored_cached, BootCostModel, ExecutionTrace, FaultHandler,
     MicroVm, Snapshot, VmConfig,
 };
 use sim_core::{SimDuration, SimTime};
-use sim_storage::{DeviceProfile, Disk, DiskStats, FileStore, FrameCacheStats, SnapshotFrameCache};
+use sim_storage::{
+    DeviceProfile, Disk, DiskStats, FaultClass, FileStore, FrameCacheStats, SnapshotFrameCache,
+    StorageError,
+};
 
 use crate::costs::HostCostModel;
 use crate::detect::MispredictionReport;
@@ -26,7 +29,8 @@ use crate::invocation::{
     build_cold_program, build_warm_program, Breakdown, ColdPolicy, ColdRunSpec, InstanceFiles,
     InstanceProgram,
 };
-use crate::monitor::{Monitor, MonitorMode, MonitorStats};
+use crate::monitor::{Monitor, MonitorMode, MonitorStats, PrefetchError};
+use crate::recovery::{AttemptError, RebuildMeta, RecoveryReport, RetryPolicy, ShardUnavailable};
 use crate::timeline::Timeline;
 use crate::ws_file::{read_trace_file, read_trace_runs, ReapFiles};
 
@@ -81,12 +85,30 @@ pub struct PreparedCold {
     recorded: bool,
     run: FunctionalRun,
     misprediction: Option<MispredictionReport>,
+    recovery: RecoveryReport,
 }
 
 impl PreparedCold {
     /// The invoked function.
     pub fn function(&self) -> FunctionId {
         self.function
+    }
+
+    /// The policy the invocation actually ran under (a quarantined
+    /// artifact downgrades prefetch policies to Vanilla).
+    pub fn policy(&self) -> ColdPolicy {
+        self.policy
+    }
+
+    /// Recovery work done so far for this invocation.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Mutable recovery report — the cluster layer stamps re-route and
+    /// rebuild flags here after failover.
+    pub fn recovery_mut(&mut self) -> &mut RecoveryReport {
+        &mut self.recovery
     }
 
     /// The compiled timed program (arrival embedded).
@@ -122,6 +144,7 @@ impl PreparedCold {
             result,
             disk_stats,
             self.misprediction,
+            self.recovery,
         )
     }
 }
@@ -159,6 +182,9 @@ pub struct InvocationOutcome {
     pub misprediction: Option<MispredictionReport>,
     /// Disk counters of the timed pass.
     pub disk_stats: DiskStats,
+    /// Recovery work needed to complete this invocation (all-default on
+    /// the fault-free path; see [`RecoveryReport`]).
+    pub recovery: RecoveryReport,
 }
 
 #[derive(Debug)]
@@ -173,6 +199,15 @@ struct FunctionState {
     warm: Option<MicroVm>,
     /// Snapshot generation (bumped by §7.3's periodic re-generation).
     generation: u64,
+    /// FNV-1a digests of the (trace, ws) artifact bytes at record time,
+    /// for silent-corruption detection (see `set_verify_artifacts`).
+    artifact_digest: Option<(u64, u64)>,
+    /// The REAP artifacts were found corrupt and must not be prefetched
+    /// until re-recorded; prefetch policies fall back to Vanilla.
+    quarantined: bool,
+    /// Input seq of the latest record invocation (replayed to rebuild
+    /// artifacts on a surviving shard after failover).
+    recorded_seq: Option<u64>,
 }
 
 /// The orchestrator: control plane + data-plane router of one worker.
@@ -200,6 +235,12 @@ pub struct Orchestrator {
     /// When false, monitors copy from the store as they did before the
     /// cache existed (the equivalence proptests pin both paths).
     frame_cache_enabled: bool,
+    /// Bounded-backoff schedule for transient storage faults.
+    retry_policy: RetryPolicy,
+    /// When true, prefetch invocations digest-check the REAP artifacts
+    /// against their record-time digests before use (catches *silent*
+    /// corruption of the stored bytes; off by default).
+    verify_artifacts: bool,
     functions: HashMap<FunctionId, FunctionState>,
 }
 
@@ -246,8 +287,30 @@ impl Orchestrator {
             next_shadow_tag: 0,
             frame_cache,
             frame_cache_enabled: true,
+            retry_policy: RetryPolicy::default(),
+            verify_artifacts: false,
             functions: HashMap::new(),
         }
+    }
+
+    /// Sets the transient-fault retry schedule (see [`RetryPolicy`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The transient-fault retry schedule in use.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
+    }
+
+    /// Enables digest verification of REAP artifacts before every
+    /// prefetch invocation: the trace/WS bytes are re-hashed and compared
+    /// against their record-time digests; a mismatch (silent corruption
+    /// of the stored bytes) quarantines the artifacts, serves the request
+    /// as a Vanilla cold start, and flags the function for re-record.
+    /// Off by default — verification reads both artifacts in full.
+    pub fn set_verify_artifacts(&mut self, on: bool) {
+        self.verify_artifacts = on;
     }
 
     /// Enables §7.2's automatic re-record fallback: when a prefetch
@@ -395,6 +458,9 @@ impl Orchestrator {
                 needs_rerecord: false,
                 warm: None,
                 generation,
+                artifact_digest: None,
+                quarantined: false,
+                recorded_seq: None,
             },
         );
         RegisterInfo {
@@ -449,27 +515,119 @@ impl Orchestrator {
     }
 
     /// Runs the functional pass of one cold invocation in the given
-    /// monitor mode. Record mode writes the REAP files and stores them.
+    /// monitor mode, retrying transient faults per the orchestrator's
+    /// [`RetryPolicy`]. Record mode writes the REAP files and stores
+    /// them.
     ///
     /// # Panics
     ///
     /// Panics if `f` is unregistered, if prefetch mode is requested
-    /// without recorded files, or if restoration fails verification.
+    /// without recorded files, if restoration fails verification, or on
+    /// an unrecoverable storage fault — the fallible twin is the recovery
+    /// loop inside [`try_prepare_cold`](Self::try_prepare_cold).
     pub fn functional_cold(&mut self, f: FunctionId, mode: MonitorMode) -> FunctionalRun {
+        let seq = self.acquire_seq(f);
+        let mut recovery = RecoveryReport::default();
+        self.functional_recovering(f, mode, seq, &mut recovery)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Claims the next input sequence number of `f`.
+    fn acquire_seq(&mut self, f: FunctionId) -> u64 {
+        let st = self.state_mut(f);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        seq
+    }
+
+    /// Returns `f`'s consumed seq if the invocation moves to another
+    /// shard, and renders the failure as a [`ShardUnavailable`]. The
+    /// re-routed request then completes with the seq it would have had
+    /// fault-free.
+    fn surrender_seq(&mut self, f: FunctionId, seq: u64, e: AttemptError) -> ShardUnavailable {
+        let st = self.state_mut(f);
+        if st.next_seq == seq + 1 {
+            st.next_seq = seq;
+        }
+        ShardUnavailable {
+            function: f,
+            detail: e.to_string(),
+        }
+    }
+
+    /// Retry loop around [`functional_attempt`](Self::functional_attempt):
+    /// transient faults back off (virtual time, accumulated in
+    /// `recovery.retry_delay`) up to the policy's bound; a corrupt-artifact
+    /// parse gets one reload (wire corruption heals on a re-read, stored
+    /// corruption persists into the caller's quarantine path); everything
+    /// else returns immediately for the caller to handle.
+    fn functional_recovering(
+        &mut self,
+        f: FunctionId,
+        mode: MonitorMode,
+        seq: u64,
+        recovery: &mut RecoveryReport,
+    ) -> Result<FunctionalRun, AttemptError> {
+        let mut transient_attempts = 0u32;
+        let mut corrupt_retried = false;
+        loop {
+            let err = match self.functional_attempt(f, mode, seq) {
+                Ok(run) => return Ok(run),
+                Err(e) => e,
+            };
+            let transient = matches!(&err, AttemptError::Restore(FaultClass::Transient, _))
+                || matches!(&err, AttemptError::Prefetch(PrefetchError::Storage(se))
+                    if se.class() == FaultClass::Transient);
+            if transient {
+                if transient_attempts < self.retry_policy.max_retries {
+                    recovery.transient_retries += 1;
+                    recovery.retry_delay += self.retry_policy.delay_for(transient_attempts);
+                    transient_attempts += 1;
+                    continue;
+                }
+                return Err(err);
+            }
+            if matches!(&err, AttemptError::Prefetch(PrefetchError::Artifact(_)))
+                && !corrupt_retried
+            {
+                // One reload: corruption injected on the wire heals on a
+                // re-read (its fault budget is spent); corruption in the
+                // stored bytes persists and falls through to quarantine.
+                corrupt_retried = true;
+                recovery.corrupt_reloads += 1;
+                continue;
+            }
+            return Err(err);
+        }
+    }
+
+    /// One attempt at the functional pass, with the input seq pinned by
+    /// the caller (retries and fallbacks replay the same seq, so the
+    /// completed invocation is indistinguishable from a fault-free run).
+    fn functional_attempt(
+        &mut self,
+        f: FunctionId,
+        mode: MonitorMode,
+        seq: u64,
+    ) -> Result<FunctionalRun, AttemptError> {
         let fs = self.fs.clone();
         let cache = self.frame_cache_enabled.then(|| self.frame_cache.clone());
-        let (snapshot, reap, input, seq) = {
-            let st = self.state_mut(f);
-            let input = st.inputs.input(st.next_seq);
-            let seq = st.next_seq;
-            st.next_seq += 1;
+        let (snapshot, reap, input) = {
+            let st = self.state(f);
             // Arc bump, not a deep copy: snapshot metadata is shared with
             // the registry for the whole invocation.
-            (Arc::clone(&st.snapshot), st.reap, input, seq)
+            (Arc::clone(&st.snapshot), st.reap, st.inputs.input(seq))
         };
-        let mut vm = snapshot
-            .restore_shell(&fs)
-            .expect("snapshot restore failed");
+        let mut vm = match snapshot.restore_shell(&fs) {
+            Ok(vm) => vm,
+            Err(msg) => {
+                // A classified storage fault is recoverable; anything else
+                // (a VMM state checksum mismatch) is a correctness bug.
+                let class = StorageError::classify_str(&msg)
+                    .unwrap_or_else(|| panic!("snapshot restore failed: {msg}"));
+                return Err(AttemptError::Restore(class, msg));
+            }
+        };
         let mut monitor = Monitor::with_cache(&snapshot, &fs, mode, cache.as_deref());
 
         // §5.2.1: the hypervisor injects the first fault at byte zero so
@@ -486,7 +644,14 @@ impl Orchestrator {
             let files = reap.expect("prefetch mode requires recorded REAP files");
             monitor
                 .prefetch_lanes(vm.uffd_mut(), &files, self.prefetch_lanes)
-                .expect("WS file prefetch");
+                .map_err(AttemptError::Prefetch)?;
+            // The trace artifact feeds misprediction detection (and
+            // ParallelPF's timed program) through infallible readers
+            // downstream: validate it here, on the fault-aware path, so a
+            // corrupt or vanished trace quarantines + falls back instead
+            // of crashing mid-invocation.
+            read_trace_runs(&self.fs, files.trace_file)
+                .map_err(|e| AttemptError::Prefetch(PrefetchError::from_ws(e)))?;
         }
 
         // Connection restoration: gRPC re-connect touches the TCP/accept
@@ -523,15 +688,21 @@ impl Orchestrator {
             // unservable; this frees the memory eagerly.
             self.frame_cache.invalidate_file(files.trace_file);
             self.frame_cache.invalidate_file(files.ws_file);
+            let digest = self.artifact_digests(files);
             let st = self.state_mut(f);
             st.reap = Some(files);
             st.needs_rerecord = false;
+            // Fresh artifacts lift any quarantine, and their record seq is
+            // pinned so a surviving shard can replay this exact recording.
+            st.quarantined = false;
+            st.recorded_seq = Some(seq);
+            st.artifact_digest = Some(digest);
             Some(files)
         } else {
             None
         };
 
-        FunctionalRun {
+        Ok(FunctionalRun {
             conn_trace,
             proc_trace,
             touched,
@@ -540,7 +711,97 @@ impl Orchestrator {
             footprint_bytes: vm.footprint_bytes(),
             input_seq: seq,
             recorded,
+        })
+    }
+
+    /// FNV-1a digests of the (trace, ws) artifact bytes, via the plain
+    /// (injection-free) read path — these hash what is *stored*, so
+    /// injected wire faults never poison the reference digests.
+    fn artifact_digests(&self, reap: ReapFiles) -> (u64, u64) {
+        let trace = self
+            .fs
+            .read_at(reap.trace_file, 0, self.fs.len(reap.trace_file) as usize);
+        let ws = self
+            .fs
+            .read_at(reap.ws_file, 0, self.fs.len(reap.ws_file) as usize);
+        (fnv1a64(&trace), fnv1a64(&ws))
+    }
+
+    /// True if `f`'s stored artifacts still hash to their record-time
+    /// digests (vacuously true with nothing recorded).
+    fn artifacts_intact(&self, f: FunctionId) -> bool {
+        let st = self.state(f);
+        match (st.reap, st.artifact_digest) {
+            (Some(reap), Some(digest)) => self.artifact_digests(reap) == digest,
+            _ => true,
         }
+    }
+
+    /// Quarantines `f`'s REAP artifacts: prefetch policies fall back to
+    /// Vanilla until the flagged re-record replaces them.
+    fn quarantine(&mut self, f: FunctionId) {
+        let st = self.state_mut(f);
+        st.quarantined = true;
+        st.needs_rerecord = true;
+        let reap = st.reap;
+        if let Some(reap) = reap {
+            // Cached extents may have been decoded from the corrupt bytes.
+            self.frame_cache.invalidate_file(reap.trace_file);
+            self.frame_cache.invalidate_file(reap.ws_file);
+        }
+    }
+
+    /// True if `f`'s REAP artifacts are quarantined (corrupt until
+    /// re-recorded).
+    pub fn is_quarantined(&self, f: FunctionId) -> bool {
+        self.functions.get(&f).is_some_and(|s| s.quarantined)
+    }
+
+    /// True if `f` is registered on this orchestrator.
+    pub fn is_registered(&self, f: FunctionId) -> bool {
+        self.functions.contains_key(&f)
+    }
+
+    /// Drains any injected device delays charged against `f`'s files into
+    /// the recovery ledger (virtual time; simulated outcomes unchanged).
+    fn drain_injected_delay(&self, f: FunctionId, recovery: &mut RecoveryReport) {
+        let Some(inj) = self.fs.injector() else {
+            return;
+        };
+        let st = self.state(f);
+        recovery.retry_delay += inj.take_delay(st.snapshot.mem_file);
+        recovery.retry_delay += inj.take_delay(st.snapshot.vmm_file);
+        if let Some(reap) = st.reap {
+            recovery.retry_delay += inj.take_delay(reap.trace_file);
+            recovery.retry_delay += inj.take_delay(reap.ws_file);
+        }
+    }
+
+    /// Everything a surviving shard needs to rebuild `f` after this
+    /// shard's storage is lost (`None` if `f` is not registered here).
+    /// The registry itself is in memory, so it survives a storage
+    /// blackout and can direct the rebuild.
+    pub fn export_rebuild_meta(&self, f: FunctionId) -> Option<RebuildMeta> {
+        self.functions.get(&f).map(|st| RebuildMeta {
+            generation: st.generation,
+            next_seq: st.next_seq,
+            recorded_seq: st.recorded_seq,
+        })
+    }
+
+    /// Rebuilds `f` from another shard's exported metadata: re-registers
+    /// at the same snapshot generation (shards share one seed, so the
+    /// snapshot is bit-identical), replays the original record invocation
+    /// at its pinned seq to reproduce the REAP artifacts, and resumes the
+    /// input sequence where the lost shard left off.
+    pub fn rebuild_from(&mut self, f: FunctionId, meta: RebuildMeta) -> RegisterInfo {
+        let info = self.register_generation(f, meta.generation);
+        if let Some(recorded_seq) = meta.recorded_seq {
+            self.state_mut(f).next_seq = recorded_seq;
+            let _ = self.functional_cold(f, MonitorMode::Record);
+        }
+        self.state_mut(f).next_seq = meta.next_seq;
+        info
     }
 
     /// Snapshot file handles of `f` for the timed pass.
@@ -719,7 +980,13 @@ impl Orchestrator {
         // makes them unservable; dropping them releases the memory).
         self.frame_cache.invalidate_file(files.trace_file);
         self.frame_cache.invalidate_file(files.ws_file);
-        self.state_mut(f).reap = Some(files);
+        let digest = self.artifact_digests(files);
+        let st = self.state_mut(f);
+        st.reap = Some(files);
+        // The padded artifacts are freshly written: re-baseline the
+        // corruption digests and lift any quarantine.
+        st.artifact_digest = Some(digest);
+        st.quarantined = false;
         files
     }
 
@@ -742,18 +1009,43 @@ impl Orchestrator {
     /// Prepares a record-mode cold invocation (functional pass + compiled
     /// program) without running the timed pass — see [`PreparedCold`].
     pub fn prepare_record(&mut self, f: FunctionId, arrival: SimTime) -> PreparedCold {
-        let run = self.functional_cold(f, MonitorMode::Record);
+        self.try_prepare_record(f, arrival)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`prepare_record`](Self::prepare_record):
+    /// transient storage faults retry with backoff; an unreachable store
+    /// returns [`ShardUnavailable`] (seq rolled back) for the cluster
+    /// layer to re-route.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardUnavailable`] when the snapshot store is blacked out or
+    /// persistently faulting.
+    pub fn try_prepare_record(
+        &mut self,
+        f: FunctionId,
+        arrival: SimTime,
+    ) -> Result<PreparedCold, ShardUnavailable> {
+        let seq = self.acquire_seq(f);
+        let mut recovery = RecoveryReport::default();
+        let run = match self.functional_recovering(f, MonitorMode::Record, seq, &mut recovery) {
+            Ok(run) => run,
+            Err(e) => return Err(self.surrender_seq(f, seq, e)),
+        };
+        self.drain_injected_delay(f, &mut recovery);
         let reap = run.recorded;
         let files = self.instance_files(f);
         let program = self.cold_program(f, ColdPolicy::Vanilla, true, &run, files, reap, arrival);
-        PreparedCold {
+        Ok(PreparedCold {
             program,
             function: f,
             policy: ColdPolicy::Vanilla,
             recorded: true,
             run,
             misprediction: None,
-        }
+            recovery,
+        })
     }
 
     /// Prepares one cold invocation under `policy` (functional pass,
@@ -764,13 +1056,94 @@ impl Orchestrator {
     ///
     /// As [`invoke_cold`](Self::invoke_cold).
     pub fn prepare_cold(&mut self, f: FunctionId, policy: ColdPolicy, arrival: SimTime) -> PreparedCold {
+        self.try_prepare_cold(f, policy, arrival)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`prepare_cold`](Self::prepare_cold), running the
+    /// full recovery policy:
+    ///
+    /// * transient storage faults retry with bounded virtual-time backoff
+    ///   ([`RetryPolicy`]);
+    /// * corrupt or unreachable REAP artifacts are quarantined and the
+    ///   request falls back to a Vanilla cold start off the intact
+    ///   snapshot, reusing its input seq (the function is flagged for
+    ///   re-record, which §7.2's auto-re-record serves next);
+    /// * an unreachable snapshot store (shard blackout) returns
+    ///   [`ShardUnavailable`] with the seq rolled back, so the cluster
+    ///   layer can re-route the request to a surviving shard.
+    ///
+    /// The completed invocation's simulated outcome is byte-identical to
+    /// a fault-free run of its effective policy — recovery work shows up
+    /// only in [`InvocationOutcome::recovery`].
+    ///
+    /// # Errors
+    ///
+    /// [`ShardUnavailable`] when the snapshot store itself is
+    /// unreachable.
+    pub fn try_prepare_cold(
+        &mut self,
+        f: FunctionId,
+        policy: ColdPolicy,
+        arrival: SimTime,
+    ) -> Result<PreparedCold, ShardUnavailable> {
         if policy.uses_ws() && self.auto_rerecord && self.needs_rerecord(f) {
             // §7.2 fallback: refresh the stale working set.
-            return self.prepare_record(f, arrival);
+            return self.try_prepare_record(f, arrival);
         }
-        let run = self.functional_for_policy(f, policy);
+        let mut recovery = RecoveryReport::default();
+        let mut effective = policy;
+        if policy.uses_ws() {
+            assert!(
+                self.has_ws(f),
+                "{f}: record a working set first (invoke_record)"
+            );
+            if self.state(f).quarantined {
+                effective = ColdPolicy::Vanilla;
+                recovery.quarantined = true;
+                recovery.fallback_vanilla = true;
+            } else if self.verify_artifacts && !self.artifacts_intact(f) {
+                // Silent corruption of the stored bytes: quarantine before
+                // the corrupt artifacts reach the prefetch path at all.
+                self.quarantine(f);
+                effective = ColdPolicy::Vanilla;
+                recovery.quarantined = true;
+                recovery.fallback_vanilla = true;
+            }
+        }
+        let seq = self.acquire_seq(f);
+        let run = loop {
+            let mode = if effective.uses_ws() {
+                MonitorMode::Prefetch
+            } else {
+                MonitorMode::OnDemand
+            };
+            match self.functional_recovering(f, mode, seq, &mut recovery) {
+                Ok(run) => break run,
+                Err(e @ AttemptError::Restore(..)) => {
+                    // The snapshot itself is unreachable: nothing this
+                    // shard can serve. Hand the request back for failover.
+                    return Err(self.surrender_seq(f, seq, e));
+                }
+                Err(AttemptError::Prefetch(e)) => {
+                    // Artifact trouble (corrupt bytes survived the reload,
+                    // artifact storage gone, retries exhausted): quarantine
+                    // and serve this request Vanilla off the intact
+                    // snapshot, same seq.
+                    assert!(
+                        effective.uses_ws(),
+                        "prefetch fault without a prefetch policy: {e}"
+                    );
+                    self.quarantine(f);
+                    effective = ColdPolicy::Vanilla;
+                    recovery.quarantined = true;
+                    recovery.fallback_vanilla = true;
+                }
+            }
+        };
+        self.drain_injected_delay(f, &mut recovery);
         let reap = self.state(f).reap;
-        let misprediction = if policy.uses_ws() {
+        let misprediction = if effective.uses_ws() {
             let recorded_pages: BTreeSet<PageIdx> = read_trace_file(
                 &self.fs,
                 reap.expect("ws present").trace_file,
@@ -791,15 +1164,16 @@ impl Orchestrator {
             None
         };
         let files = self.instance_files(f);
-        let program = self.cold_program(f, policy, false, &run, files, reap, arrival);
-        PreparedCold {
+        let program = self.cold_program(f, effective, false, &run, files, reap, arrival);
+        Ok(PreparedCold {
             program,
             function: f,
-            policy,
+            policy: effective,
             recorded: false,
             run,
             misprediction,
-        }
+            recovery,
+        })
     }
 
     /// Like [`prepare_cold`](Self::prepare_cold), but the compiled program
@@ -823,6 +1197,7 @@ impl Orchestrator {
             recorded: false,
             run,
             misprediction: None,
+            recovery: RecoveryReport::default(),
         }
     }
 
@@ -884,14 +1259,14 @@ impl Orchestrator {
             input_seq: seq,
             recorded: None,
         };
-        outcome_of(f, None, false, run, results[0], disk, None)
+        outcome_of(f, None, false, run, results[0], disk, None, RecoveryReport::default())
     }
 }
 
 /// Assembles an [`InvocationOutcome`] from a functional run and its timed
 /// result.
 #[allow(clippy::too_many_arguments)]
-fn outcome_of(f: FunctionId, policy: Option<ColdPolicy>, recorded: bool, run: FunctionalRun, result: crate::timeline::InstanceResult, disk_stats: DiskStats, misprediction: Option<MispredictionReport>) -> InvocationOutcome {
+fn outcome_of(f: FunctionId, policy: Option<ColdPolicy>, recorded: bool, run: FunctionalRun, result: crate::timeline::InstanceResult, disk_stats: DiskStats, misprediction: Option<MispredictionReport>, recovery: RecoveryReport) -> InvocationOutcome {
     InvocationOutcome {
         function: f,
         policy,
@@ -908,6 +1283,7 @@ fn outcome_of(f: FunctionId, policy: Option<ColdPolicy>, recorded: bool, run: Fu
         recorded,
         misprediction,
         disk_stats,
+        recovery,
     }
 }
 

@@ -1,0 +1,194 @@
+//! Recovery policy for faulted cold starts (§7-style robustness).
+//!
+//! The storage layer's [`sim_storage::FaultInjector`] breaks individual
+//! operations; this module decides what the orchestrator does about it so
+//! that **no request is ever dropped**:
+//!
+//! * **transient faults** retry with bounded exponential backoff. The
+//!   backoff is *virtual* time on the simulated clock — it accumulates in
+//!   [`RecoveryReport::retry_delay`], never in the timed program, so a
+//!   retried invocation's simulated outcome is byte-identical to the
+//!   fault-free run;
+//! * **corrupt REAP artifacts** get one reload (corruption injected on
+//!   the wire heals on a re-read; corruption in the stored bytes
+//!   persists), then the artifact is quarantined, the in-flight request
+//!   falls back to a Vanilla cold start off the intact snapshot, and the
+//!   function is flagged for automatic re-record;
+//! * **unavailable storage at restore time** means the whole shard is
+//!   unreachable — the request is handed back as [`ShardUnavailable`] so
+//!   the cluster layer can re-route it to a surviving shard (the consumed
+//!   input sequence number is rolled back first, so the re-routed request
+//!   completes with the seq it would have had fault-free).
+
+use std::fmt;
+
+use functionbench::FunctionId;
+use sim_core::SimDuration;
+use sim_storage::FaultClass;
+
+use crate::monitor::PrefetchError;
+
+/// What recovery had to do to complete one invocation. Attached to every
+/// [`crate::InvocationOutcome`]; all-default (`is_clean`) on the
+/// fault-free path. The chaos suites compare outcomes with this field
+/// normalised away: faults may only add recovery work, never change the
+/// simulated result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transient-fault retries of the functional pass.
+    pub transient_retries: u64,
+    /// Artifact reloads after a corrupt parse (wire corruption heals).
+    pub corrupt_reloads: u64,
+    /// The function's REAP artifacts were quarantined (either by this
+    /// invocation or a previous one still awaiting re-record).
+    pub quarantined: bool,
+    /// The request completed as a Vanilla cold start instead of its
+    /// requested prefetch policy.
+    pub fallback_vanilla: bool,
+    /// The function was rebuilt on a surviving shard before this request
+    /// could complete.
+    pub rebuilt: bool,
+    /// The request was re-routed off its home shard.
+    pub rerouted: bool,
+    /// Virtual time spent in retry backoff and injected device delays.
+    /// Accounted here, **not** in the timed program: latency/breakdown
+    /// stay identical to the fault-free run.
+    pub retry_delay: SimDuration,
+}
+
+impl RecoveryReport {
+    /// True if no recovery work was needed (the fault-free path).
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
+/// Bounded retry-with-backoff schedule for transient faults. Delays are
+/// [`SimDuration`]s on the simulated clock, exponentially doubled per
+/// attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (so a transient fault site
+    /// is probed `max_retries + 1` times in total).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: SimDuration::from_micros(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retry number `attempt` (0-based):
+    /// `base_delay * 2^attempt`.
+    pub fn delay_for(&self, attempt: u32) -> SimDuration {
+        SimDuration::from_nanos(
+            self.base_delay
+                .as_nanos()
+                .saturating_mul(1u64 << attempt.min(20)),
+        )
+    }
+}
+
+/// Why one functional-pass attempt failed. Transient variants are retried
+/// by the orchestrator's [`RetryPolicy`]; the rest select a recovery path
+/// (quarantine + Vanilla fallback, or shard failover).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptError {
+    /// Snapshot restore failed with a classified storage fault (the
+    /// rendered message is kept for diagnostics). Unclassifiable restore
+    /// failures — a VMM state checksum mismatch — are a correctness bug,
+    /// not an injected fault, and panic instead.
+    Restore(FaultClass, String),
+    /// Working-set prefetch failed (corrupt artifact bytes, artifact
+    /// storage fault, or install error).
+    Prefetch(PrefetchError),
+}
+
+impl fmt::Display for AttemptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttemptError::Restore(_, detail) => {
+                write!(f, "snapshot restore failed: {detail}")
+            }
+            AttemptError::Prefetch(e) => write!(f, "WS file prefetch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttemptError {}
+
+/// A cold start could not complete on this shard: its snapshot store is
+/// unreachable (blackout) or persistently faulting. The consumed input
+/// seq was rolled back; the cluster layer re-routes the request to a
+/// surviving shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardUnavailable {
+    /// The function whose cold start failed.
+    pub function: FunctionId,
+    /// Rendered cause (the final [`AttemptError`]).
+    pub detail: String,
+}
+
+impl fmt::Display for ShardUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} unavailable on its shard: {}",
+            self.function, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ShardUnavailable {}
+
+/// Everything a surviving shard needs to rebuild a lost function. Shards
+/// share one seed, so a function's snapshot depends only on
+/// `(seed, function, generation)` — re-registering at the same generation
+/// reproduces it bit-for-bit, and replaying the record at
+/// `recorded_seq` reproduces the REAP artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildMeta {
+    /// Snapshot generation to re-register at.
+    pub generation: u64,
+    /// Input sequence cursor to resume from.
+    pub next_seq: u64,
+    /// Input seq of the (latest) record invocation, if the function had
+    /// recorded REAP artifacts to rebuild.
+    pub recorded_seq: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_clean() {
+        let mut r = RecoveryReport::default();
+        assert!(r.is_clean());
+        r.transient_retries = 1;
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_for(0), SimDuration::from_micros(100));
+        assert_eq!(p.delay_for(1), SimDuration::from_micros(200));
+        assert_eq!(p.delay_for(2), SimDuration::from_micros(400));
+    }
+
+    #[test]
+    fn attempt_error_messages_keep_legacy_prefixes() {
+        let e = AttemptError::Restore(FaultClass::Transient, "x".into());
+        assert!(e.to_string().starts_with("snapshot restore failed"));
+        let e = AttemptError::Prefetch(PrefetchError::Install("y".into()));
+        assert!(e.to_string().contains("WS file prefetch"));
+    }
+}

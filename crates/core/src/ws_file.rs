@@ -19,7 +19,7 @@
 //!   All new artifacts are written as v2.
 
 use guest_mem::{coalesce_ordered, PageIdx, PageRun, PAGE_SIZE};
-use sim_storage::{FileId, FileStore};
+use sim_storage::{FileId, FileStore, StorageError};
 use std::fmt;
 
 const TRACE_MAGIC_V1: &[u8; 8] = b"REAPTRC1";
@@ -50,6 +50,27 @@ pub enum WsError {
     EmptyExtent(u64),
     /// Two v2 extents overlap (names both offsets).
     OverlappingExtents(u64, u64),
+    /// The underlying store failed while reading the artifact (dead file,
+    /// injected transient fault, shard blackout). Unlike the format
+    /// errors above, this says nothing about the artifact's *contents* —
+    /// recovery code checks [`WsError::storage`] before quarantining.
+    Io(StorageError),
+}
+
+impl WsError {
+    /// The storage fault behind this error, if it is [`WsError::Io`].
+    pub fn storage(&self) -> Option<&StorageError> {
+        match self {
+            WsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for WsError {
+    fn from(e: StorageError) -> Self {
+        WsError::Io(e)
+    }
 }
 
 impl fmt::Display for WsError {
@@ -64,6 +85,7 @@ impl fmt::Display for WsError {
             WsError::OverlappingExtents(a, b) => {
                 write!(f, "overlapping extents at offsets {a:#x} and {b:#x}")
             }
+            WsError::Io(e) => write!(f, "storage fault reading REAP file: {e}"),
         }
     }
 }
@@ -124,6 +146,43 @@ pub fn write_reap_files_runs(
     mem_file: FileId,
     runs: &[PageRun],
 ) -> ReapFiles {
+    try_write_reap_files_runs(fs, prefix, mem_file, runs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Transient write attempts per artifact operation before giving up —
+/// torn and transiently-failed writes are simply reissued (every write
+/// here is idempotent: fixed offsets, gather rewrites its whole tail).
+const WRITE_RETRIES: u32 = 3;
+
+fn retry_write(
+    mut op: impl FnMut() -> Result<(), StorageError>,
+) -> Result<(), StorageError> {
+    let mut last = Ok(());
+    for _ in 0..WRITE_RETRIES {
+        last = op();
+        match &last {
+            Ok(()) => return Ok(()),
+            // Torn and transient writes heal on reissue; dead files and
+            // blackouts never do.
+            Err(StorageError::ShortWrite { .. }) | Err(StorageError::Transient { .. }) => {}
+            Err(_) => return last,
+        }
+    }
+    last
+}
+
+/// Fallible twin of [`write_reap_files_runs`]: surfaces storage faults as
+/// typed errors instead of panicking. Transient and torn writes are
+/// retried up to `WRITE_RETRIES` times per operation (all artifact
+/// writes are idempotent); with no injected faults the store-op counts
+/// are identical to the panicking path (one `write_at` per table, one
+/// gather).
+pub fn try_write_reap_files_runs(
+    fs: &FileStore,
+    prefix: &str,
+    mem_file: FileId,
+    runs: &[PageRun],
+) -> Result<ReapFiles, StorageError> {
     let pages: u64 = runs.iter().map(|r| r.len).sum();
     let extents = runs.len() as u64;
     let files = ReapFiles {
@@ -134,18 +193,18 @@ pub fn write_reap_files_runs(
     };
 
     let trace_buf = extent_table(TRACE_MAGIC_V2, runs, files.trace_bytes());
-    fs.write_at(files.trace_file, 0, &trace_buf);
+    retry_write(|| fs.try_write_at(files.trace_file, 0, &trace_buf))?;
 
     // WS file: same header + extent table, then the page data gathered
     // from the memory file in one store operation.
     let header = extent_table(WS_MAGIC_V2, runs, files.trace_bytes());
-    fs.write_at(files.ws_file, 0, &header);
+    retry_write(|| fs.try_write_at(files.ws_file, 0, &header))?;
     let parts: Vec<(FileId, u64, u64)> = runs
         .iter()
         .map(|r| (mem_file, r.file_offset(), r.byte_len()))
         .collect();
-    fs.gather_into(files.ws_file, header.len() as u64, &parts);
-    files
+    retry_write(|| fs.try_gather_into(files.ws_file, header.len() as u64, &parts))?;
+    Ok(files)
 }
 
 /// Writes the trace + WS files for `trace` (recorded fault order),
@@ -204,14 +263,14 @@ fn parse_header(
     v1_magic: &[u8; 8],
     v2_magic: &[u8; 8],
 ) -> Result<(Version, u64), WsError> {
-    let len = fs.len(file);
+    let len = fs.checked_len(file)?;
     if len < HEADER_BYTES {
         return Err(WsError::Truncated {
             expected: HEADER_BYTES,
             actual: len,
         });
     }
-    let head = fs.read_at(file, 0, HEADER_BYTES as usize);
+    let head = fs.checked_read_at(file, 0, HEADER_BYTES as usize)?;
     let version = if &head[..8] == v2_magic {
         Version::V2
     } else if &head[..8] == v1_magic {
@@ -226,7 +285,7 @@ fn parse_header(
 /// Reads and validates a v2 extent table: aligned offsets, no zero-length
 /// extents, byte ranges that fit in u64 arithmetic, no overlaps.
 fn read_extents(fs: &FileStore, file: FileId, extents: u64) -> Result<Vec<PageRun>, WsError> {
-    let actual = fs.len(file);
+    let actual = fs.checked_len(file)?;
     let expected = HEADER_BYTES as u128 + extents as u128 * EXTENT_BYTES as u128;
     if (actual as u128) < expected {
         return Err(WsError::Truncated {
@@ -240,7 +299,7 @@ fn read_extents(fs: &FileStore, file: FileId, extents: u64) -> Result<Vec<PageRu
     // arithmetic. Real guests are orders of magnitude below this; a
     // table that exceeds it is lying about its size.
     const MAX_EXTENT_PAGES: u64 = 1 << 44;
-    let bytes = fs.read_at(file, HEADER_BYTES, (extents * EXTENT_BYTES) as usize);
+    let bytes = fs.checked_read_at(file, HEADER_BYTES, (extents * EXTENT_BYTES) as usize)?;
     let mut runs = Vec::with_capacity(extents as usize);
     for chunk in bytes.chunks_exact(EXTENT_BYTES as usize) {
         let off = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
@@ -276,7 +335,7 @@ fn read_extents(fs: &FileStore, file: FileId, extents: u64) -> Result<Vec<PageRu
 
 /// Reads a v1 per-page offset table.
 fn read_offsets(fs: &FileStore, file: FileId, count: u64) -> Result<Vec<PageIdx>, WsError> {
-    let bytes = fs.read_at(file, HEADER_BYTES, (count * 8) as usize);
+    let bytes = fs.checked_read_at(file, HEADER_BYTES, (count * 8) as usize)?;
     let mut pages = Vec::with_capacity(count as usize);
     for chunk in bytes.chunks_exact(8) {
         let off = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
@@ -299,7 +358,7 @@ pub fn read_trace_runs(fs: &FileStore, trace_file: FileId) -> Result<Vec<PageRun
         Version::V2 => read_extents(fs, trace_file, count),
         Version::V1 => {
             let expected = HEADER_BYTES + count * 8;
-            let actual = fs.len(trace_file);
+            let actual = fs.checked_len(trace_file)?;
             if actual < expected {
                 return Err(WsError::Truncated { expected, actual });
             }
@@ -347,7 +406,7 @@ pub fn read_ws_layout(fs: &FileStore, ws_file: FileId) -> Result<WsLayout, WsErr
             let expected = HEADER_BYTES as u128
                 + count as u128 * EXTENT_BYTES as u128
                 + pages * PAGE_SIZE as u128;
-            let actual = fs.len(ws_file);
+            let actual = fs.checked_len(ws_file)?;
             if (actual as u128) < expected {
                 return Err(WsError::Truncated {
                     expected: expected.min(u64::MAX as u128) as u64,
@@ -368,7 +427,7 @@ pub fn read_ws_layout(fs: &FileStore, ws_file: FileId) -> Result<WsLayout, WsErr
         }
         Version::V1 => {
             let expected = HEADER_BYTES + count * 8 + count * PAGE_SIZE as u64;
-            let actual = fs.len(ws_file);
+            let actual = fs.checked_len(ws_file)?;
             if actual < expected {
                 return Err(WsError::Truncated { expected, actual });
             }

@@ -1,0 +1,226 @@
+//! End-to-end recovery tests: deterministic storage faults injected at
+//! the `FileStore` boundary must never drop a request, and every
+//! completed invocation's simulated outcome must be byte-identical to
+//! the fault-free run of its effective policy — recovery work shows up
+//! only in [`InvocationOutcome::recovery`].
+
+use std::sync::Arc;
+
+use functionbench::FunctionId;
+use sim_core::SimDuration;
+use sim_storage::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
+use vhive_core::{ColdPolicy, InvocationOutcome, Orchestrator, RecoveryReport};
+
+const F: FunctionId = FunctionId::helloworld;
+
+/// Registers + records `F` on a fresh orchestrator (record consumes
+/// seq 0, so the first cold invocation under test runs at seq 1 — in
+/// both the faulty and the reference world).
+fn prepared(seed: u64) -> Orchestrator {
+    let mut o = Orchestrator::new(seed);
+    o.register(F);
+    o.invoke_record(F);
+    o
+}
+
+/// Debug rendering with the recovery ledger normalised away — the
+/// equality the chaos invariant is stated over.
+fn normalized(outcome: &InvocationOutcome) -> String {
+    let mut o = outcome.clone();
+    o.recovery = RecoveryReport::default();
+    format!("{o:?}")
+}
+
+fn attach(o: &Orchestrator, rule: FaultRule) {
+    o.fs()
+        .attach_injector(Arc::new(FaultInjector::new(FaultPlan::new().rule(rule))));
+}
+
+#[test]
+fn transient_restore_faults_retry_to_identical_outcome() {
+    let baseline = prepared(11).invoke_cold(F, ColdPolicy::Reap);
+
+    let mut o = prepared(11);
+    attach(
+        &o,
+        FaultRule::new(
+            FaultScope::NameContains("vmm_state".into()),
+            FaultKind::TransientError,
+        )
+        .count(2),
+    );
+    let faulted = o.invoke_cold(F, ColdPolicy::Reap);
+
+    assert_eq!(faulted.recovery.transient_retries, 2);
+    // Exponential virtual-time backoff: 100µs + 200µs.
+    assert_eq!(faulted.recovery.retry_delay, SimDuration::from_micros(300));
+    assert!(!faulted.recovery.fallback_vanilla);
+    assert_eq!(faulted.policy, Some(ColdPolicy::Reap));
+    assert_eq!(normalized(&faulted), normalized(&baseline));
+}
+
+#[test]
+fn wire_corruption_of_ws_metadata_heals_with_one_reload() {
+    let baseline = prepared(12).invoke_cold(F, ColdPolicy::Reap);
+
+    let mut o = prepared(12);
+    // Corrupt exactly one payload read of the WS file: the header parse
+    // fails, the reload re-reads pristine stored bytes (budget spent).
+    attach(
+        &o,
+        FaultRule::new(
+            FaultScope::NameContains("ws_pages".into()),
+            FaultKind::CorruptRead,
+        )
+        .count(1),
+    );
+    let faulted = o.invoke_cold(F, ColdPolicy::Reap);
+
+    assert_eq!(faulted.recovery.corrupt_reloads, 1);
+    assert!(!faulted.recovery.quarantined, "wire corruption must heal");
+    assert_eq!(faulted.policy, Some(ColdPolicy::Reap));
+    assert!(!o.is_quarantined(F));
+    assert_eq!(normalized(&faulted), normalized(&baseline));
+}
+
+#[test]
+fn stored_corruption_quarantines_and_falls_back_to_vanilla() {
+    let baseline = prepared(13).invoke_cold(F, ColdPolicy::Vanilla);
+
+    let mut o = prepared(13);
+    // Scribble the stored WS header magic: corruption that persists
+    // across reloads (unlike wire corruption).
+    let ws = o.fs().open(&format!("snapshots/{F}/ws_pages")).unwrap();
+    o.fs().write_at(ws, 0, &[0xA5, 0x5A, 0xA5, 0x5A]);
+    let faulted = o.invoke_cold(F, ColdPolicy::Reap);
+
+    assert_eq!(faulted.recovery.corrupt_reloads, 1, "one reload attempted");
+    assert!(faulted.recovery.quarantined);
+    assert!(faulted.recovery.fallback_vanilla);
+    assert_eq!(faulted.policy, Some(ColdPolicy::Vanilla));
+    assert!(o.is_quarantined(F));
+    assert!(o.needs_rerecord(F), "quarantine schedules a re-record");
+    // The fallback reuses the seq and is byte-identical to a fault-free
+    // Vanilla cold start.
+    assert_eq!(normalized(&faulted), normalized(&baseline));
+}
+
+#[test]
+fn digest_verification_catches_silent_payload_corruption() {
+    let baseline = prepared(14).invoke_cold(F, ColdPolicy::Vanilla);
+
+    let mut o = prepared(14);
+    o.set_verify_artifacts(true);
+    // Flip one byte deep in the WS *payload* region: headers and extents
+    // still parse, so only the digest check can notice before installing
+    // poisoned pages into guest memory.
+    let ws = o.fs().open(&format!("snapshots/{F}/ws_pages")).unwrap();
+    let tail = o.fs().len(ws) - 1;
+    let byte = o.fs().read_at(ws, tail, 1)[0];
+    o.fs().write_at(ws, tail, &[byte ^ 0xFF]);
+    let faulted = o.invoke_cold(F, ColdPolicy::Reap);
+
+    assert!(faulted.recovery.quarantined);
+    assert!(faulted.recovery.fallback_vanilla);
+    assert_eq!(faulted.recovery.corrupt_reloads, 0, "caught before prefetch");
+    assert_eq!(faulted.policy, Some(ColdPolicy::Vanilla));
+    assert!(o.needs_rerecord(F));
+    assert_eq!(normalized(&faulted), normalized(&baseline));
+}
+
+#[test]
+#[should_panic(expected = "lossless restoration")]
+fn unverified_silent_payload_corruption_fails_stop() {
+    // Without digest verification, silently corrupt WS payload bytes
+    // reach guest memory — and the page-for-page restoration gate panics
+    // rather than let a wrong-byte invocation complete.
+    let mut o = prepared(15);
+    let ws = o.fs().open(&format!("snapshots/{F}/ws_pages")).unwrap();
+    let tail = o.fs().len(ws) - 1;
+    let byte = o.fs().read_at(ws, tail, 1)[0];
+    o.fs().write_at(ws, tail, &[byte ^ 0xFF]);
+    let _ = o.invoke_cold(F, ColdPolicy::Reap);
+}
+
+#[test]
+fn auto_rerecord_heals_a_quarantined_working_set() {
+    // Reference world: record, a Vanilla cold start, a fresh record,
+    // then a REAP cold start off the fresh artifacts.
+    let mut b = prepared(16);
+    let b1 = b.invoke_cold(F, ColdPolicy::Vanilla);
+    let b2 = b.invoke_record(F);
+    let b3 = b.invoke_cold(F, ColdPolicy::Reap);
+
+    // Faulty world: stored corruption quarantines; §7.2's auto-re-record
+    // then refreshes the artifacts on the next REAP request.
+    let mut o = prepared(16);
+    o.set_auto_rerecord(true, 0.5);
+    let ws = o.fs().open(&format!("snapshots/{F}/ws_pages")).unwrap();
+    o.fs().write_at(ws, 0, &[0xA5, 0x5A, 0xA5, 0x5A]);
+
+    let fell_back = o.invoke_cold(F, ColdPolicy::Reap);
+    assert!(fell_back.recovery.fallback_vanilla);
+    let rerecorded = o.invoke_cold(F, ColdPolicy::Reap);
+    assert!(rerecorded.recorded, "flagged re-record runs next");
+    assert!(!o.is_quarantined(F), "fresh artifacts lift the quarantine");
+    let healed = o.invoke_cold(F, ColdPolicy::Reap);
+    assert!(healed.recovery.is_clean());
+
+    assert_eq!(normalized(&fell_back), normalized(&b1));
+    assert_eq!(normalized(&rerecorded), normalized(&b2));
+    assert_eq!(normalized(&healed), normalized(&b3));
+}
+
+#[test]
+fn restore_blackout_surrenders_the_request_and_rolls_back_seq() {
+    let baseline = prepared(17).invoke_cold(F, ColdPolicy::Reap);
+
+    let mut o = prepared(17);
+    attach(
+        &o,
+        FaultRule::new(FaultScope::Any, FaultKind::Blackout),
+    );
+    let err = o
+        .try_prepare_cold(F, ColdPolicy::Reap, sim_core::SimTime::ZERO)
+        .expect_err("blacked-out store cannot restore");
+    assert_eq!(err.function, F);
+
+    // The store comes back (elsewhere this is the surviving shard): the
+    // surrendered request completes with the seq it would have had.
+    o.fs().detach_injector();
+    let replayed = o.invoke_cold(F, ColdPolicy::Reap);
+    assert_eq!(replayed.seq, baseline.seq);
+    assert_eq!(normalized(&replayed), normalized(&baseline));
+}
+
+#[test]
+fn injected_delays_charge_virtual_time_only() {
+    let baseline = prepared(18).invoke_cold(F, ColdPolicy::Reap);
+
+    let mut o = prepared(18);
+    attach(
+        &o,
+        FaultRule::new(
+            FaultScope::NameContains("vmm_state".into()),
+            FaultKind::Delay(SimDuration::from_millis(2)),
+        )
+        .count(1),
+    );
+    let delayed = o.invoke_cold(F, ColdPolicy::Reap);
+
+    assert_eq!(delayed.recovery.retry_delay, SimDuration::from_millis(2));
+    assert_eq!(delayed.latency, baseline.latency, "timed pass unaffected");
+    assert_eq!(normalized(&delayed), normalized(&baseline));
+}
+
+#[test]
+#[should_panic(expected = "snapshot restore failed")]
+fn vmm_checksum_mismatch_stays_fatal() {
+    // A corrupt VMM state file is a correctness bug, not a recoverable
+    // storage fault: restore must still fail loudly.
+    let mut o = prepared(19);
+    let vmm = o.fs().open(&format!("snapshots/{F}/vmm_state")).unwrap();
+    let byte = o.fs().read_at(vmm, 32, 1)[0];
+    o.fs().write_at(vmm, 32, &[byte ^ 0xFF]);
+    let _ = o.invoke_cold(F, ColdPolicy::Reap);
+}

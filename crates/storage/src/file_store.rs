@@ -7,14 +7,25 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::fault::{FaultInjector, ReadFault, StorageError};
+
 /// Identifier of a file inside a [`FileStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(u64);
+
+impl FileId {
+    /// The store namespace this id was allocated from (see
+    /// [`FileStore::with_namespace`]) — the fault layer scopes whole-shard
+    /// blackouts by this.
+    pub fn namespace(self) -> u32 {
+        (self.0 >> NAMESPACE_SHIFT) as u32
+    }
+}
 
 impl fmt::Display for FileId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -73,12 +84,40 @@ struct StoreCounters {
 pub struct FileStore {
     inner: Arc<RwLock<Inner>>,
     counters: Arc<StoreCounters>,
+    /// Optional fault injector (see [`crate::fault`]). The [`AtomicBool`]
+    /// is the hot-path gate: with no injector attached every fault check
+    /// is one relaxed load.
+    injector: Arc<RwLock<Option<Arc<FaultInjector>>>>,
+    injecting: Arc<AtomicBool>,
 }
 
 impl FileStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         FileStore::default()
+    }
+
+    /// Attaches a fault injector: from now on the `try_*`/`checked_*`
+    /// entry points (and the dead-file-aware readers, for blackouts)
+    /// consult it. Replaces any previous injector; all handles to this
+    /// store (clones) see it.
+    pub fn attach_injector(&self, injector: Arc<FaultInjector>) {
+        *self.injector.write() = Some(injector);
+        self.injecting.store(true, Ordering::Release);
+    }
+
+    /// Detaches the injector (injection off, zero per-op cost again).
+    pub fn detach_injector(&self) {
+        self.injecting.store(false, Ordering::Release);
+        *self.injector.write() = None;
+    }
+
+    /// The currently attached injector, if any.
+    pub fn injector(&self) -> Option<Arc<FaultInjector>> {
+        if !self.injecting.load(Ordering::Acquire) {
+            return None;
+        }
+        self.injector.read().clone()
     }
 
     /// Creates an empty store whose [`FileId`]s are drawn from a disjoint
@@ -173,14 +212,32 @@ impl FileStore {
     ///
     /// Panics if `id` does not refer to a live file.
     pub fn write_at(&self, id: FileId, offset: u64, bytes: &[u8]) {
+        self.try_write_at(id, offset, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible twin of [`write_at`](Self::write_at): returns a typed
+    /// [`StorageError`] on a dead file or an injected fault instead of
+    /// panicking. An injected torn write applies a prefix of `bytes`
+    /// (and bumps the generation) before failing; retrying the identical
+    /// call repairs the file.
+    pub fn try_write_at(&self, id: FileId, offset: u64, bytes: &[u8]) -> Result<(), StorageError> {
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        let injector = self.injector();
         let mut inner = self.inner.write();
         let fd = inner
             .files
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("write to dead {id}"));
+            .ok_or(StorageError::DeadFile { op: "write to", id })?;
+        let mut torn: Option<u64> = None;
+        if let Some(inj) = &injector {
+            torn = inj.on_write("write_at", id, &fd.name, bytes.len() as u64)?;
+        }
+        let requested = bytes.len() as u64;
+        let applied = torn.map_or(bytes.len(), |n| n as usize);
         fd.generation += 1;
         let data = &mut fd.data;
+        let bytes = &bytes[..applied];
         let offset = offset as usize;
         let end = offset + bytes.len();
         if end <= data.len() {
@@ -197,6 +254,14 @@ impl FileStore {
             data.resize(offset, 0);
             sim_core::extend_par(data, bytes);
         }
+        match torn {
+            Some(written) => Err(StorageError::ShortWrite {
+                id,
+                written,
+                requested,
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Appends `bytes` and returns the offset they were written at.
@@ -205,16 +270,38 @@ impl FileStore {
     ///
     /// Panics if `id` does not refer to a live file.
     pub fn append(&self, id: FileId, bytes: &[u8]) -> u64 {
+        self.try_append(id, bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`append`](Self::append). Under an injected torn
+    /// write a *prefix* of `bytes` is appended before the error — callers
+    /// that retry must rewrite at a known offset
+    /// ([`try_write_at`](Self::try_write_at)) rather than blindly
+    /// re-append.
+    pub fn try_append(&self, id: FileId, bytes: &[u8]) -> Result<u64, StorageError> {
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        let injector = self.injector();
         let mut inner = self.inner.write();
         let fd = inner
             .files
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("append to dead {id}"));
+            .ok_or(StorageError::DeadFile { op: "append to", id })?;
+        let mut torn: Option<u64> = None;
+        if let Some(inj) = &injector {
+            torn = inj.on_write("append", id, &fd.name, bytes.len() as u64)?;
+        }
+        let applied = torn.map_or(bytes.len(), |n| n as usize);
         fd.generation += 1;
         let offset = fd.data.len() as u64;
-        fd.data.extend_from_slice(bytes);
-        offset
+        fd.data.extend_from_slice(&bytes[..applied]);
+        match torn {
+            Some(written) => Err(StorageError::ShortWrite {
+                id,
+                written,
+                requested: bytes.len() as u64,
+            }),
+            None => Ok(offset),
+        }
     }
 
     /// Reads `len` bytes at `offset`. Reads past EOF return zeros, matching
@@ -239,10 +326,19 @@ impl FileStore {
     /// Non-panicking twin of [`read_at`](Self::read_at): returns `None`
     /// when `id` is dead (deleted) instead of panicking — the plain-read
     /// fallback for callers racing an unregister (the frame cache's
-    /// dead-file path).
+    /// dead-file path). A file covered by an injected blackout also reads
+    /// as `None`: a blacked-out shard's files present exactly like
+    /// unregistered ones.
     pub fn try_read_at(&self, id: FileId, offset: u64, len: usize) -> Option<Vec<u8>> {
+        let injector = self.injector();
         let inner = self.inner.read();
-        let data = &inner.files.get(&id)?.data;
+        let fd = inner.files.get(&id)?;
+        if let Some(inj) = &injector {
+            if inj.blacked_out(id, &fd.name) {
+                return None;
+            }
+        }
+        let data = &fd.data;
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
         let start = (offset as usize).min(data.len());
         let end = (offset as usize + len).min(data.len());
@@ -251,6 +347,62 @@ impl FileStore {
         // Zero-fill only the past-EOF tail (sparse-file semantics).
         out.resize(len, 0);
         Some(out)
+    }
+
+    /// Fault-aware read: like [`read_at`](Self::read_at) but returns a
+    /// typed [`StorageError`] for dead files and injected faults, and
+    /// applies injected payload corruption to the returned bytes (the
+    /// stored bytes stay pristine — a verify-and-reread heals). Recovery
+    /// paths (snapshot restore, REAP artifact loads) read through this.
+    pub fn checked_read_at(
+        &self,
+        id: FileId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, StorageError> {
+        let injector = self.injector();
+        let inner = self.inner.read();
+        let fd = inner
+            .files
+            .get(&id)
+            .ok_or(StorageError::DeadFile { op: "read from", id })?;
+        let mut corrupt = false;
+        if let Some(inj) = &injector {
+            match inj.on_read("read_at", id, &fd.name) {
+                Some(ReadFault::Error(e)) => return Err(e),
+                Some(ReadFault::Corrupt) => corrupt = true,
+                None => {}
+            }
+        }
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        let data = &fd.data;
+        let start = (offset as usize).min(data.len());
+        let end = (offset as usize + len).min(data.len());
+        let mut out = Vec::new();
+        sim_core::extend_par(&mut out, &data[start..end]);
+        // Zero-fill only the past-EOF tail (sparse-file semantics).
+        out.resize(len, 0);
+        if corrupt {
+            FaultInjector::corrupt(&mut out);
+        }
+        Ok(out)
+    }
+
+    /// Fault-aware twin of [`len`](Self::len): typed errors for dead
+    /// files, injected transients and blackouts.
+    pub fn checked_len(&self, id: FileId) -> Result<u64, StorageError> {
+        let injector = self.injector();
+        let inner = self.inner.read();
+        let fd = inner
+            .files
+            .get(&id)
+            .ok_or(StorageError::DeadFile { op: "stat of", id })?;
+        if let Some(inj) = &injector {
+            if let Some(ReadFault::Error(e)) = inj.on_meta("len", id, &fd.name) {
+                return Err(e);
+            }
+        }
+        Ok(fd.data.len() as u64)
     }
 
     /// Copies `len` bytes at `offset` into `buf` (zero-filling past EOF).
@@ -356,36 +508,72 @@ impl FileStore {
     /// Panics if `dst` or any source is dead, if `dst_offset` is past the
     /// destination's EOF, or if `dst` appears among the sources.
     pub fn gather_into(&self, dst: FileId, dst_offset: u64, parts: &[(FileId, u64, u64)]) {
+        self.try_gather_into(dst, dst_offset, parts)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible twin of [`gather_into`](Self::gather_into): dead handles
+    /// and injected faults surface as typed errors. An injected torn
+    /// gather leaves only a prefix of the assembled bytes in place;
+    /// retrying the identical call repairs it (gather always rewrites
+    /// everything from `dst_offset`). Contract violations (offset past
+    /// EOF, destination among sources) still panic.
+    pub fn try_gather_into(
+        &self,
+        dst: FileId,
+        dst_offset: u64,
+        parts: &[(FileId, u64, u64)],
+    ) -> Result<(), StorageError> {
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        let injector = self.injector();
         let mut inner = self.inner.write();
         // Take the destination out so sources can be borrowed freely.
-        let dst_fd = inner
-            .files
-            .get_mut(&dst)
-            .unwrap_or_else(|| panic!("gather into dead {dst}"));
-        dst_fd.generation += 1;
+        let dst_fd = inner.files.get_mut(&dst).ok_or(StorageError::DeadFile {
+            op: "gather into",
+            id: dst,
+        })?;
+        let mut torn: Option<u64> = None;
+        if let Some(inj) = &injector {
+            let total: u64 = parts.iter().map(|&(_, _, len)| len).sum();
+            torn = inj.on_write("gather_into", dst, &dst_fd.name, total)?;
+        }
         let mut dst_data = std::mem::take(&mut dst_fd.data);
         assert!(
             dst_offset as usize <= dst_data.len(),
             "gather at {dst_offset} past EOF of {dst}"
         );
+        // Validate sources (and size the shared zeros buffer) before any
+        // destination mutation, so a dead source leaves `dst` intact.
+        let mut max_shortfall = 0usize;
+        let mut dead_src: Option<FileId> = None;
+        for &(src, offset, len) in parts {
+            match inner.files.get(&src) {
+                Some(fd) => {
+                    let file_len = fd.data.len() as u64;
+                    max_shortfall = max_shortfall
+                        .max(len.saturating_sub(file_len.saturating_sub(offset)) as usize);
+                }
+                None => {
+                    dead_src = Some(src);
+                    break;
+                }
+            }
+        }
+        if let Some(src) = dead_src {
+            inner
+                .files
+                .get_mut(&dst)
+                .expect("destination checked above")
+                .data = dst_data;
+            return Err(StorageError::DeadFile {
+                op: "gather from",
+                id: src,
+            });
+        }
         dst_data.truncate(dst_offset as usize);
         {
             let inner = &*inner;
             // Past-EOF stretches borrow from one shared zeros buffer.
-            let max_shortfall = parts
-                .iter()
-                .map(|&(src, offset, len)| {
-                    let file_len = inner
-                        .files
-                        .get(&src)
-                        .unwrap_or_else(|| panic!("gather from dead {src}"))
-                        .data
-                        .len() as u64;
-                    len.saturating_sub(file_len.saturating_sub(offset)) as usize
-                })
-                .max()
-                .unwrap_or(0);
             let zeros = vec![0u8; max_shortfall];
             let mut slices: Vec<&[u8]> = Vec::with_capacity(parts.len() * 2);
             for &(src, offset, len) in parts {
@@ -401,11 +589,24 @@ impl FileStore {
             }
             sim_core::extend_scatter(&mut dst_data, &slices);
         }
-        inner
+        let mut gathered: Result<(), StorageError> = Ok(());
+        if let Some(written) = torn {
+            // Torn gather: keep only a prefix of the assembled bytes.
+            let requested = (dst_data.len() as u64).saturating_sub(dst_offset);
+            dst_data.truncate(dst_offset as usize + written.min(requested) as usize);
+            gathered = Err(StorageError::ShortWrite {
+                id: dst,
+                written: written.min(requested),
+                requested,
+            });
+        }
+        let dst_fd = inner
             .files
             .get_mut(&dst)
-            .expect("destination checked above")
-            .data = dst_data;
+            .expect("destination checked above");
+        dst_fd.generation += 1;
+        dst_fd.data = dst_data;
+        gathered
     }
 
     /// Truncates (or zero-extends) the file to exactly `len` bytes.
@@ -414,23 +615,45 @@ impl FileStore {
     ///
     /// Panics if `id` does not refer to a live file.
     pub fn set_len(&self, id: FileId, len: u64) {
+        self.try_set_len(id, len).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible twin of [`set_len`](Self::set_len).
+    pub fn try_set_len(&self, id: FileId, len: u64) -> Result<(), StorageError> {
+        let injector = self.injector();
         let mut inner = self.inner.write();
-        let fd = inner
-            .files
-            .get_mut(&id)
-            .unwrap_or_else(|| panic!("set_len on dead {id}"));
+        let fd = inner.files.get_mut(&id).ok_or(StorageError::DeadFile {
+            op: "set_len on",
+            id,
+        })?;
+        if let Some(inj) = &injector {
+            if let Some(ReadFault::Error(e)) = inj.on_meta("set_len", id, &fd.name) {
+                return Err(e);
+            }
+        }
         fd.generation += 1;
         fd.data.resize(len as usize, 0);
+        Ok(())
     }
 
     /// The file's content generation: bumped on every mutation
     /// ([`write_at`](Self::write_at), [`append`](Self::append),
     /// [`set_len`](Self::set_len), [`gather_into`](Self::gather_into) and
     /// re-[`create`](Self::create) truncation). `None` if the file was
-    /// deleted. Cache layers compare generations at lookup so rewritten
-    /// contents can never be served stale.
+    /// deleted — or covered by an injected blackout, so cache layers treat
+    /// a blacked-out shard's files exactly like unregistered ones. Cache
+    /// layers compare generations at lookup so rewritten contents can
+    /// never be served stale.
     pub fn generation(&self, id: FileId) -> Option<u64> {
-        self.inner.read().files.get(&id).map(|fd| fd.generation)
+        let injector = self.injector();
+        let inner = self.inner.read();
+        let fd = inner.files.get(&id)?;
+        if let Some(inj) = &injector {
+            if inj.blacked_out(id, &fd.name) {
+                return None;
+            }
+        }
+        Some(fd.generation)
     }
 
     /// Deletes a file. Returns true if it existed.
@@ -695,6 +918,120 @@ mod tests {
         assert_eq!(fs.generation(id), Some(g5));
         fs.delete(id);
         assert_eq!(fs.generation(id), None);
+    }
+
+    #[test]
+    fn try_variants_report_dead_files_with_legacy_messages() {
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        let src = fs.create("src");
+        fs.delete(id);
+        assert_eq!(
+            fs.try_write_at(id, 0, b"x").unwrap_err().to_string(),
+            format!("write to dead {id}")
+        );
+        assert_eq!(
+            fs.try_append(id, b"x").unwrap_err().to_string(),
+            format!("append to dead {id}")
+        );
+        assert_eq!(
+            fs.try_gather_into(id, 0, &[(src, 0, 1)])
+                .unwrap_err()
+                .to_string(),
+            format!("gather into dead {id}")
+        );
+        assert_eq!(
+            fs.try_set_len(id, 4).unwrap_err().to_string(),
+            format!("set_len on dead {id}")
+        );
+        assert_eq!(
+            fs.checked_read_at(id, 0, 1).unwrap_err().to_string(),
+            format!("read from dead {id}")
+        );
+        assert!(fs.checked_len(id).is_err());
+        // Dead *source* leaves the destination untouched.
+        let dst = fs.create("dst");
+        fs.write_at(dst, 0, b"keep");
+        let g = fs.generation(dst).unwrap();
+        let err = fs.try_gather_into(dst, 0, &[(id, 0, 1)]).unwrap_err();
+        assert_eq!(err.to_string(), format!("gather from dead {id}"));
+        assert_eq!(fs.read_at(dst, 0, 4), b"keep");
+        assert_eq!(fs.generation(dst), Some(g));
+    }
+
+    #[test]
+    fn injected_transient_fault_heals_on_retry() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.write_at(id, 0, b"hello");
+        fs.attach_injector(Arc::new(FaultInjector::new(FaultPlan::new().rule(
+            FaultRule::new(FaultScope::Files(vec![id]), FaultKind::TransientError).count(1),
+        ))));
+        let err = fs.checked_read_at(id, 0, 5).unwrap_err();
+        assert_eq!(err.class(), crate::fault::FaultClass::Transient);
+        assert_eq!(fs.checked_read_at(id, 0, 5).unwrap(), b"hello");
+        fs.detach_injector();
+        assert!(fs.injector().is_none());
+    }
+
+    #[test]
+    fn injected_corruption_leaves_store_pristine() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.write_at(id, 0, b"payload!");
+        fs.attach_injector(Arc::new(FaultInjector::new(FaultPlan::new().rule(
+            FaultRule::new(FaultScope::Files(vec![id]), FaultKind::CorruptRead).count(1),
+        ))));
+        let bad = fs.checked_read_at(id, 0, 8).unwrap();
+        assert_ne!(bad, b"payload!", "first read is corrupted on the wire");
+        let good = fs.checked_read_at(id, 0, 8).unwrap();
+        assert_eq!(good, b"payload!", "stored bytes were never touched");
+    }
+
+    #[test]
+    fn torn_write_applies_prefix_and_retry_repairs() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
+        let fs = FileStore::new();
+        let id = fs.create("f");
+        fs.attach_injector(Arc::new(FaultInjector::new(FaultPlan::new().rule(
+            FaultRule::new(FaultScope::Files(vec![id]), FaultKind::ShortWrite).count(1),
+        ))));
+        let err = fs.try_write_at(id, 0, b"abcdefgh").unwrap_err();
+        match err {
+            StorageError::ShortWrite {
+                written, requested, ..
+            } => {
+                assert_eq!((written, requested), (4, 8));
+                assert_eq!(fs.len(id), 4, "torn prefix landed");
+            }
+            other => panic!("expected torn write, got {other}"),
+        }
+        fs.try_write_at(id, 0, b"abcdefgh").unwrap();
+        assert_eq!(fs.read_at(id, 0, 8), b"abcdefgh");
+    }
+
+    #[test]
+    fn blackout_presents_files_as_gone() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
+        let fs = FileStore::with_namespace(3);
+        let id = fs.create("snapshots/pyaes/ws_pages");
+        fs.write_at(id, 0, b"ws");
+        assert!(fs.try_read_at(id, 0, 2).is_some());
+        fs.attach_injector(Arc::new(FaultInjector::new(FaultPlan::new().rule(
+            FaultRule::new(FaultScope::Namespace(3), FaultKind::Blackout),
+        ))));
+        assert!(fs.try_read_at(id, 0, 2).is_none(), "blackout reads as dead");
+        assert_eq!(fs.generation(id), None, "blackout hides the generation");
+        assert!(matches!(
+            fs.checked_read_at(id, 0, 2),
+            Err(StorageError::Unavailable { .. })
+        ));
+        assert!(fs.try_write_at(id, 0, b"xy").is_err());
+        fs.detach_injector();
+        assert_eq!(fs.try_read_at(id, 0, 2).unwrap(), b"ws");
+        assert!(fs.generation(id).is_some());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod device;
 pub mod disk;
+pub mod fault;
 pub mod file_store;
 pub mod fio;
 pub mod frame_cache;
@@ -42,6 +43,10 @@ pub mod page_cache;
 
 pub use device::{DeviceProfile, DiskKind};
 pub use disk::{Access, Disk, DiskStats, ReadOutcome};
+pub use fault::{
+    FaultClass, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope, InjectorStats,
+    StorageError,
+};
 pub use file_store::{FileId, FileStore};
 pub use frame_cache::{FrameCacheGone, FrameCacheStats, SnapshotFrameCache};
 pub use io_trace::{IoKind, IoRecord, IoTrace};

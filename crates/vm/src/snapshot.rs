@@ -8,7 +8,7 @@
 
 use functionbench::FunctionId;
 use guest_mem::{PageIdx, PageRun, PAGE_SIZE};
-use sim_storage::{FileId, FileStore};
+use sim_storage::{FileId, FileStore, StorageError};
 
 use crate::vm::{MicroVm, VmConfig};
 use crate::vmm::VmmState;
@@ -32,6 +32,29 @@ pub struct Snapshot {
     pub vmm_checksum: u64,
 }
 
+/// Transient write attempts per capture operation before giving up.
+/// Capture writes are idempotent (fixed offsets), so torn and transient
+/// faults heal on reissue — the same policy the WS artifact writer uses.
+const CAPTURE_WRITE_RETRIES: u32 = 3;
+
+/// Reissues an idempotent capture write through transient/torn faults;
+/// panics on anything that cannot heal (dead file, blackout) or once the
+/// retry budget is exhausted.
+fn capture_write(fs: &FileStore, id: FileId, offset: u64, bytes: &[u8]) {
+    let mut last: Result<(), StorageError> = Ok(());
+    for _ in 0..CAPTURE_WRITE_RETRIES {
+        last = fs.try_write_at(id, offset, bytes);
+        match &last {
+            Ok(()) => return,
+            Err(StorageError::ShortWrite { .. }) | Err(StorageError::Transient { .. }) => {}
+            Err(e) => panic!("snapshot capture failed: {e}"),
+        }
+    }
+    if let Err(e) = last {
+        panic!("snapshot capture failed after {CAPTURE_WRITE_RETRIES} attempts: {e}");
+    }
+}
+
 impl Snapshot {
     /// Captures `vm` into two files under `prefix` in `fs`.
     ///
@@ -45,7 +68,7 @@ impl Snapshot {
         assert!(vm.is_paused(), "snapshot requires a paused VM");
         let vmm = vm.vmm_state();
         let vmm_file = fs.create(&format!("{prefix}/vmm_state"));
-        fs.write_at(vmm_file, 0, vmm.as_bytes());
+        capture_write(fs, vmm_file, 0, vmm.as_bytes());
 
         let mem = vm.memory();
         let mem_file = fs.create(&format!("{prefix}/guest_mem"));
@@ -56,7 +79,7 @@ impl Snapshot {
             buf.resize(run.byte_len() as usize, 0);
             mem.read_run_into(run, &mut buf)
                 .expect("resident run has bytes");
-            fs.write_at(mem_file, run.file_offset(), &buf);
+            capture_write(fs, mem_file, run.file_offset(), &buf);
         }
         Snapshot {
             function: vm.function(),
@@ -78,10 +101,15 @@ impl Snapshot {
     ///
     /// # Errors
     ///
-    /// Returns an error if the file is corrupt or does not match the
+    /// Returns an error if the file is corrupt, cannot be read (the
+    /// rendered [`sim_storage::StorageError`] is embedded so callers can
+    /// classify transient faults and blackouts), or does not match the
     /// checksum recorded at capture.
     pub fn load_vmm_state(&self, fs: &FileStore) -> Result<VmmState, String> {
-        let bytes = fs.read_at(self.vmm_file, 0, fs.len(self.vmm_file) as usize);
+        let len = fs.checked_len(self.vmm_file).map_err(|e| e.to_string())?;
+        let bytes = fs
+            .checked_read_at(self.vmm_file, 0, len as usize)
+            .map_err(|e| e.to_string())?;
         let state = VmmState::from_bytes(bytes)?;
         if state.checksum() != self.vmm_checksum {
             return Err("VMM state checksum mismatch".to_string());
