@@ -665,6 +665,48 @@ fn bench_fault_recovery(r: &mut Report) {
     }
 }
 
+/// The telemetry pipeline's two hot paths:
+///
+/// * `telemetry/record_flush_64fn` — one reporting interval: 64 spans
+///   (the §6.5 batch width, spread over 64 function names) recorded into
+///   a fresh sink and flushed as checksummed columnar batches. This is
+///   the overhead an orchestrator pays per 64-invocation batch when
+///   telemetry is on.
+/// * `telemetry/report_scan_1m` — the query side: a full percentile
+///   report (decode + checksum-verify every batch, group, sort, exact
+///   nearest-rank) over a store holding one million synthetic spans.
+fn bench_telemetry(r: &mut Report) {
+    use vhive_telemetry::{latency_report, synthesize, TelemetrySink};
+
+    let record_name = "telemetry/record_flush_64fn";
+    if r.wants(record_name) {
+        let names: Vec<String> = (0..64).map(|i| format!("fn-{i:02}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        r.add(record_name, || {
+            let sink = TelemetrySink::new(FileStore::new());
+            synthesize(&sink, 0xBEAC0, 64, 4, &name_refs);
+            assert_eq!(sink.flushed_spans(), 64);
+        });
+    }
+
+    let scan_name = "telemetry/report_scan_1m";
+    if r.wants(scan_name) {
+        let store = FileStore::new();
+        synthesize(
+            &TelemetrySink::new(store.clone()),
+            42,
+            1_000_000,
+            3,
+            &["helloworld", "chameleon", "pyaes", "json_serdes"],
+        );
+        r.add(scan_name, || {
+            let report = latency_report(&store);
+            assert_eq!(report.total_count(), 1_000_000);
+            assert_eq!(report.scan.batches_dropped, 0);
+        });
+    }
+}
+
 fn bench_timeline(r: &mut Report, fs: &FileStore) {
     if !r.wants("timeline/2000_serial_faults") {
         return;
@@ -793,6 +835,7 @@ fn main() {
     bench_timeline(&mut report, &fs);
     bench_cluster(&mut report);
     bench_fault_recovery(&mut report);
+    bench_telemetry(&mut report);
     assert!(
         !report.entries.is_empty(),
         "--filter matched no benchmark group"

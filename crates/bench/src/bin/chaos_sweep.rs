@@ -6,8 +6,25 @@
 //! `--faults on` and `--faults off` must print byte-identical CSV
 //! columns, because every injected fault either retries, reloads, or
 //! re-routes without touching the timed pass. The `chaos-smoke` CI job
-//! diffs exactly that. Recovery work, shard health and wall-clock go to
-//! stderr (stdout stays deterministic).
+//! diffs exactly that. Recovery work and shard health go to stderr as
+//! machine-parseable CSV blocks (see below) so CI can assert on recovery
+//! counts; wall-clock stays in parenthesized comment lines that no
+//! parser should touch. stdout stays deterministic.
+//!
+//! stderr format — two CSV blocks, each `header → rows → end marker`:
+//!
+//! ```text
+//! round,function,seq,transient_retries,corrupt_reloads,quarantined,fallback_vanilla,rebuilt,rerouted
+//! 0,pyaes,4,2,0,false,false,false,false
+//! --- end recovery csv ---
+//! round,shard,health
+//! 0,0,Dead
+//! 0,1,Healthy
+//! --- end health csv ---
+//! ```
+//!
+//! Headers print even when a block has no rows, so `--faults off` yields
+//! an empty-but-well-formed recovery block (CI asserts zero rows there).
 //!
 //! Flags: `--quick` (fewer functions/rounds for CI smoke), `--seed N`
 //! (cluster seed, default `0xC0FFEE`), `--faults on|off` (default on).
@@ -118,6 +135,8 @@ fn main() {
     }
 
     let rounds = if quick { 2 } else { 4 };
+    let mut recovery_rows: Vec<String> = Vec::new();
+    let mut health_rows: Vec<String> = Vec::new();
     let mut t = Table::new(&[
         "function",
         "policy",
@@ -149,19 +168,44 @@ fn main() {
                 &o.recorded.to_string(),
             ]);
             if !o.recovery.is_clean() {
-                eprintln!(
-                    "(round {round}: {} seq {} recovered via {:?})",
-                    o.function, o.seq, o.recovery
-                );
+                let r = &o.recovery;
+                recovery_rows.push(format!(
+                    "{round},{},{},{},{},{},{},{},{}",
+                    o.function,
+                    o.seq,
+                    r.transient_retries,
+                    r.corrupt_reloads,
+                    r.quarantined,
+                    r.fallback_vanilla,
+                    r.rebuilt,
+                    r.rerouted,
+                ));
             }
         }
+        for (shard, health) in batch.shard_health.iter().enumerate() {
+            health_rows.push(format!("{round},{shard},{health:?}"));
+        }
         eprintln!(
-            "(round {round}: health {:?}, makespan {:.1} ms, served in {:.1} ms wall)",
-            batch.shard_health,
+            "(round {round}: makespan {:.1} ms, served in {:.1} ms wall)",
             batch.makespan.as_millis_f64(),
             batch.serve_wall.as_secs_f64() * 1e3,
         );
     }
+
+    // The machine-parseable stderr blocks (format in the module docs).
+    eprintln!(
+        "round,function,seq,transient_retries,corrupt_reloads,quarantined,\
+         fallback_vanilla,rebuilt,rerouted"
+    );
+    for row in &recovery_rows {
+        eprintln!("{row}");
+    }
+    eprintln!("--- end recovery csv ---");
+    eprintln!("round,shard,health");
+    for row in &health_rows {
+        eprintln!("{row}");
+    }
+    eprintln!("--- end health csv ---");
 
     vhive_bench::emit(
         &format!("Chaos sweep: {rounds} REAP batches, {shards} shards, seed {seed:#x}"),

@@ -1,0 +1,107 @@
+//! `telemetry-report`: percentile latency tables over a telemetry store,
+//! in the spirit of `startled`'s report stage — scan the columnar span
+//! batches, group by function × policy × shard, and print
+//! Min/P50/P95/P99/Max (exact nearest-rank, never interpolated).
+//!
+//! Two sources:
+//!
+//! * `--synth N` (default 10000) — a seeded synthetic stream shaped like
+//!   the reproduction (the Fig 7 policy ladder, hash-homed shards, rare
+//!   recovery events). Pure function of `--seed`, so the `telemetry-smoke`
+//!   CI job byte-diffs this output against a checked-in golden file.
+//!   Scales to millions of spans in seconds (`--synth 1000000`).
+//! * `--invoke N` — N real cold invocations per policy round-robined
+//!   through a telemetry-attached [`ClusterOrchestrator`]; slower, but
+//!   the percentiles are the simulator's own.
+//!
+//! Flags: `--synth N | --invoke N`, `--seed S` (default 42), `--shards K`
+//! (default 3), `--functions a,b,c` (synth mode only).
+
+use functionbench::FunctionId;
+use sim_storage::FileStore;
+use vhive_cluster::ClusterOrchestrator;
+use vhive_core::ColdPolicy;
+use vhive_telemetry::{latency_report, synthesize, TelemetrySink};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{name} needs a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let synth: Option<u64> = flag_value(&args, "--synth").map(|v| v.parse().expect("--synth N"));
+    let invoke: Option<u64> = flag_value(&args, "--invoke").map(|v| v.parse().expect("--invoke N"));
+    let seed: u64 = flag_value(&args, "--seed").map_or(42, |v| v.parse().expect("--seed N"));
+    let shards: u32 = flag_value(&args, "--shards").map_or(3, |v| v.parse().expect("--shards K"));
+    let functions = flag_value(&args, "--functions")
+        .unwrap_or_else(|| "helloworld,chameleon,pyaes,json_serdes".into());
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match a.as_str() {
+            "--synth" | "--invoke" | "--seed" | "--shards" | "--functions" => skip_value = true,
+            other if other.starts_with("--") => panic!(
+                "unknown flag {other}; supported: --synth N, --invoke N, --seed S, \
+                 --shards K, --functions a,b,c"
+            ),
+            _ => {}
+        }
+    }
+    assert!(
+        synth.is_none() || invoke.is_none(),
+        "--synth and --invoke are mutually exclusive"
+    );
+    assert!(shards > 0, "--shards must be at least 1");
+
+    let store = FileStore::new();
+    let sink = TelemetrySink::new(store.clone());
+    let (source, n) = if let Some(n) = invoke {
+        // Real invocations: every function recorded once, then N cold
+        // starts round-robined over the four policies (plus a warm hit
+        // each round so the warm floor shows up in the table).
+        let funcs = [FunctionId::helloworld, FunctionId::pyaes];
+        let mut c = ClusterOrchestrator::new(seed, shards as usize);
+        c.set_telemetry(Some(sink.clone()));
+        for f in funcs {
+            c.register(f);
+            c.invoke_record(f);
+        }
+        for i in 0..n {
+            let f = funcs[(i % funcs.len() as u64) as usize];
+            c.invoke_cold(f, ColdPolicy::ALL[(i % 4) as usize]);
+            c.invoke_warm(f);
+        }
+        sink.flush();
+        ("invoked", n)
+    } else {
+        let n = synth.unwrap_or(10_000);
+        let names: Vec<&str> = functions.split(',').filter(|s| !s.is_empty()).collect();
+        synthesize(&sink, seed, n, shards, &names);
+        ("synthetic", n)
+    };
+
+    let report = latency_report(&store);
+    eprintln!(
+        "(scanned {} spans across {} batches, {} dropped)",
+        report.scan.spans, report.scan.batches_ok, report.scan.batches_dropped
+    );
+    vhive_bench::emit(
+        &format!(
+            "Telemetry report: {n} {source} spans, {shards} shards, seed {seed}, \
+             {} groups",
+            report.groups.len()
+        ),
+        "Exact nearest-rank percentiles per function x policy x shard,\n\
+         scanned from checksummed columnar batches (corrupt or truncated\n\
+         batches are dropped, never parsed). Same API as\n\
+         vhive_telemetry::latency_report.",
+        &report.table(),
+    );
+}

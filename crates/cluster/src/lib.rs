@@ -66,15 +66,10 @@ pub use sweep::{cluster_concurrent, shard_lane_sweep, ClusterScalePoint};
 
 use functionbench::FunctionId;
 
-/// SplitMix64 finalizer: the shard hash. Pure arithmetic over the
-/// function id — identical on every host, independent of seed, so a
-/// function's home shard is a stable property of the cluster geometry.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+// SplitMix64 finalizer: the shard hash. Pure arithmetic over the function
+// id — identical on every host, independent of seed, so a function's home
+// shard is a stable property of the cluster geometry.
+use sim_core::hash::splitmix64;
 
 /// Home shard of `f` in a cluster of `shards` shards.
 ///

@@ -14,6 +14,7 @@ use vhive_core::{
     ColdPolicy, HostCostModel, InstanceFiles, InvocationOutcome, Orchestrator, PreparedCold,
     RegisterInfo, ReapFiles, ShardUnavailable,
 };
+use vhive_telemetry::TelemetrySink;
 
 use crate::shard_for;
 
@@ -327,6 +328,20 @@ impl ClusterOrchestrator {
         self.frame_cache().clear();
     }
 
+    /// Attaches (or detaches, with `None`) one telemetry sink to every
+    /// shard, tagging each shard's spans with its index. Delegated single
+    /// invocations emit from their serving shard; concurrent batches emit
+    /// in request order after the shared timed pass, tagged with the
+    /// shard that actually served each request (failover included).
+    /// Simulated outcomes are byte-identical with telemetry on or off
+    /// (pinned by the invariance proptests).
+    pub fn set_telemetry(&mut self, sink: Option<TelemetrySink>) {
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_telemetry(sink.clone());
+            shard.set_telemetry_shard(k as u32);
+        }
+    }
+
     /// Registers `f` on its home shard (boot + snapshot capture).
     pub fn register(&mut self, f: FunctionId) -> RegisterInfo {
         self.home_mut(f).register(f)
@@ -428,6 +443,7 @@ impl ClusterOrchestrator {
         let mut slots: Vec<Option<PreparedCold>> = (0..n).map(|_| None).collect();
         let mut rerouted = vec![false; n];
         let mut rebuilt = vec![false; n];
+        let mut served_by = vec![0usize; n];
         // Every request starts pending; failed ones re-queue for the next
         // round. Each extra round kills at least one shard, so the round
         // count is bounded by the shard count.
@@ -509,6 +525,7 @@ impl ClusterOrchestrator {
                         {
                             self.health[shard_idx] = ShardHealth::Degraded;
                         }
+                        served_by[i] = shard_idx;
                         slots[i] = Some(p);
                     }
                     Err(_) => {
@@ -550,7 +567,7 @@ impl ClusterOrchestrator {
         let disk_stats = tl.disk_stats();
 
         let mut makespan = SimDuration::ZERO;
-        let outcomes = prepared
+        let outcomes: Vec<InvocationOutcome> = prepared
             .into_iter()
             .zip(results)
             .map(|(p, r)| {
@@ -558,6 +575,12 @@ impl ClusterOrchestrator {
                 p.into_outcome(r, disk_stats)
             })
             .collect();
+        // Telemetry: one span per request, in request order, tagged with
+        // the shard that actually served it (emit_telemetry is a no-op
+        // without an attached sink).
+        for (i, outcome) in outcomes.iter().enumerate() {
+            self.shards[served_by[i]].emit_telemetry(outcome);
+        }
         ClusterBatch {
             outcomes,
             disk_stats,

@@ -12,9 +12,10 @@ use std::sync::Arc;
 use functionbench::FunctionId;
 use proptest::prelude::*;
 use sim_core::{DetRng, SimDuration};
-use sim_storage::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
+use sim_storage::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope, FileStore};
 use vhive_cluster::{ClusterOrchestrator, ColdRequest, ShardHealth};
 use vhive_core::{ColdPolicy, InvocationOutcome, RecoveryReport};
+use vhive_telemetry::{scan, TelemetrySink};
 
 /// Light two-function workload. Distinct functions per request keep
 /// batch outcomes placement-independent: same-function shared requests
@@ -119,6 +120,74 @@ fn chaos_case(seed: u64) {
     }
 }
 
+/// The chaos telemetry arm: under the same seeded fault families as
+/// [`chaos_case`], every span record emitted for the batch carries
+/// `transient_retries` / `corrupt_reloads` / `retry_delay` /
+/// `quarantined` / `fallback_vanilla` / `rebuilt` / `rerouted` exactly
+/// equal to its outcome's [`RecoveryReport`] — the telemetry stream is a
+/// faithful copy of the recovery ledger, not a recomputation.
+fn chaos_telemetry_case(seed: u64) {
+    let shards = 3usize;
+    let mut rng = DetRng::new(seed ^ 0xC0FF_EE00);
+    let kill = rng.gen_bool(0.5).then(|| rng.usize_in(0, shards));
+    let corrupt = rng.gen_bool(0.5).then(|| FUNCS[rng.usize_in(0, FUNCS.len())]);
+    let transient_target =
+        ["vmm_state", "ws_pages", "ws_trace", "guest_mem"][rng.usize_in(0, 4)];
+    let transients = rng.gen_range(4);
+    let fault_shard = rng.usize_in(0, shards);
+
+    let mut c = prepared_cluster(seed, shards);
+    if let Some(f) = corrupt {
+        let fs = c.shard(c.route_of(f)).fs();
+        let ws = fs.open(&format!("snapshots/{f}/ws_pages")).unwrap();
+        fs.write_at(ws, 0, &[0xA5, 0x5A, 0xA5, 0x5A]);
+    }
+    let mut plan = FaultPlan::new();
+    if transients > 0 {
+        plan = plan.rule(
+            FaultRule::new(
+                FaultScope::NameContains(transient_target.into()),
+                FaultKind::TransientError,
+            )
+            .count(transients),
+        );
+    }
+    c.shard(fault_shard)
+        .fs()
+        .attach_injector(Arc::new(FaultInjector::new(plan)));
+    if let Some(k) = kill {
+        c.fail_shard(k);
+    }
+
+    // Attach the sink only now: setup records stay out of the stream,
+    // so spans line up 1:1 with the batch outcomes in request order.
+    let sink = TelemetrySink::new(FileStore::new());
+    c.set_telemetry(Some(sink.clone()));
+    let batch = c.invoke_concurrent(&reap_batch());
+    sink.flush();
+    let (spans, stats) = scan(sink.store());
+    prop_assert_eq!(stats.batches_dropped, 0);
+    prop_assert_eq!(spans.len(), batch.outcomes.len());
+    for (span, out) in spans.iter().zip(&batch.outcomes) {
+        let ledger = &out.recovery;
+        prop_assert_eq!(&span.function, &out.function.to_string());
+        prop_assert_eq!(span.transient_retries, ledger.transient_retries, "f={}", out.function);
+        prop_assert_eq!(span.corrupt_reloads, ledger.corrupt_reloads, "f={}", out.function);
+        prop_assert_eq!(span.retry_delay_ns, ledger.retry_delay.as_nanos(), "f={}", out.function);
+        prop_assert_eq!(span.quarantined, ledger.quarantined, "f={}", out.function);
+        prop_assert_eq!(span.fallback_vanilla, ledger.fallback_vanilla, "f={}", out.function);
+        prop_assert_eq!(span.rebuilt, ledger.rebuilt, "f={}", out.function);
+        prop_assert_eq!(span.rerouted, ledger.rerouted, "f={}", out.function);
+    }
+    // And the arm is not vacuous: a killed shard must surface as at
+    // least one rerouted span whenever it owned one of the functions.
+    if let Some(k) = kill {
+        let rerouted_expected = batch.outcomes.iter().any(|o| o.recovery.rerouted);
+        prop_assert_eq!(spans.iter().any(|s| s.rerouted), rerouted_expected);
+        prop_assert_eq!(batch.shard_health[k], ShardHealth::Dead);
+    }
+}
+
 /// One corrupted-v1 case: corrupted *v1-format* artifact bytes — a
 /// garbage magic, or a v1 header whose page count promises far more
 /// bytes than the file holds — fed through concurrent batches quarantine
@@ -167,6 +236,11 @@ proptest! {
     #[test]
     fn chaos_plans_never_drop_requests_or_change_outcomes(seed in 0u64..10_000) {
         chaos_case(seed);
+    }
+
+    #[test]
+    fn chaos_spans_copy_the_recovery_ledger_exactly(seed in 0u64..10_000) {
+        chaos_telemetry_case(seed);
     }
 
     #[test]

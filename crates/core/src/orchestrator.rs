@@ -12,7 +12,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use functionbench::{FunctionId, GuestOp, InputGenerator};
-use guest_mem::{fnv1a64, PageBitmap, PageIdx, PageRun};
+use guest_mem::{PageBitmap, PageIdx, PageRun};
+use sim_core::hash::fnv1a64;
 use microvm::{
     run_lazy, run_resident, verify_restored_cached, BootCostModel, ExecutionTrace, FaultHandler,
     MicroVm, Snapshot, VmConfig,
@@ -33,6 +34,7 @@ use crate::monitor::{Monitor, MonitorMode, MonitorStats, PrefetchError};
 use crate::recovery::{AttemptError, RebuildMeta, RecoveryReport, RetryPolicy, ShardUnavailable};
 use crate::timeline::Timeline;
 use crate::ws_file::{read_trace_file, read_trace_runs, ReapFiles};
+use vhive_telemetry::{SpanRecord, TelemetrySink};
 
 /// What `register` produced for a function.
 #[derive(Debug, Clone, Copy)]
@@ -241,6 +243,14 @@ pub struct Orchestrator {
     /// against their record-time digests before use (catches *silent*
     /// corruption of the stored bytes; off by default).
     verify_artifacts: bool,
+    /// Per-invocation span sink (off by default; see
+    /// [`set_telemetry`](Self::set_telemetry)). Recording reads completed
+    /// outcomes only — simulated results are byte-identical with
+    /// telemetry on or off.
+    telemetry: Option<TelemetrySink>,
+    /// Shard index stamped on emitted spans (0 standalone; the cluster
+    /// layer sets each shard's index).
+    telemetry_shard: u32,
     functions: HashMap<FunctionId, FunctionState>,
 }
 
@@ -289,6 +299,8 @@ impl Orchestrator {
             frame_cache_enabled: true,
             retry_policy: RetryPolicy::default(),
             verify_artifacts: false,
+            telemetry: None,
+            telemetry_shard: 0,
             functions: HashMap::new(),
         }
     }
@@ -375,6 +387,84 @@ impl Orchestrator {
     /// again.
     pub fn drop_caches(&mut self) {
         self.frame_cache.clear();
+    }
+
+    /// Attaches (or detaches, with `None`) a telemetry sink: every
+    /// completed invocation emits one [`SpanRecord`] into it. Off by
+    /// default. Recording reads finished outcomes only, so simulated
+    /// results are byte-identical with telemetry on or off (pinned by
+    /// the invariance proptests in `tests/telemetry.rs`). Point the sink
+    /// at its own `FileStore`, not this orchestrator's snapshot store.
+    pub fn set_telemetry(&mut self, sink: Option<TelemetrySink>) {
+        self.telemetry = sink;
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.telemetry.as_ref()
+    }
+
+    /// Sets the shard index stamped on emitted spans (the cluster layer
+    /// tags each shard; standalone orchestrators stay at 0).
+    pub fn set_telemetry_shard(&mut self, shard: u32) {
+        self.telemetry_shard = shard;
+    }
+
+    /// Emits the span of a completed invocation into the attached sink
+    /// (no-op without one). The cluster layer calls this for outcomes it
+    /// assembled itself; frame-cache columns are zero on that path —
+    /// concurrent lanes share one cache, so per-invocation attribution
+    /// does not exist there.
+    pub fn emit_telemetry(&self, outcome: &InvocationOutcome) {
+        self.emit_span(outcome, FrameCacheStats::default(), FrameCacheStats::default());
+    }
+
+    /// Builds and records the span for `outcome`, charging it the
+    /// frame-cache delta between the `before`/`after` counter snapshots.
+    fn emit_span(&self, outcome: &InvocationOutcome, before: FrameCacheStats, after: FrameCacheStats) {
+        let Some(sink) = &self.telemetry else {
+            return;
+        };
+        let policy = match outcome.policy {
+            None => "Warm".to_string(),
+            Some(_) if outcome.recorded => "Record".to_string(),
+            Some(p) => format!("{p:?}"),
+        };
+        sink.record(SpanRecord {
+            function: outcome.function.to_string(),
+            policy,
+            shard: self.telemetry_shard,
+            seq: outcome.seq,
+            cold: outcome.policy.is_some(),
+            recorded: outcome.recorded,
+            load_vmm_ns: outcome.breakdown.load_vmm.as_nanos(),
+            fetch_ws_ns: outcome.breakdown.fetch_ws.as_nanos(),
+            install_ws_ns: outcome.breakdown.install_ws.as_nanos(),
+            conn_restore_ns: outcome.breakdown.conn_restore.as_nanos(),
+            processing_ns: outcome.breakdown.processing.as_nanos(),
+            record_finish_ns: outcome.breakdown.record_finish.as_nanos(),
+            latency_ns: outcome.latency.as_nanos(),
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
+            cache_raced: after.raced - before.raced,
+            transient_retries: outcome.recovery.transient_retries,
+            corrupt_reloads: outcome.recovery.corrupt_reloads,
+            retry_delay_ns: outcome.recovery.retry_delay.as_nanos(),
+            quarantined: outcome.recovery.quarantined,
+            fallback_vanilla: outcome.recovery.fallback_vanilla,
+            rebuilt: outcome.recovery.rebuilt,
+            rerouted: outcome.recovery.rerouted,
+        });
+    }
+
+    /// Frame-cache counters if telemetry wants a delta, else default
+    /// (skips the cache lock on the telemetry-off path).
+    fn telemetry_cache_mark(&self) -> FrameCacheStats {
+        if self.telemetry.is_some() {
+            self.frame_cache.stats()
+        } else {
+            FrameCacheStats::default()
+        }
     }
 
 
@@ -1206,9 +1296,12 @@ impl Orchestrator {
     /// [`invoke_cold`](Self::invoke_cold) calls with prefetch policies use
     /// the recorded files.
     pub fn invoke_record(&mut self, f: FunctionId) -> InvocationOutcome {
+        let cache_before = self.telemetry_cache_mark();
         let mut prepared = self.prepare_record(f, SimTime::ZERO);
         let (results, disk) = self.run_timed(vec![prepared.take_program()]);
-        prepared.into_outcome(results[0], disk)
+        let outcome = prepared.into_outcome(results[0], disk);
+        self.emit_span(&outcome, cache_before, self.telemetry_cache_mark());
+        outcome
     }
 
     /// One cold invocation under `policy`.
@@ -1218,9 +1311,12 @@ impl Orchestrator {
     /// Panics if the function is unregistered or a prefetch policy is used
     /// before [`invoke_record`](Self::invoke_record).
     pub fn invoke_cold(&mut self, f: FunctionId, policy: ColdPolicy) -> InvocationOutcome {
+        let cache_before = self.telemetry_cache_mark();
         let mut prepared = self.prepare_cold(f, policy, SimTime::ZERO);
         let (results, disk) = self.run_timed(vec![prepared.take_program()]);
-        prepared.into_outcome(results[0], disk)
+        let outcome = prepared.into_outcome(results[0], disk);
+        self.emit_span(&outcome, cache_before, self.telemetry_cache_mark());
+        outcome
     }
 
     /// One warm invocation: the instance is memory-resident; no VMM load,
@@ -1259,7 +1355,10 @@ impl Orchestrator {
             input_seq: seq,
             recorded: None,
         };
-        outcome_of(f, None, false, run, results[0], disk, None, RecoveryReport::default())
+        let outcome =
+            outcome_of(f, None, false, run, results[0], disk, None, RecoveryReport::default());
+        self.emit_telemetry(&outcome);
+        outcome
     }
 }
 

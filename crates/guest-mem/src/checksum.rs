@@ -3,51 +3,71 @@
 //! The functional layer verifies that a restored instance's resident pages
 //! are byte-identical to the snapshot (and that REAP's working-set file
 //! round-trips losslessly) by comparing FNV-1a fingerprints.
+//!
+//! The implementations live in [`sim_core::hash`] — this module re-exports
+//! them so the long-standing `guest_mem::fnv1a64` surface (used by the
+//! storage, core and guest-os layers) stays stable.
 
-/// 64-bit FNV-1a hash.
-///
-/// # Example
-///
-/// ```
-/// use guest_mem::fnv1a64;
-///
-/// assert_ne!(fnv1a64(b"page A"), fnv1a64(b"page B"));
-/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
-/// ```
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
-
-/// Deterministically fills `buf` with content derived from a label and an
-/// index — used to give every synthetic guest page distinctive,
-/// verifiable contents.
-pub fn fill_deterministic(buf: &mut [u8], label: u64, index: u64) {
-    let mut state = fnv1a64(&label.to_le_bytes()) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    for chunk in buf.chunks_mut(8) {
-        // xorshift64* step per 8 bytes.
-        state ^= state >> 12;
-        state ^= state << 25;
-        state ^= state >> 27;
-        let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
-        let bytes = v.to_le_bytes();
-        chunk.copy_from_slice(&bytes[..chunk.len()]);
-    }
-}
+pub use sim_core::hash::{fill_deterministic, fnv1a64, Fnv1a64};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // Equivalence pins against the implementation this module carried
+    // before it delegated to sim_core::hash.
+    fn legacy_fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    fn legacy_fill_deterministic(buf: &mut [u8], label: u64, index: u64) {
+        let mut state =
+            legacy_fnv1a64(&label.to_le_bytes()) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for chunk in buf.chunks_mut(8) {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let bytes = v.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
 
     #[test]
     fn fnv_known_vectors() {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv_matches_legacy_implementation() {
+        let mut data = Vec::new();
+        for i in 0u32..4096 {
+            data.push((i.wrapping_mul(2654435761) >> 13) as u8);
+            assert_eq!(fnv1a64(&data), legacy_fnv1a64(&data), "len {}", data.len());
+            if data.len() >= 64 {
+                break;
+            }
+        }
+        let page: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
+        assert_eq!(fnv1a64(&page), legacy_fnv1a64(&page));
+    }
+
+    #[test]
+    fn fill_matches_legacy_implementation() {
+        for (label, index, len) in [(7u64, 42u64, 4096usize), (1, 2, 13), (0, 0, 8), (9, 1, 1)] {
+            let mut new_buf = vec![0u8; len];
+            let mut old_buf = vec![0u8; len];
+            fill_deterministic(&mut new_buf, label, index);
+            legacy_fill_deterministic(&mut old_buf, label, index);
+            assert_eq!(new_buf, old_buf, "label {label} index {index} len {len}");
+        }
     }
 
     #[test]
@@ -67,8 +87,6 @@ mod tests {
     fn fill_handles_non_multiple_of_eight() {
         let mut buf = [0u8; 13];
         fill_deterministic(&mut buf, 1, 2);
-        // No panic, and the tail is filled too (nonzero with overwhelming
-        // probability for this label/index pair).
         assert!(buf.iter().any(|&b| b != 0));
     }
 }

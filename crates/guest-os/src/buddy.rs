@@ -230,14 +230,13 @@ impl BuddyAllocator {
     /// allocator will serve identical future request sequences — the
     /// snapshot-restoration property of §4.4.
     pub fn state_fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = guest_mem::checksum::Fnv1a64::new();
         for (order, set) in self.free_lists.iter().enumerate() {
             for &off in set {
-                h ^= (order as u64) << 56 | off;
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                h.write_u64_word((order as u64) << 56 | off);
             }
         }
-        h
+        h.finish()
     }
 }
 
@@ -247,6 +246,24 @@ mod tests {
 
     fn new_buddy(pages: u64) -> BuddyAllocator {
         BuddyAllocator::new(PageIdx::new(0), pages)
+    }
+
+    #[test]
+    fn state_fingerprint_matches_legacy_inline_hash() {
+        let mut b = new_buddy(1024);
+        let a1 = b.alloc_pages(3).unwrap();
+        let _a2 = b.alloc_pages(1).unwrap();
+        b.free(a1).unwrap();
+        // The loop state_fingerprint carried inline before delegating to
+        // the shared streaming hasher.
+        let mut legacy: u64 = 0xcbf2_9ce4_8422_2325;
+        for (order, set) in b.free_lists.iter().enumerate() {
+            for &off in set {
+                legacy ^= (order as u64) << 56 | off;
+                legacy = legacy.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        assert_eq!(b.state_fingerprint(), legacy);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod events;
+pub mod hash;
 pub mod lanes;
 pub mod parcopy;
 pub mod resource;
@@ -42,6 +43,7 @@ pub mod table;
 pub mod time;
 
 pub use events::EventQueue;
+pub use hash::{fnv1a64, Fnv1a64};
 pub use lanes::{effective_lanes, partition_by_weight, MAX_PREFETCH_LANES};
 pub use parcopy::{copy_par, extend_par, extend_scatter};
 pub use resource::{MultiServer, TokenPool};

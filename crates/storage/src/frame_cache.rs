@@ -424,7 +424,7 @@ impl SnapshotFrameCache {
         let raw = fs
             .try_read_at(file, offset, len as usize)
             .ok_or(FrameCacheGone(file))?;
-        let hash = guest_mem::fnv1a64(&raw);
+        let hash = sim_core::hash::fnv1a64(&raw);
         let bytes: FrameBytes = std::sync::Arc::new(raw);
         if fs.generation(file) != Some(generation) {
             // A rewrite landed between the generation check and the read:

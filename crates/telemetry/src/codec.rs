@@ -1,0 +1,426 @@
+//! The columnar batch codec.
+//!
+//! A batch is a self-contained byte blob holding N spans in per-column
+//! contiguous encoding (the otlp2parquet OTLP→column-batch shape), closed
+//! by a checksummed footer:
+//!
+//! ```text
+//! ┌──────────────┐ 0
+//! │ magic "VTB1" │
+//! ├──────────────┤ 4
+//! │ rows   u32   │
+//! ├──────────────┤ 8
+//! │ cols   u32   │  (= 23, the fixed span schema)
+//! ├──────────────┤ 12
+//! │ column 0     │  kind u8 │ payload_len u32 │ payload
+//! │ column 1     │  str  payload: per row u32 len + bytes
+//! │  ...         │  u32  payload: rows × 4 B LE
+//! │ column 22    │  u64  payload: rows × 8 B LE
+//! ├──────────────┤  bool payload: rows × 1 B (0/1)
+//! │ checksum u64 │  FNV-1a 64 over every byte above
+//! ├──────────────┤
+//! │ magic "VTBE" │
+//! └──────────────┘
+//! ```
+//!
+//! All integers are little-endian. [`decode_batch`] verifies the trailing
+//! magic and the checksum **before** parsing anything, so a truncated tail
+//! or flipped byte anywhere in the blob surfaces as a typed
+//! [`BatchError`] — never a panic, never silently wrong columns. Readers
+//! drop the bad batch and keep the rest of the store.
+
+use crate::span::SpanRecord;
+use sim_core::hash::fnv1a64;
+
+/// Leading magic of a columnar batch.
+pub const BATCH_MAGIC: &[u8; 4] = b"VTB1";
+/// Trailing magic, after the footer checksum.
+pub const FOOTER_MAGIC: &[u8; 4] = b"VTBE";
+
+const KIND_STR: u8 = 0;
+const KIND_U32: u8 = 1;
+const KIND_U64: u8 = 2;
+const KIND_BOOL: u8 = 3;
+
+/// `(kind, accessor index)` for every column, in encoding order. The
+/// accessor index selects within the per-kind accessor functions below.
+const SCHEMA: &[(u8, usize)] = &[
+    (KIND_STR, 0),  // function
+    (KIND_STR, 1),  // policy
+    (KIND_U32, 0),  // shard
+    (KIND_U64, 0),  // seq
+    (KIND_BOOL, 0), // cold
+    (KIND_BOOL, 1), // recorded
+    (KIND_U64, 1),  // load_vmm_ns
+    (KIND_U64, 2),  // fetch_ws_ns
+    (KIND_U64, 3),  // install_ws_ns
+    (KIND_U64, 4),  // conn_restore_ns
+    (KIND_U64, 5),  // processing_ns
+    (KIND_U64, 6),  // record_finish_ns
+    (KIND_U64, 7),  // latency_ns
+    (KIND_U64, 8),  // cache_hits
+    (KIND_U64, 9),  // cache_misses
+    (KIND_U64, 10), // cache_raced
+    (KIND_U64, 11), // transient_retries
+    (KIND_U64, 12), // corrupt_reloads
+    (KIND_U64, 13), // retry_delay_ns
+    (KIND_BOOL, 2), // quarantined
+    (KIND_BOOL, 3), // fallback_vanilla
+    (KIND_BOOL, 4), // rebuilt
+    (KIND_BOOL, 5), // rerouted
+];
+
+/// Number of columns in a span batch.
+pub const COLUMNS: usize = SCHEMA.len();
+
+fn str_col(r: &SpanRecord, i: usize) -> &str {
+    match i {
+        0 => &r.function,
+        _ => &r.policy,
+    }
+}
+
+fn str_col_mut(r: &mut SpanRecord, i: usize) -> &mut String {
+    match i {
+        0 => &mut r.function,
+        _ => &mut r.policy,
+    }
+}
+
+fn u64_col(r: &SpanRecord, i: usize) -> u64 {
+    match i {
+        0 => r.seq,
+        1 => r.load_vmm_ns,
+        2 => r.fetch_ws_ns,
+        3 => r.install_ws_ns,
+        4 => r.conn_restore_ns,
+        5 => r.processing_ns,
+        6 => r.record_finish_ns,
+        7 => r.latency_ns,
+        8 => r.cache_hits,
+        9 => r.cache_misses,
+        10 => r.cache_raced,
+        11 => r.transient_retries,
+        12 => r.corrupt_reloads,
+        _ => r.retry_delay_ns,
+    }
+}
+
+fn u64_col_mut(r: &mut SpanRecord, i: usize) -> &mut u64 {
+    match i {
+        0 => &mut r.seq,
+        1 => &mut r.load_vmm_ns,
+        2 => &mut r.fetch_ws_ns,
+        3 => &mut r.install_ws_ns,
+        4 => &mut r.conn_restore_ns,
+        5 => &mut r.processing_ns,
+        6 => &mut r.record_finish_ns,
+        7 => &mut r.latency_ns,
+        8 => &mut r.cache_hits,
+        9 => &mut r.cache_misses,
+        10 => &mut r.cache_raced,
+        11 => &mut r.transient_retries,
+        12 => &mut r.corrupt_reloads,
+        _ => &mut r.retry_delay_ns,
+    }
+}
+
+fn bool_col(r: &SpanRecord, i: usize) -> bool {
+    match i {
+        0 => r.cold,
+        1 => r.recorded,
+        2 => r.quarantined,
+        3 => r.fallback_vanilla,
+        4 => r.rebuilt,
+        _ => r.rerouted,
+    }
+}
+
+fn bool_col_mut(r: &mut SpanRecord, i: usize) -> &mut bool {
+    match i {
+        0 => &mut r.cold,
+        1 => &mut r.recorded,
+        2 => &mut r.quarantined,
+        3 => &mut r.fallback_vanilla,
+        4 => &mut r.rebuilt,
+        _ => &mut r.rerouted,
+    }
+}
+
+fn u32_col(r: &SpanRecord, _i: usize) -> u32 {
+    r.shard
+}
+
+fn u32_col_mut(r: &mut SpanRecord, _i: usize) -> &mut u32 {
+    &mut r.shard
+}
+
+/// Why a batch failed to decode. Every variant means the whole batch is
+/// untrustworthy; readers drop it and continue with the next one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// Shorter than the fixed header + footer.
+    TooShort,
+    /// Leading magic is not `VTB1`.
+    BadMagic,
+    /// Trailing magic is not `VTBE` (classic truncated-tail signature).
+    BadFooterMagic,
+    /// Footer checksum does not match the batch bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the footer.
+        stored: u64,
+        /// Checksum recomputed over the batch bytes.
+        computed: u64,
+    },
+    /// Column count or a column payload disagrees with the span schema.
+    BadLayout(&'static str),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::TooShort => write!(f, "batch shorter than header + footer"),
+            BatchError::BadMagic => write!(f, "bad batch magic"),
+            BatchError::BadFooterMagic => write!(f, "bad footer magic (truncated tail?)"),
+            BatchError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "footer checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            BatchError::BadLayout(what) => write!(f, "bad column layout: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Encodes spans into one columnar batch blob.
+pub fn encode_batch(spans: &[SpanRecord]) -> Vec<u8> {
+    let rows = spans.len();
+    let mut out = Vec::with_capacity(16 + rows * 64);
+    out.extend_from_slice(BATCH_MAGIC);
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(COLUMNS as u32).to_le_bytes());
+    let mut payload = Vec::new();
+    for &(kind, idx) in SCHEMA {
+        payload.clear();
+        match kind {
+            KIND_STR => {
+                for r in spans {
+                    let s = str_col(r, idx).as_bytes();
+                    payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(s);
+                }
+            }
+            KIND_U32 => {
+                for r in spans {
+                    payload.extend_from_slice(&u32_col(r, idx).to_le_bytes());
+                }
+            }
+            KIND_U64 => {
+                for r in spans {
+                    payload.extend_from_slice(&u64_col(r, idx).to_le_bytes());
+                }
+            }
+            _ => {
+                for r in spans {
+                    payload.push(bool_col(r, idx) as u8);
+                }
+            }
+        }
+        out.push(kind);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
+    out
+}
+
+fn rd_u32(b: &[u8], off: usize) -> Option<u32> {
+    b.get(off..off + 4).map(|s| {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(s);
+        u32::from_le_bytes(a)
+    })
+}
+
+fn rd_u64(b: &[u8], off: usize) -> Option<u64> {
+    b.get(off..off + 8).map(|s| {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        u64::from_le_bytes(a)
+    })
+}
+
+/// Decodes one batch blob, verifying the footer checksum first.
+///
+/// Never panics: any truncation, bit flip or layout disagreement returns
+/// a [`BatchError`].
+pub fn decode_batch(data: &[u8]) -> Result<Vec<SpanRecord>, BatchError> {
+    const HEADER: usize = 12;
+    const FOOTER: usize = 12;
+    if data.len() < HEADER + FOOTER {
+        return Err(BatchError::TooShort);
+    }
+    if &data[..4] != BATCH_MAGIC {
+        return Err(BatchError::BadMagic);
+    }
+    let body_end = data.len() - FOOTER;
+    if &data[body_end + 8..] != FOOTER_MAGIC {
+        return Err(BatchError::BadFooterMagic);
+    }
+    let stored = rd_u64(data, body_end).ok_or(BatchError::TooShort)?;
+    let computed = fnv1a64(&data[..body_end]);
+    if stored != computed {
+        return Err(BatchError::ChecksumMismatch { stored, computed });
+    }
+    let rows = rd_u32(data, 4).ok_or(BatchError::TooShort)? as usize;
+    let cols = rd_u32(data, 8).ok_or(BatchError::TooShort)? as usize;
+    if cols != COLUMNS {
+        return Err(BatchError::BadLayout("column count"));
+    }
+    let mut spans = vec![SpanRecord::default(); rows];
+    let mut off = HEADER;
+    for &(kind, idx) in SCHEMA {
+        let got_kind = *data.get(off).ok_or(BatchError::BadLayout("column header"))?;
+        if got_kind != kind {
+            return Err(BatchError::BadLayout("column kind"));
+        }
+        let len = rd_u32(data, off + 1).ok_or(BatchError::BadLayout("column header"))? as usize;
+        off += 5;
+        let payload = data
+            .get(off..off + len)
+            .ok_or(BatchError::BadLayout("column payload"))?;
+        off += len;
+        match kind {
+            KIND_STR => {
+                let mut p = 0usize;
+                for r in &mut spans {
+                    let slen = rd_u32(payload, p).ok_or(BatchError::BadLayout("string length"))?
+                        as usize;
+                    p += 4;
+                    let bytes = payload
+                        .get(p..p + slen)
+                        .ok_or(BatchError::BadLayout("string bytes"))?;
+                    p += slen;
+                    *str_col_mut(r, idx) = String::from_utf8(bytes.to_vec())
+                        .map_err(|_| BatchError::BadLayout("string utf-8"))?;
+                }
+                if p != payload.len() {
+                    return Err(BatchError::BadLayout("string column tail"));
+                }
+            }
+            KIND_U32 => {
+                if payload.len() != rows * 4 {
+                    return Err(BatchError::BadLayout("u32 column size"));
+                }
+                for (k, r) in spans.iter_mut().enumerate() {
+                    *u32_col_mut(r, idx) = rd_u32(payload, k * 4).expect("sized above");
+                }
+            }
+            KIND_U64 => {
+                if payload.len() != rows * 8 {
+                    return Err(BatchError::BadLayout("u64 column size"));
+                }
+                for (k, r) in spans.iter_mut().enumerate() {
+                    *u64_col_mut(r, idx) = rd_u64(payload, k * 8).expect("sized above");
+                }
+            }
+            _ => {
+                if payload.len() != rows {
+                    return Err(BatchError::BadLayout("bool column size"));
+                }
+                for (k, r) in spans.iter_mut().enumerate() {
+                    match payload[k] {
+                        0 => *bool_col_mut(r, idx) = false,
+                        1 => *bool_col_mut(r, idx) = true,
+                        _ => return Err(BatchError::BadLayout("bool value")),
+                    }
+                }
+            }
+        }
+    }
+    if off != data.len() - FOOTER {
+        return Err(BatchError::BadLayout("trailing bytes before footer"));
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Vec<SpanRecord> {
+        (0..n)
+            .map(|i| SpanRecord {
+                function: format!("fn-{}", i % 5),
+                policy: if i % 2 == 0 { "Reap" } else { "Vanilla" }.to_string(),
+                shard: (i % 3) as u32,
+                seq: i,
+                cold: i % 4 != 0,
+                recorded: i % 7 == 0,
+                load_vmm_ns: i * 11,
+                fetch_ws_ns: i * 13,
+                install_ws_ns: i * 17,
+                conn_restore_ns: i * 19,
+                processing_ns: i * 23,
+                record_finish_ns: i * 29,
+                latency_ns: i * 31,
+                cache_hits: i % 9,
+                cache_misses: i % 4,
+                cache_raced: i % 2,
+                transient_retries: i % 3,
+                corrupt_reloads: i % 2,
+                retry_delay_ns: i * 37,
+                quarantined: i % 11 == 0,
+                fallback_vanilla: i % 13 == 0,
+                rebuilt: i % 17 == 0,
+                rerouted: i % 19 == 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [0u64, 1, 2, 100] {
+            let spans = sample(n);
+            let blob = encode_batch(&spans);
+            assert_eq!(decode_batch(&blob).unwrap(), spans, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error_not_a_panic() {
+        let blob = encode_batch(&sample(8));
+        for cut in 0..blob.len() {
+            assert!(decode_batch(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let spans = sample(4);
+        let blob = encode_batch(&spans);
+        for pos in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0xA5;
+            assert_ne!(
+                decode_batch(&bad).ok(),
+                Some(spans.clone()),
+                "flip at {pos} must not decode to the original"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_reported_as_such() {
+        let blob = encode_batch(&sample(3));
+        let mut bad = blob.clone();
+        bad[20] ^= 0xFF; // inside a column payload
+        match decode_batch(&bad) {
+            Err(BatchError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # vhive-telemetry
+//!
+//! Per-invocation telemetry for the REAP reproduction: structured
+//! [`SpanRecord`]s → append-only columnar batches in the
+//! [`FileStore`](sim_storage::FileStore) → percentile reports.
+//!
+//! The pipeline, end to end:
+//!
+//! 1. **Record** — `Orchestrator`/`ClusterOrchestrator` build one
+//!    [`SpanRecord`] per completed invocation (identity, per-phase
+//!    virtual-time durations, frame-cache deltas, the recovery ledger)
+//!    and hand it to a [`TelemetrySink`] — off by default, attached with
+//!    `set_telemetry(...)`. Recording reads finished outcomes only, so
+//!    simulated results are byte-identical telemetry on or off (pinned
+//!    by the invariance proptests).
+//! 2. **Flush** — the sink buffers spans and writes them as columnar
+//!    batch files (per-column contiguous encoding, checksummed footer —
+//!    see [`codec`]) named `telemetry/batch-NNNNNNNN`.
+//! 3. **Query** — [`scan`]/[`for_each_span`] stream the spans back
+//!    (dropping corrupt or truncated batches, never panicking), and
+//!    [`latency_report`] aggregates exact Min/P50/P95/P99/Max latency
+//!    per `(function, policy, shard)` — the `telemetry-report` CLI
+//!    prints that table; the programmatic [`LatencyReport`] is what a
+//!    fleet router would consume.
+//!
+//! [`synthesize`] generates deterministic synthetic span streams so
+//! reports over millions of invocations stay cheap to produce and
+//! byte-stable across runs.
+
+pub mod codec;
+pub mod reader;
+pub mod report;
+pub mod sink;
+pub mod span;
+pub mod synth;
+
+pub use codec::{decode_batch, encode_batch, BatchError};
+pub use reader::{for_each_span, scan, ScanStats};
+pub use report::{latency_report, GroupKey, GroupStats, LatencyReport};
+pub use sink::{TelemetrySink, BATCH_PREFIX, DEFAULT_BATCH_ROWS};
+pub use span::SpanRecord;
+pub use synth::synthesize;

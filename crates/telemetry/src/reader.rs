@@ -1,0 +1,106 @@
+//! Scanning flushed batches back out of a [`FileStore`].
+
+use sim_storage::FileStore;
+
+use crate::codec::decode_batch;
+use crate::sink::BATCH_PREFIX;
+use crate::span::SpanRecord;
+
+/// What a scan saw: how many batches decoded, how many were dropped
+/// (truncated tail, corrupt bytes, unreadable file), how many spans came
+/// back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Batches that decoded cleanly.
+    pub batches_ok: u64,
+    /// Batches dropped after a checksum/layout/read failure.
+    pub batches_dropped: u64,
+    /// Spans yielded.
+    pub spans: u64,
+}
+
+/// Streams every span in the store's telemetry batches, in batch order,
+/// to `visit`. Bad batches (checksum mismatch, truncation, unreadable
+/// file) are dropped and counted — the scan never panics and never stops
+/// early.
+pub fn for_each_span(store: &FileStore, mut visit: impl FnMut(&SpanRecord)) -> ScanStats {
+    let mut stats = ScanStats::default();
+    for name in store.list() {
+        if !name.starts_with(BATCH_PREFIX) {
+            continue;
+        }
+        let Some(id) = store.open(&name) else {
+            stats.batches_dropped += 1;
+            continue;
+        };
+        let len = store.len(id);
+        let Some(blob) = store.try_read_at(id, 0, len as usize) else {
+            stats.batches_dropped += 1;
+            continue;
+        };
+        match decode_batch(&blob) {
+            Ok(spans) => {
+                stats.batches_ok += 1;
+                stats.spans += spans.len() as u64;
+                for s in &spans {
+                    visit(s);
+                }
+            }
+            Err(_) => stats.batches_dropped += 1,
+        }
+    }
+    stats
+}
+
+/// Collects every span in the store's telemetry batches (batch order).
+/// Bad batches are dropped, never fatal — see [`for_each_span`].
+pub fn scan(store: &FileStore) -> (Vec<SpanRecord>, ScanStats) {
+    let mut out = Vec::new();
+    let stats = for_each_span(store, |s| out.push(s.clone()));
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TelemetrySink;
+
+    #[test]
+    fn corrupt_batch_is_dropped_rest_survive() {
+        let store = FileStore::new();
+        let sink = TelemetrySink::with_batch_rows(store.clone(), 2);
+        for i in 0..6 {
+            sink.record(SpanRecord {
+                seq: i,
+                ..SpanRecord::default()
+            });
+        }
+        // Corrupt the middle batch in place.
+        let id = store.open("telemetry/batch-00000001").unwrap();
+        store.write_at(id, 9, &[0xA5]);
+        let (spans, stats) = scan(&store);
+        assert_eq!(stats.batches_ok, 2);
+        assert_eq!(stats.batches_dropped, 1);
+        assert_eq!(spans.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn truncated_tail_batch_is_dropped_rest_survive() {
+        let store = FileStore::new();
+        let sink = TelemetrySink::with_batch_rows(store.clone(), 2);
+        for i in 0..4 {
+            sink.record(SpanRecord {
+                seq: i,
+                ..SpanRecord::default()
+            });
+        }
+        // A writer died mid-flush: the last batch lost its footer.
+        let id = store.open("telemetry/batch-00000001").unwrap();
+        let len = store.len(id);
+        store.set_len(id, len - 7);
+        let (spans, stats) = scan(&store);
+        assert_eq!(stats.batches_ok, 1);
+        assert_eq!(stats.batches_dropped, 1);
+        assert_eq!(spans.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![0, 1]);
+    }
+}
