@@ -459,6 +459,32 @@ fn bench_cluster(r: &mut Report) {
                  ({hits} hits vs {misses} misses this batch)"
             );
         });
+
+        // Registry-off overhead must be provably zero on this hot path:
+        // the gated groups above ran with no registry attached (the
+        // record path is behind an `Option` that stays `None`), and a
+        // steady-state back-to-back comparison pins it — the off median
+        // may not be measurably slower than the same batch with a live
+        // registry observing every invocation.
+        if name == "cluster/invoke_cold_64fn_1shard" {
+            assert!(cluster.metrics().is_none(), "gated groups measure the registry-off path");
+            let (off_ns, _) = measure(|| {
+                assert_eq!(cluster.invoke_concurrent(&reqs).outcomes.len(), 64);
+            });
+            cluster.set_metrics(Some(sim_core::MetricsRegistry::new()));
+            let (on_ns, _) = measure(|| {
+                assert_eq!(cluster.invoke_concurrent(&reqs).outcomes.len(), 64);
+            });
+            cluster.set_metrics(None);
+            eprintln!(
+                "  (steady-state {name}: metrics-off {off_ns} ns vs metrics-on {on_ns} ns)"
+            );
+            assert!(
+                off_ns <= on_ns + on_ns / 4,
+                "registry-off path must not cost more than registry-on \
+                 (off {off_ns} ns vs on {on_ns} ns)"
+            );
+        }
     }
 
     // Budget-starved twin: the cache is warmed to its natural working
@@ -665,7 +691,7 @@ fn bench_fault_recovery(r: &mut Report) {
     }
 }
 
-/// The telemetry pipeline's two hot paths:
+/// The telemetry pipeline's hot paths:
 ///
 /// * `telemetry/record_flush_64fn` — one reporting interval: 64 spans
 ///   (the §6.5 batch width, spread over 64 function names) recorded into
@@ -675,8 +701,18 @@ fn bench_fault_recovery(r: &mut Report) {
 /// * `telemetry/report_scan_1m` — the query side: a full percentile
 ///   report (decode + checksum-verify every batch, group, sort, exact
 ///   nearest-rank) over a store holding one million synthetic spans.
+/// * `telemetry/rollup_64fn` — the metrics layer's build side: stream a
+///   4096-span store (64 function names, the fleet shape) into windowed
+///   rollup batches with mergeable histograms.
+/// * `telemetry/window_query_1m` — the metrics layer's query side: a
+///   P99-over-window-range query against a 1M-span store, answered by
+///   merging rollup batches alone (read accounting asserts the raw span
+///   batches are never rescanned).
 fn bench_telemetry(r: &mut Report) {
-    use vhive_telemetry::{latency_report, synthesize, TelemetrySink};
+    use vhive_telemetry::{
+        build_rollups, latency_report, synthesize, window_report, TelemetrySink,
+        DEFAULT_WINDOW_NS,
+    };
 
     let record_name = "telemetry/record_flush_64fn";
     if r.wants(record_name) {
@@ -702,6 +738,46 @@ fn bench_telemetry(r: &mut Report) {
         r.add(scan_name, || {
             let report = latency_report(&store);
             assert_eq!(report.total_count(), 1_000_000);
+            assert_eq!(report.scan.batches_dropped, 0);
+        });
+    }
+
+    let rollup_name = "telemetry/rollup_64fn";
+    if r.wants(rollup_name) {
+        let names: Vec<String> = (0..64).map(|i| format!("fn-{i:02}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let store = FileStore::new();
+        synthesize(&TelemetrySink::new(store.clone()), 0xBEAC0, 4096, 4, &name_refs);
+        r.add(rollup_name, || {
+            let (built, scan) = build_rollups(&store, DEFAULT_WINDOW_NS);
+            assert_eq!(built.spans, 4096);
+            assert_eq!(scan.batches_dropped, 0);
+            assert!(built.cells > 0 && built.batches > 0);
+        });
+    }
+
+    let query_name = "telemetry/window_query_1m";
+    if r.wants(query_name) {
+        let store = FileStore::new();
+        synthesize(
+            &TelemetrySink::new(store.clone()),
+            42,
+            1_000_000,
+            3,
+            &["helloworld", "chameleon", "pyaes", "json_serdes"],
+        );
+        let (built, _) = build_rollups(&store, DEFAULT_WINDOW_NS);
+        r.add(query_name, || {
+            let reads_before = store.read_calls();
+            let report = window_report(&store, 100, 200);
+            let query_reads = store.read_calls() - reads_before;
+            assert!(
+                query_reads <= built.batches,
+                "window query must touch rollup batches only \
+                 ({query_reads} reads vs {} rollup batches)",
+                built.batches
+            );
+            assert!(report.total_count() > 0);
             assert_eq!(report.scan.batches_dropped, 0);
         });
     }

@@ -92,11 +92,16 @@ fn main() {
         "(scanned {} spans across {} batches, {} dropped)",
         report.scan.spans, report.scan.batches_ok, report.scan.batches_dropped
     );
+    if let Some(warn) = report.scan.drop_warning() {
+        println!("{warn}");
+    }
     vhive_bench::emit(
         &format!(
             "Telemetry report: {n} {source} spans, {shards} shards, seed {seed}, \
-             {} groups",
-            report.groups.len()
+             {} groups, {} batches ok, {} dropped",
+            report.groups.len(),
+            report.scan.batches_ok,
+            report.scan.batches_dropped
         ),
         "Exact nearest-rank percentiles per function x policy x shard,\n\
          scanned from checksummed columnar batches (corrupt or truncated\n\

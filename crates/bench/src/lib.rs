@@ -26,6 +26,8 @@
 //! | `ablation_remote` | §7.1 — snapshots on remote storage |
 //! | `ablation_fallback` | §7.2 — re-record fallback on/off |
 
+pub mod diff;
+
 use functionbench::FunctionId;
 use sim_core::Table;
 use vhive_core::Orchestrator;

@@ -5,10 +5,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use functionbench::FunctionId;
-use sim_core::{SimDuration, SimTime};
+use sim_core::metrics::labeled;
+use sim_core::{MetricsRegistry, SimDuration, SimTime};
 use sim_storage::{
     DeviceProfile, DiskStats, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope,
-    FileStore, FrameCacheStats, SnapshotFrameCache,
+    FileStore, FrameCacheDelta, FrameCacheStats, SnapshotFrameCache,
 };
 use vhive_core::{
     ColdPolicy, HostCostModel, InstanceFiles, InvocationOutcome, Orchestrator, PreparedCold,
@@ -106,6 +107,9 @@ pub struct ClusterOrchestrator {
     /// Functions moved off their (dead) home shard, and where they live
     /// now.
     failover: HashMap<FunctionId, usize>,
+    /// Cluster-level metrics (health transitions, reroutes); off by
+    /// default, broadcast to shards by [`Self::set_metrics`].
+    metrics: Option<MetricsRegistry>,
 }
 
 impl ClusterOrchestrator {
@@ -148,6 +152,7 @@ impl ClusterOrchestrator {
             seed,
             health,
             failover: HashMap::new(),
+            metrics: None,
         }
     }
 
@@ -238,6 +243,20 @@ impl ClusterOrchestrator {
         &self.health
     }
 
+    /// Records a shard health transition (counter keyed by the new state,
+    /// plus the `shards_healthy` gauge). No-op without a registry.
+    fn note_health_transition(&self, to: &str) {
+        if let Some(m) = &self.metrics {
+            m.inc(&labeled("shard_health_transitions_total", &[("to", to)]));
+            let healthy = self
+                .health
+                .iter()
+                .filter(|&&h| h == ShardHealth::Healthy)
+                .count();
+            m.set_gauge("shards_healthy", healthy as i64);
+        }
+    }
+
     /// Kills shard `index`: marks it [`ShardHealth::Dead`] and blacks out
     /// its snapshot store (every fault-aware access fails, files present
     /// as gone), exactly the signature of a worker losing its disk. Any
@@ -246,6 +265,7 @@ impl ClusterOrchestrator {
     /// functions are rebuilt on survivors on first use.
     pub fn fail_shard(&mut self, index: usize) {
         self.health[index] = ShardHealth::Dead;
+        self.note_health_transition("dead");
         let blackout = FaultInjector::new(FaultPlan::new().rule(FaultRule::new(
             FaultScope::Namespace(index as u32),
             FaultKind::Blackout,
@@ -259,6 +279,7 @@ impl ClusterOrchestrator {
     pub fn revive_shard(&mut self, index: usize) {
         self.shards[index].fs().detach_injector();
         self.health[index] = ShardHealth::Healthy;
+        self.note_health_transition("healthy");
     }
 
     /// The shared host cost model (shards are kept uniform; reads come
@@ -340,6 +361,32 @@ impl ClusterOrchestrator {
             shard.set_telemetry(sink.clone());
             shard.set_telemetry_shard(k as u32);
         }
+    }
+
+    /// Attaches (or detaches, with `None`) one metrics registry to every
+    /// shard — per-invocation and storage metrics aggregate fleet-wide
+    /// into the shared registry — plus the cluster-level series (shard
+    /// health transitions, reroutes, the `shards_healthy` gauge). Off by
+    /// default; simulated outcomes are byte-identical with metrics on or
+    /// off (pinned by the invariance proptests).
+    pub fn set_metrics(&mut self, metrics: Option<MetricsRegistry>) {
+        for shard in &mut self.shards {
+            shard.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
+        if let Some(m) = &self.metrics {
+            let healthy = self
+                .health
+                .iter()
+                .filter(|&&h| h == ShardHealth::Healthy)
+                .count();
+            m.set_gauge("shards_healthy", healthy as i64);
+        }
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
     }
 
     /// Registers `f` on its home shard (boot + snapshot capture).
@@ -524,6 +571,7 @@ impl ClusterOrchestrator {
                             && self.health[shard_idx] == ShardHealth::Healthy
                         {
                             self.health[shard_idx] = ShardHealth::Degraded;
+                            self.note_health_transition("degraded");
                         }
                         served_by[i] = shard_idx;
                         slots[i] = Some(p);
@@ -559,6 +607,9 @@ impl ClusterOrchestrator {
                 p.recovery_mut().rebuilt = true;
             }
         }
+        if let Some(m) = &self.metrics {
+            m.add("reroutes_total", rerouted.iter().filter(|&&r| r).count() as u64);
+        }
 
         // One shared disk + CPU pool for the whole batch.
         let programs = prepared.iter_mut().map(|p| p.take_program()).collect();
@@ -566,6 +617,10 @@ impl ClusterOrchestrator {
         let results = tl.run(programs);
         let disk_stats = tl.disk_stats();
 
+        // Per-request frame-cache attribution and virtual completion
+        // times, captured before `into_outcome` consumes the runs.
+        let deltas: Vec<FrameCacheDelta> = prepared.iter().map(|p| p.cache_delta()).collect();
+        let ends: Vec<SimTime> = results.iter().map(|r| r.end).collect();
         let mut makespan = SimDuration::ZERO;
         let outcomes: Vec<InvocationOutcome> = prepared
             .into_iter()
@@ -576,10 +631,11 @@ impl ClusterOrchestrator {
             })
             .collect();
         // Telemetry: one span per request, in request order, tagged with
-        // the shard that actually served it (emit_telemetry is a no-op
-        // without an attached sink).
+        // the shard that actually served it and charged the frame-cache
+        // lookups its own prepare pass performed (a no-op without an
+        // attached sink or registry).
         for (i, outcome) in outcomes.iter().enumerate() {
-            self.shards[served_by[i]].emit_telemetry(outcome);
+            self.shards[served_by[i]].emit_telemetry_attributed(outcome, deltas[i], ends[i]);
         }
         ClusterBatch {
             outcomes,

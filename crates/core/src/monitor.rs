@@ -38,7 +38,7 @@ use std::fmt;
 
 use guest_mem::{push_coalesced, FaultEvent, MemError, PageIdx, PageRun, Uffd, PAGE_SIZE};
 use microvm::{FaultHandler, Snapshot};
-use sim_storage::{FileStore, SnapshotFrameCache, StorageError};
+use sim_storage::{FileStore, FrameCacheDelta, SnapshotFrameCache, StorageError};
 
 use crate::ws_file::{read_ws_layout, write_reap_files_runs, ReapFiles, WsError};
 
@@ -124,6 +124,10 @@ pub struct Monitor<'a> {
     trace: Vec<PageRun>,
     prefetch_done: bool,
     stats: MonitorStats,
+    /// Frame-cache lookups this instance resolved, attributed per request
+    /// (kept out of [`MonitorStats`]: those counters are pinned identical
+    /// cached vs uncached, while this delta only exists with a cache).
+    cache_delta: FrameCacheDelta,
 }
 
 impl<'a> Monitor<'a> {
@@ -152,6 +156,7 @@ impl<'a> Monitor<'a> {
             trace: Vec::new(),
             prefetch_done: false,
             stats: MonitorStats::default(),
+            cache_delta: FrameCacheDelta::default(),
         }
     }
 
@@ -163,6 +168,12 @@ impl<'a> Monitor<'a> {
     /// Counters so far.
     pub fn stats(&self) -> MonitorStats {
         self.stats
+    }
+
+    /// Frame-cache activity (hits / misses / raced) this instance's
+    /// lookups resolved so far — zero when no cache is attached.
+    pub fn cache_delta(&self) -> FrameCacheDelta {
+        self.cache_delta
     }
 
     /// Recorded trace as coalesced runs (fault order) — empty unless in
@@ -204,7 +215,13 @@ impl<'a> Monitor<'a> {
                 // loads the extent once; every later one aliases the
                 // cached bytes into the guest — zero copies, no store
                 // read.
-                match cache.get_or_load(self.fs, files.ws_file, data_at, run.byte_len()) {
+                match cache.get_or_load_tracked(
+                    self.fs,
+                    files.ws_file,
+                    data_at,
+                    run.byte_len(),
+                    &mut self.cache_delta,
+                ) {
                     Ok(src) => uffd.alias_run(run, &src, 0),
                     // The WS file died mid-pass (an unregister racing
                     // this cold start, or a blackout): degrade to a plain
@@ -369,7 +386,13 @@ impl Monitor<'_> {
         let install = if let Some(cache) = self.cache {
             // Demand faults repeat across cold starts of the same
             // function (deterministic replay): alias the cached run.
-            match cache.get_or_load(self.fs, self.snapshot.mem_file, run.file_offset(), run.byte_len()) {
+            match cache.get_or_load_tracked(
+                self.fs,
+                self.snapshot.mem_file,
+                run.file_offset(),
+                run.byte_len(),
+                &mut self.cache_delta,
+            ) {
                 Ok(src) => uffd.alias_run(run, &src, 0)?,
                 // Snapshot file unregistered mid-serve: degrade to a
                 // plain store read; if the file is truly gone, the run

@@ -15,13 +15,14 @@ use functionbench::{FunctionId, GuestOp, InputGenerator};
 use guest_mem::{PageBitmap, PageIdx, PageRun};
 use sim_core::hash::fnv1a64;
 use microvm::{
-    run_lazy, run_resident, verify_restored_cached, BootCostModel, ExecutionTrace, FaultHandler,
+    run_lazy, run_resident, verify_restored_tracked, BootCostModel, ExecutionTrace, FaultHandler,
     MicroVm, Snapshot, VmConfig,
 };
-use sim_core::{SimDuration, SimTime};
+use sim_core::metrics::labeled;
+use sim_core::{MetricsRegistry, SimDuration, SimTime};
 use sim_storage::{
-    DeviceProfile, Disk, DiskStats, FaultClass, FileStore, FrameCacheStats, SnapshotFrameCache,
-    StorageError,
+    DeviceProfile, Disk, DiskStats, FaultClass, FileStore, FrameCacheDelta, FrameCacheStats,
+    SnapshotFrameCache, StorageError,
 };
 
 use crate::costs::HostCostModel;
@@ -67,6 +68,10 @@ pub struct FunctionalRun {
     pub input_seq: u64,
     /// REAP files written (record mode only).
     pub recorded: Option<ReapFiles>,
+    /// Frame-cache lookups this invocation resolved (monitor prefetch +
+    /// demand serves + restore verification), attributed per request.
+    /// Zero with the cache disabled.
+    pub cache_delta: FrameCacheDelta,
 }
 
 /// A cold invocation after its functional pass, ready for the timed
@@ -116,6 +121,14 @@ impl PreparedCold {
     /// The compiled timed program (arrival embedded).
     pub fn program(&self) -> &InstanceProgram {
         &self.program
+    }
+
+    /// Per-request frame-cache attribution accumulated while preparing
+    /// this invocation (zero with the cache disabled). Captured before
+    /// [`into_outcome`](Self::into_outcome) consumes the run, so span
+    /// emitters can charge the request its own hits/misses/races.
+    pub fn cache_delta(&self) -> FrameCacheDelta {
+        self.run.cache_delta
     }
 
     /// Moves the compiled program out (leaving an empty stand-in), so
@@ -251,6 +264,11 @@ pub struct Orchestrator {
     /// Shard index stamped on emitted spans (0 standalone; the cluster
     /// layer sets each shard's index).
     telemetry_shard: u32,
+    /// Fleet metrics registry (off by default; see
+    /// [`set_metrics`](Self::set_metrics)). Recording reads completed
+    /// outcomes and per-instance counters only — simulated results are
+    /// byte-identical with metrics on or off.
+    metrics: Option<MetricsRegistry>,
     functions: HashMap<FunctionId, FunctionState>,
 }
 
@@ -301,6 +319,7 @@ impl Orchestrator {
             verify_artifacts: false,
             telemetry: None,
             telemetry_shard: 0,
+            metrics: None,
             functions: HashMap::new(),
         }
     }
@@ -410,33 +429,73 @@ impl Orchestrator {
         self.telemetry_shard = shard;
     }
 
-    /// Emits the span of a completed invocation into the attached sink
-    /// (no-op without one). The cluster layer calls this for outcomes it
-    /// assembled itself; frame-cache columns are zero on that path —
-    /// concurrent lanes share one cache, so per-invocation attribution
-    /// does not exist there.
-    pub fn emit_telemetry(&self, outcome: &InvocationOutcome) {
-        self.emit_span(outcome, FrameCacheStats::default(), FrameCacheStats::default());
+    /// Attaches (or detaches, with `None`) a fleet metrics registry: every
+    /// completed invocation then records per-phase latency histograms,
+    /// recovery-event counters and frame-cache attribution, and the
+    /// backing [`FileStore`] feeds its byte counters. Off by default;
+    /// recording reads finished outcomes and per-instance counters only,
+    /// so simulated results are byte-identical with metrics on or off
+    /// (pinned by the invariance proptests in `tests/metrics.rs`).
+    pub fn set_metrics(&mut self, metrics: Option<MetricsRegistry>) {
+        self.fs.set_metrics(metrics.clone());
+        self.metrics = metrics;
     }
 
-    /// Builds and records the span for `outcome`, charging it the
-    /// frame-cache delta between the `before`/`after` counter snapshots.
-    fn emit_span(&self, outcome: &InvocationOutcome, before: FrameCacheStats, after: FrameCacheStats) {
-        let Some(sink) = &self.telemetry else {
-            return;
-        };
-        let policy = match outcome.policy {
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// The label spans and metrics use for an outcome's policy.
+    fn policy_label(outcome: &InvocationOutcome) -> String {
+        match outcome.policy {
             None => "Warm".to_string(),
             Some(_) if outcome.recorded => "Record".to_string(),
             Some(p) => format!("{p:?}"),
+        }
+    }
+
+    /// Emits the span of a completed invocation into the attached sink
+    /// and records its metrics (no-ops when both are off). For callers
+    /// without per-request attribution: frame-cache columns are zero and
+    /// the span's virtual completion time falls back to the outcome's
+    /// latency (an arrival at virtual zero).
+    pub fn emit_telemetry(&self, outcome: &InvocationOutcome) {
+        self.emit_telemetry_attributed(
+            outcome,
+            FrameCacheDelta::default(),
+            SimTime::ZERO + outcome.latency,
+        );
+    }
+
+    /// [`emit_telemetry`](Self::emit_telemetry) with real per-request
+    /// frame-cache attribution and the invocation's virtual completion
+    /// time `vt` on its timeline — the cluster layer threads both through
+    /// for concurrent batches.
+    pub fn emit_telemetry_attributed(
+        &self,
+        outcome: &InvocationOutcome,
+        delta: FrameCacheDelta,
+        vt: SimTime,
+    ) {
+        self.record_invocation_metrics(outcome, delta);
+        self.emit_span(outcome, delta, vt);
+    }
+
+    /// Builds and records the span for `outcome`, charging it `delta` and
+    /// stamping virtual completion time `vt`.
+    fn emit_span(&self, outcome: &InvocationOutcome, delta: FrameCacheDelta, vt: SimTime) {
+        let Some(sink) = &self.telemetry else {
+            return;
         };
         sink.record(SpanRecord {
             function: outcome.function.to_string(),
-            policy,
+            policy: Self::policy_label(outcome),
             shard: self.telemetry_shard,
             seq: outcome.seq,
             cold: outcome.policy.is_some(),
             recorded: outcome.recorded,
+            vt_ns: vt.as_nanos(),
             load_vmm_ns: outcome.breakdown.load_vmm.as_nanos(),
             fetch_ws_ns: outcome.breakdown.fetch_ws.as_nanos(),
             install_ws_ns: outcome.breakdown.install_ws.as_nanos(),
@@ -444,9 +503,9 @@ impl Orchestrator {
             processing_ns: outcome.breakdown.processing.as_nanos(),
             record_finish_ns: outcome.breakdown.record_finish.as_nanos(),
             latency_ns: outcome.latency.as_nanos(),
-            cache_hits: after.hits - before.hits,
-            cache_misses: after.misses - before.misses,
-            cache_raced: after.raced - before.raced,
+            cache_hits: delta.hits,
+            cache_misses: delta.misses,
+            cache_raced: delta.raced,
             transient_retries: outcome.recovery.transient_retries,
             corrupt_reloads: outcome.recovery.corrupt_reloads,
             retry_delay_ns: outcome.recovery.retry_delay.as_nanos(),
@@ -457,13 +516,51 @@ impl Orchestrator {
         });
     }
 
-    /// Frame-cache counters if telemetry wants a delta, else default
-    /// (skips the cache lock on the telemetry-off path).
-    fn telemetry_cache_mark(&self) -> FrameCacheStats {
-        if self.telemetry.is_some() {
-            self.frame_cache.stats()
-        } else {
-            FrameCacheStats::default()
+    /// Records a completed invocation into the metrics registry (no-op
+    /// without one): end-to-end and per-phase latency histograms keyed by
+    /// policy, recovery-event counters, and the request's frame-cache
+    /// attribution.
+    fn record_invocation_metrics(&self, outcome: &InvocationOutcome, delta: FrameCacheDelta) {
+        let Some(m) = &self.metrics else {
+            return;
+        };
+        let policy = Self::policy_label(outcome);
+        let by_policy = [("policy", policy.as_str())];
+        m.observe(
+            &labeled("invocation_latency_ns", &by_policy),
+            outcome.latency.as_nanos(),
+        );
+        let b = &outcome.breakdown;
+        for (phase, d) in [
+            ("load_vmm", b.load_vmm),
+            ("fetch_ws", b.fetch_ws),
+            ("install_ws", b.install_ws),
+            ("conn_restore", b.conn_restore),
+            ("processing", b.processing),
+            ("record_finish", b.record_finish),
+        ] {
+            if !d.is_zero() {
+                m.observe(
+                    &labeled("phase_ns", &[("phase", phase), ("policy", policy.as_str())]),
+                    d.as_nanos(),
+                );
+            }
+        }
+        m.add("frame_cache_request_hits_total", delta.hits);
+        m.add("frame_cache_request_misses_total", delta.misses);
+        m.add("frame_cache_request_raced_total", delta.raced);
+        let r = &outcome.recovery;
+        m.add("recovery_transient_retries_total", r.transient_retries);
+        m.add("recovery_corrupt_reloads_total", r.corrupt_reloads);
+        for (flag, name) in [
+            (r.quarantined, "recovery_quarantined_total"),
+            (r.fallback_vanilla, "recovery_fallback_vanilla_total"),
+            (r.rebuilt, "recovery_rebuilt_total"),
+            (r.rerouted, "recovery_rerouted_total"),
+        ] {
+            if flag {
+                m.inc(name);
+            }
         }
     }
 
@@ -759,8 +856,10 @@ impl Orchestrator {
         let proc_trace = run_lazy(&ops, vm.uffd_mut(), &mut monitor);
 
         // Correctness gate: every resident page equals the snapshot.
-        let verified = verify_restored_cached(&vm, &snapshot, &fs, cache.as_deref())
-            .expect("lossless restoration");
+        let mut verify_delta = FrameCacheDelta::default();
+        let verified =
+            verify_restored_tracked(&vm, &snapshot, &fs, cache.as_deref(), &mut verify_delta)
+                .expect("lossless restoration");
 
         let mut touched: BTreeSet<PageIdx> = BTreeSet::new();
         for op in &conn_ops {
@@ -792,6 +891,16 @@ impl Orchestrator {
             None
         };
 
+        if let Some(m) = &self.metrics {
+            // Cold instances use a fresh VM, so the instance counters are
+            // exactly this invocation's fault-serve and CoW work.
+            let u = vm.uffd().stats();
+            m.add("guest_uffd_fault_serves_total", u.faults);
+            m.add("guest_uffd_copied_pages_total", u.copies);
+            m.add("guest_uffd_zero_pages_total", u.zero_pages);
+            m.add("guest_cow_breaks_total", vm.memory().cow_breaks());
+        }
+
         Ok(FunctionalRun {
             conn_trace,
             proc_trace,
@@ -801,6 +910,7 @@ impl Orchestrator {
             footprint_bytes: vm.footprint_bytes(),
             input_seq: seq,
             recorded,
+            cache_delta: monitor.cache_delta() + verify_delta,
         })
     }
 
@@ -1296,11 +1406,11 @@ impl Orchestrator {
     /// [`invoke_cold`](Self::invoke_cold) calls with prefetch policies use
     /// the recorded files.
     pub fn invoke_record(&mut self, f: FunctionId) -> InvocationOutcome {
-        let cache_before = self.telemetry_cache_mark();
         let mut prepared = self.prepare_record(f, SimTime::ZERO);
         let (results, disk) = self.run_timed(vec![prepared.take_program()]);
+        let delta = prepared.cache_delta();
         let outcome = prepared.into_outcome(results[0], disk);
-        self.emit_span(&outcome, cache_before, self.telemetry_cache_mark());
+        self.emit_telemetry_attributed(&outcome, delta, results[0].end);
         outcome
     }
 
@@ -1311,11 +1421,11 @@ impl Orchestrator {
     /// Panics if the function is unregistered or a prefetch policy is used
     /// before [`invoke_record`](Self::invoke_record).
     pub fn invoke_cold(&mut self, f: FunctionId, policy: ColdPolicy) -> InvocationOutcome {
-        let cache_before = self.telemetry_cache_mark();
         let mut prepared = self.prepare_cold(f, policy, SimTime::ZERO);
         let (results, disk) = self.run_timed(vec![prepared.take_program()]);
+        let delta = prepared.cache_delta();
         let outcome = prepared.into_outcome(results[0], disk);
-        self.emit_span(&outcome, cache_before, self.telemetry_cache_mark());
+        self.emit_telemetry_attributed(&outcome, delta, results[0].end);
         outcome
     }
 
@@ -1354,10 +1464,11 @@ impl Orchestrator {
             footprint_bytes: footprint,
             input_seq: seq,
             recorded: None,
+            cache_delta: FrameCacheDelta::default(),
         };
         let outcome =
             outcome_of(f, None, false, run, results[0], disk, None, RecoveryReport::default());
-        self.emit_telemetry(&outcome);
+        self.emit_telemetry_attributed(&outcome, FrameCacheDelta::default(), results[0].end);
         outcome
     }
 }

@@ -101,6 +101,9 @@ pub struct GuestMemory {
     /// (installs count as writes, as KVM's dirty log sees them).
     dirty: PageBitmap,
     dirty_tracking: bool,
+    /// CoW breaks this instance has performed: guest writes that turned a
+    /// shared frame-cache alias into a private copy.
+    cow_breaks: u64,
 }
 
 impl GuestMemory {
@@ -122,6 +125,7 @@ impl GuestMemory {
             resident: PageBitmap::new(pages),
             dirty: PageBitmap::new(pages),
             dirty_tracking: false,
+            cow_breaks: 0,
         }
     }
 
@@ -189,6 +193,14 @@ impl GuestMemory {
         self.resident.count() * PAGE_SIZE as u64
     }
 
+    /// Number of CoW breaks performed so far: guest writes that replaced
+    /// a zero-copy shared alias (installed by
+    /// [`alias_run`](Self::alias_run)) with a private copy. Fleet metrics
+    /// read this per invocation.
+    pub fn cow_breaks(&self) -> u64 {
+        self.cow_breaks
+    }
+
     /// True if `page` is resident.
     pub fn is_resident(&self, page: PageIdx) -> bool {
         self.resident.get(page)
@@ -252,6 +264,7 @@ impl GuestMemory {
     /// Replaces a shared alias with a private copy of its bytes (the CoW
     /// break a guest write triggers). Returns the new private slot.
     fn break_cow(&mut self, page: PageIdx) -> u32 {
+        self.cow_breaks += 1;
         let idx = page.as_u64() as usize;
         let shared_idx = (self.slots[idx] & !SHARED_BIT) as usize;
         let (src, off) = self.shared[shared_idx]
@@ -1177,6 +1190,10 @@ mod tests {
         assert_eq!(dirty, vec![1]);
         // Neighbouring aliases still serve the shared bytes.
         assert_eq!(mem.read(PageIdx::new(2).base_addr(), 1).unwrap(), vec![0x11]);
+        // Exactly one CoW break was counted; reads break nothing.
+        assert_eq!(mem.cow_breaks(), 1);
+        let _ = mem.read(PageIdx::new(0).base_addr(), 2).unwrap();
+        assert_eq!(mem.cow_breaks(), 1);
     }
 
     #[test]

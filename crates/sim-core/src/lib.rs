@@ -17,6 +17,8 @@
 //!   every figure regenerates bit-identically from a seed.
 //! * [`stats`] — online statistics, percentiles and histograms used by the
 //!   benchmark harness.
+//! * [`metrics`] — the off-by-default fleet [`MetricsRegistry`] and the
+//!   mergeable [`LogHistogram`] behind windowed telemetry rollups.
 //! * [`table`] — plain-text / CSV table rendering for the figure binaries.
 //!
 //! # Example
@@ -35,6 +37,7 @@
 pub mod events;
 pub mod hash;
 pub mod lanes;
+pub mod metrics;
 pub mod parcopy;
 pub mod resource;
 pub mod rng;
@@ -45,6 +48,7 @@ pub mod time;
 pub use events::EventQueue;
 pub use hash::{fnv1a64, Fnv1a64};
 pub use lanes::{effective_lanes, partition_by_weight, MAX_PREFETCH_LANES};
+pub use metrics::{LogHistogram, MetricsRegistry};
 pub use parcopy::{copy_par, extend_par, extend_scatter};
 pub use resource::{MultiServer, TokenPool};
 pub use rng::DetRng;

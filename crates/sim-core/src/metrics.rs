@@ -1,0 +1,571 @@
+//! Fleet metrics: a low-overhead registry and mergeable log-bucketed
+//! histograms.
+//!
+//! The registry is the *aggregated* side of observability (the telemetry
+//! crate's spans are the raw side): counters, gauges and
+//! [`LogHistogram`]s keyed by name, exposed as deterministic
+//! Prometheus-style text. It is off by default everywhere — instrumented
+//! crates hold an `Option<MetricsRegistry>` and skip all work when it is
+//! `None`, so the hot path pays nothing unless a registry is attached.
+//!
+//! [`LogHistogram`] is the windowed-rollup primitive: buckets grow
+//! geometrically (32 sub-buckets per octave), two histograms merge by
+//! bucket-wise count addition, and percentile estimates carry a pinned
+//! relative error bound of `1/32` (see [`LogHistogram::value_at_percentile`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// log2 of the sub-bucket count per octave.
+pub const LOG_SUB: u32 = 5;
+/// Sub-buckets per octave; the histogram's relative error is `1/SUB`.
+pub const SUB: u64 = 1 << LOG_SUB;
+/// Total bucket count: indices `0..32` are exact, then 58 octaves of 32
+/// sub-buckets cover the rest of the `u64` range.
+pub const NUM_BUCKETS: usize = (64 - LOG_SUB as usize - 1) * SUB as usize + 2 * SUB as usize;
+
+/// Maps a value to its bucket index.
+///
+/// Values below [`SUB`] get their own exact bucket; larger values share a
+/// bucket with at most `value / 32` neighbours (HdrHistogram-style).
+pub fn bucket_index(value: u64) -> u16 {
+    if value < SUB {
+        return value as u16;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - LOG_SUB;
+    let sub = (value >> shift) as u16; // in [SUB, 2*SUB)
+    (shift as u16) * SUB as u16 + sub
+}
+
+/// Inclusive `(low, high)` value bounds of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= NUM_BUCKETS`.
+pub fn bucket_bounds(index: u16) -> (u64, u64) {
+    assert!((index as usize) < NUM_BUCKETS, "bucket {index} out of range");
+    if (index as u64) < SUB {
+        return (index as u64, index as u64);
+    }
+    let shift = (index as u64 / SUB - 1) as u32;
+    let sub = index as u64 - shift as u64 * SUB;
+    let low = sub << shift;
+    (low, low + ((1u64 << shift) - 1))
+}
+
+/// A mergeable log-bucketed histogram over `u64` values (virtual-time
+/// nanoseconds, byte counts, ...).
+///
+/// Buckets are geometric with [`SUB`] = 32 sub-buckets per octave, so any
+/// recorded value `v` lands in a bucket whose upper bound is at most
+/// `v + v/32`. Two histograms over disjoint samples merge by bucket-wise
+/// addition into exactly the histogram of the union — this is what makes
+/// windowed rollups queryable over arbitrary window ranges without
+/// rescanning raw samples.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::LogHistogram;
+///
+/// let mut a = LogHistogram::new();
+/// let mut b = LogHistogram::new();
+/// for v in 1..=50u64 {
+///     if v % 2 == 0 { a.record(v) } else { b.record(v) }
+/// }
+/// a.merge(&b);
+/// assert_eq!(a.count(), 50);
+/// let est = a.value_at_percentile(50.0).unwrap();
+/// assert!((25..=25 + 25 / 32 + 1).contains(&est));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: BTreeMap<u16, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(bucket_index(value)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// Merges `other` into `self` by bucket-wise count addition.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` if empty). Exact, not bucketed.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty). Exact, not bucketed.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of observations (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile estimate, `None` if empty.
+    ///
+    /// Uses the same rank convention as [`crate::Percentiles`]
+    /// (`rank = ceil(p/100 * n)`, clamped to `[1, n]`) and returns the
+    /// upper bound of the bucket holding the rank-th observation, clamped
+    /// to the exact recorded maximum. The pinned error bound versus the
+    /// exact nearest-rank value `v` over the same sample is:
+    ///
+    /// ```text
+    /// v <= estimate <= v + v / 32
+    /// ```
+    ///
+    /// (exact for values below 32, since those buckets hold one value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn value_at_percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (&idx, &n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return Some(bucket_bounds(idx).1.min(self.max));
+            }
+        }
+        Some(self.max) // unreachable unless counts desync; stay total
+    }
+
+    /// Sparse `(bucket_index, count)` pairs in ascending index order, for
+    /// persistence. Rebuild with [`LogHistogram::from_sparse`].
+    pub fn to_sparse(&self) -> Vec<(u16, u64)> {
+        self.buckets.iter().map(|(&i, &n)| (i, n)).collect()
+    }
+
+    /// Rebuilds a histogram from sparse pairs plus the exact `sum`, `min`
+    /// and `max` (which buckets alone cannot reproduce). Returns `None` if
+    /// any bucket index is out of range or a count is zero.
+    pub fn from_sparse(pairs: &[(u16, u64)], sum: u64, min: u64, max: u64) -> Option<Self> {
+        let mut h = LogHistogram::new();
+        for &(idx, n) in pairs {
+            if idx as usize >= NUM_BUCKETS || n == 0 {
+                return None;
+            }
+            if h.buckets.insert(idx, n).is_some() {
+                return None; // duplicate bucket
+            }
+            h.count += n;
+        }
+        h.sum = sum;
+        if h.count > 0 {
+            h.min = min;
+            h.max = max;
+        }
+        Some(h)
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loghist[n={}, mean={:.2}]", self.count, self.mean())
+    }
+}
+
+/// Formats a metric name plus `label="value"` pairs in Prometheus style:
+/// `labeled("reads", &[("dev", "ssd")])` → `reads{dev="ssd"}`.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+/// A cloneable, thread-safe metrics registry: counters, gauges and
+/// [`LogHistogram`]s keyed by (optionally labeled) name.
+///
+/// Cloning is cheap (`Arc`); all clones share one store, so a registry
+/// attached across shards aggregates fleet-wide. Iteration order is the
+/// name's lexicographic order (`BTreeMap`), making [`MetricsRegistry::expose`]
+/// deterministic and diffable in CI.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::metrics::{labeled, MetricsRegistry};
+///
+/// let m = MetricsRegistry::new();
+/// m.inc(&labeled("reroutes_total", &[("shard", "2")]));
+/// m.observe("latency_ns", 1_500_000);
+/// assert_eq!(m.counter("reroutes_total{shard=\"2\"}"), 1);
+/// assert!(m.expose().contains("latency_ns_count 1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `delta` to counter `name` (created at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let mut g = self.lock();
+        match g.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                g.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name` (created empty).
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut g = self.lock();
+        match g.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = LogHistogram::new();
+                h.record(value);
+                g.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<LogHistogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        let g = self.lock();
+        g.counters.is_empty() && g.gauges.is_empty() && g.histograms.is_empty()
+    }
+
+    /// Renders every metric as Prometheus-style exposition text.
+    ///
+    /// Counters and gauges print one `# TYPE` line per base name (the part
+    /// before any `{labels}`) followed by their samples; histograms print
+    /// as summaries with `quantile` labels (P50/P95/P99 nearest-rank
+    /// estimates) plus `_count` and `_sum` samples. Output is fully
+    /// deterministic for a given recording order-independent state.
+    pub fn expose(&self) -> String {
+        let g = self.lock();
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, value) in &g.counters {
+            type_line(&mut out, &mut last_base, name, "counter");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        last_base.clear();
+        for (name, value) in &g.gauges {
+            type_line(&mut out, &mut last_base, name, "gauge");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        last_base.clear();
+        for (name, h) in &g.histograms {
+            type_line(&mut out, &mut last_base, name, "summary");
+            for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                let v = h.value_at_percentile(p).unwrap_or(0);
+                out.push_str(&format!("{} {v}\n", with_quantile(name, q)));
+            }
+            let (base, labels) = split_labels(name);
+            out.push_str(&format!("{base}_count{labels} {}\n", h.count()));
+            out.push_str(&format!("{base}_sum{labels} {}\n", h.sum()));
+        }
+        out
+    }
+}
+
+/// Splits `name{labels}` into `("name", "{labels}")` (labels may be empty).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Emits a `# TYPE` header when the base name changes.
+fn type_line(out: &mut String, last_base: &mut String, name: &str, kind: &str) {
+    let (base, _) = split_labels(name);
+    if base != last_base {
+        out.push_str(&format!("# TYPE {base} {kind}\n"));
+        last_base.clear();
+        last_base.push_str(base);
+    }
+}
+
+/// Inserts a `quantile` label into a (possibly already labeled) name.
+fn with_quantile(name: &str, q: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(head) => format!("{head},quantile=\"{q}\"}}"),
+        None => format!("{name}{{quantile=\"{q}\"}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        let mut prev = bucket_index(0);
+        assert_eq!(prev, 0);
+        for v in 1..=4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx == prev || idx == prev + 1, "gap at {v}: {prev} -> {idx}");
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX) as usize, NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in [0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket {idx} [{lo}, {hi}]");
+            // Relative width bound: hi - lo < lo / 32 + 1.
+            assert!(hi - lo <= lo / SUB, "bucket {idx} too wide: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_range() {
+        for idx in 0..(NUM_BUCKETS as u16 - 1) {
+            let (_, hi) = bucket_bounds(idx);
+            let (next_lo, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi + 1, next_lo, "hole between buckets {idx} and {}", idx + 1);
+        }
+    }
+
+    #[test]
+    fn percentile_error_bound_holds() {
+        let mut h = LogHistogram::new();
+        let mut vals: Vec<u64> = (0..500u64).map(|i| i * i * 37 + i).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let rank = (((p / 100.0) * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let est = h.value_at_percentile(p).unwrap();
+            assert!(est >= exact, "p{p}: est {est} < exact {exact}");
+            assert!(est <= exact + exact / SUB, "p{p}: est {est} > bound for {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let vals: Vec<u64> = (0..300u64).map(|i| (i * 7919) % 100_000).collect();
+        let mut whole = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for (i, &v) in vals.iter().enumerate() {
+            whole.record(v);
+            if i % 3 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        let mut empty = LogHistogram::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        whole.merge(&LogHistogram::new());
+        assert_eq!(whole, empty);
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 5, 99, 4_000_000_000, 0] {
+            h.record(v);
+        }
+        let pairs = h.to_sparse();
+        let back = LogHistogram::from_sparse(&pairs, h.sum(), h.min().unwrap(), h.max().unwrap())
+            .unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.value_at_percentile(100.0), h.value_at_percentile(100.0));
+        // Corrupt index / duplicate / zero count all refuse.
+        assert!(LogHistogram::from_sparse(&[(u16::MAX, 1)], 0, 0, 0).is_none());
+        assert!(LogHistogram::from_sparse(&[(3, 1), (3, 1)], 0, 0, 0).is_none());
+        assert!(LogHistogram::from_sparse(&[(3, 0)], 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn empty_histogram_queries() {
+        let h = LogHistogram::new();
+        assert_eq!(h.value_at_percentile(50.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(format!("{h}"), "loghist[n=0, mean=0.00]");
+        assert_eq!(LogHistogram::from_sparse(&[], 0, 0, 0), Some(LogHistogram::new()));
+    }
+
+    #[test]
+    fn registry_basics_and_exposition() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.add("storage_read_bytes_total", 4096);
+        m.add("storage_read_bytes_total", 0); // no-op, must not create churn
+        m.inc(&labeled("shard_health_transitions_total", &[("to", "dead")]));
+        m.set_gauge("shards_healthy", 3);
+        m.observe(&labeled("invocation_latency_ns", &[("policy", "Reap")]), 100);
+        m.observe(&labeled("invocation_latency_ns", &[("policy", "Reap")]), 300);
+        assert_eq!(m.counter("storage_read_bytes_total"), 4096);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("shards_healthy"), Some(3));
+        assert_eq!(m.gauge("missing"), None);
+        let h = m.histogram("invocation_latency_ns{policy=\"Reap\"}").unwrap();
+        assert_eq!(h.count(), 2);
+        let text = m.expose();
+        assert!(text.contains("# TYPE storage_read_bytes_total counter"));
+        assert!(text.contains("storage_read_bytes_total 4096"));
+        assert!(text.contains("shard_health_transitions_total{to=\"dead\"} 1"));
+        assert!(text.contains("# TYPE shards_healthy gauge"));
+        assert!(text.contains("# TYPE invocation_latency_ns summary"));
+        // 100 lands in bucket [100, 101]; the estimate is the upper bound.
+        assert!(text.contains("invocation_latency_ns{policy=\"Reap\",quantile=\"0.5\"} 101"));
+        assert!(text.contains("invocation_latency_ns_count{policy=\"Reap\"} 2"));
+        assert!(text.contains("invocation_latency_ns_sum{policy=\"Reap\"} 400"));
+    }
+
+    #[test]
+    fn clones_share_state_and_exposition_is_deterministic() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m2.inc("a_total");
+        m.inc("b_total{x=\"1\"}");
+        m.inc("b_total{x=\"0\"}");
+        assert_eq!(m.counter("a_total"), 1);
+        let t1 = m.expose();
+        let t2 = m2.expose();
+        assert_eq!(t1, t2);
+        // Label variants sort under one TYPE header.
+        let b = t1.find("# TYPE b_total counter").unwrap();
+        assert!(t1[b..].contains("b_total{x=\"0\"} 1\nb_total{x=\"1\"} 1\n"));
+    }
+
+    #[test]
+    fn labeled_formats() {
+        assert_eq!(labeled("n", &[]), "n");
+        assert_eq!(labeled("n", &[("a", "1"), ("b", "x")]), "n{a=\"1\",b=\"x\"}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        let mut h = LogHistogram::new();
+        h.record(1);
+        let _ = h.value_at_percentile(101.0);
+    }
+}

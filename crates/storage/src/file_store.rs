@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use sim_core::MetricsRegistry;
 
 use crate::fault::{FaultInjector, ReadFault, StorageError};
 
@@ -89,6 +90,11 @@ pub struct FileStore {
     /// is one relaxed load.
     injector: Arc<RwLock<Option<Arc<FaultInjector>>>>,
     injecting: Arc<AtomicBool>,
+    /// Optional fleet metrics registry (byte counters, injected-fault
+    /// count). Same hot-path shape as the injector: with no registry
+    /// attached every check is one relaxed load.
+    metrics: Arc<RwLock<Option<MetricsRegistry>>>,
+    metered: Arc<AtomicBool>,
 }
 
 impl FileStore {
@@ -118,6 +124,45 @@ impl FileStore {
             return None;
         }
         self.injector.read().clone()
+    }
+
+    /// Attaches (or, with `None`, detaches) a fleet metrics registry.
+    /// While attached, the store feeds `storage_read_bytes_total` /
+    /// `storage_write_bytes_total` counters and counts injected faults
+    /// (`storage_faults_injected_total`). All handles (clones) see it;
+    /// detached, the per-op cost returns to a single relaxed load.
+    pub fn set_metrics(&self, metrics: Option<MetricsRegistry>) {
+        self.metered.store(metrics.is_some(), Ordering::Release);
+        *self.metrics.write() = metrics;
+    }
+
+    /// The currently attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        if !self.metered.load(Ordering::Acquire) {
+            return None;
+        }
+        self.metrics.read().clone()
+    }
+
+    /// Counts one injected fault into the registry, if attached.
+    fn metric_fault(&self) {
+        if let Some(m) = self.metrics() {
+            m.inc("storage_faults_injected_total");
+        }
+    }
+
+    /// Counts read bytes into the registry, if attached.
+    fn metric_read(&self, bytes: u64) {
+        if let Some(m) = self.metrics() {
+            m.add("storage_read_bytes_total", bytes);
+        }
+    }
+
+    /// Counts written bytes into the registry, if attached.
+    fn metric_write(&self, bytes: u64) {
+        if let Some(m) = self.metrics() {
+            m.add("storage_write_bytes_total", bytes);
+        }
     }
 
     /// Creates an empty store whose [`FileId`]s are drawn from a disjoint
@@ -231,10 +276,20 @@ impl FileStore {
             .ok_or(StorageError::DeadFile { op: "write to", id })?;
         let mut torn: Option<u64> = None;
         if let Some(inj) = &injector {
-            torn = inj.on_write("write_at", id, &fd.name, bytes.len() as u64)?;
+            torn = match inj.on_write("write_at", id, &fd.name, bytes.len() as u64) {
+                Ok(t) => t,
+                Err(e) => {
+                    self.metric_fault();
+                    return Err(e);
+                }
+            };
+            if torn.is_some() {
+                self.metric_fault();
+            }
         }
         let requested = bytes.len() as u64;
         let applied = torn.map_or(bytes.len(), |n| n as usize);
+        self.metric_write(applied as u64);
         fd.generation += 1;
         let data = &mut fd.data;
         let bytes = &bytes[..applied];
@@ -288,9 +343,19 @@ impl FileStore {
             .ok_or(StorageError::DeadFile { op: "append to", id })?;
         let mut torn: Option<u64> = None;
         if let Some(inj) = &injector {
-            torn = inj.on_write("append", id, &fd.name, bytes.len() as u64)?;
+            torn = match inj.on_write("append", id, &fd.name, bytes.len() as u64) {
+                Ok(t) => t,
+                Err(e) => {
+                    self.metric_fault();
+                    return Err(e);
+                }
+            };
+            if torn.is_some() {
+                self.metric_fault();
+            }
         }
         let applied = torn.map_or(bytes.len(), |n| n as usize);
+        self.metric_write(applied as u64);
         fd.generation += 1;
         let offset = fd.data.len() as u64;
         fd.data.extend_from_slice(&bytes[..applied]);
@@ -312,6 +377,7 @@ impl FileStore {
     /// Panics if `id` does not refer to a live file.
     pub fn read_at(&self, id: FileId, offset: u64, len: usize) -> Vec<u8> {
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.metric_read(len as u64);
         let inner = self.inner.read();
         let data = &inner.files[&id].data;
         let start = (offset as usize).min(data.len());
@@ -335,11 +401,13 @@ impl FileStore {
         let fd = inner.files.get(&id)?;
         if let Some(inj) = &injector {
             if inj.blacked_out(id, &fd.name) {
+                self.metric_fault();
                 return None;
             }
         }
         let data = &fd.data;
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.metric_read(len as u64);
         let start = (offset as usize).min(data.len());
         let end = (offset as usize + len).min(data.len());
         let mut out = Vec::new();
@@ -369,12 +437,19 @@ impl FileStore {
         let mut corrupt = false;
         if let Some(inj) = &injector {
             match inj.on_read("read_at", id, &fd.name) {
-                Some(ReadFault::Error(e)) => return Err(e),
-                Some(ReadFault::Corrupt) => corrupt = true,
+                Some(ReadFault::Error(e)) => {
+                    self.metric_fault();
+                    return Err(e);
+                }
+                Some(ReadFault::Corrupt) => {
+                    self.metric_fault();
+                    corrupt = true;
+                }
                 None => {}
             }
         }
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.metric_read(len as u64);
         let data = &fd.data;
         let start = (offset as usize).min(data.len());
         let end = (offset as usize + len).min(data.len());
@@ -412,6 +487,7 @@ impl FileStore {
     /// Panics if `id` does not refer to a live file.
     pub fn read_into(&self, id: FileId, offset: u64, buf: &mut [u8]) {
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.metric_read(buf.len() as u64);
         let inner = self.inner.read();
         let data = &inner.files[&id].data;
         let start = (offset as usize).min(data.len());
@@ -431,6 +507,7 @@ impl FileStore {
     /// Panics if `id` does not refer to a live file.
     pub fn with_range<R>(&self, id: FileId, offset: u64, len: u64, f: impl FnOnce(&[u8]) -> R) -> R {
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.metric_read(len);
         let inner = self.inner.read();
         let data = &inner.files[&id].data;
         let start = (offset as usize).min(data.len());
@@ -459,6 +536,7 @@ impl FileStore {
         if jobs.is_empty() {
             return;
         }
+        self.metric_read(jobs.iter().map(|(_, b)| b.len() as u64).sum());
         let inner = self.inner.read();
         let data = &inner.files[&id].data;
         let copy_one = |offset: u64, buf: &mut [u8]| {
@@ -535,7 +613,16 @@ impl FileStore {
         let mut torn: Option<u64> = None;
         if let Some(inj) = &injector {
             let total: u64 = parts.iter().map(|&(_, _, len)| len).sum();
-            torn = inj.on_write("gather_into", dst, &dst_fd.name, total)?;
+            torn = match inj.on_write("gather_into", dst, &dst_fd.name, total) {
+                Ok(t) => t,
+                Err(e) => {
+                    self.metric_fault();
+                    return Err(e);
+                }
+            };
+            if torn.is_some() {
+                self.metric_fault();
+            }
         }
         let mut dst_data = std::mem::take(&mut dst_fd.data);
         assert!(
@@ -600,6 +687,7 @@ impl FileStore {
                 requested,
             });
         }
+        self.metric_write((dst_data.len() as u64).saturating_sub(dst_offset));
         let dst_fd = inner
             .files
             .get_mut(&dst)
@@ -697,6 +785,27 @@ impl FileStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_attach_counts_bytes_and_faults() {
+        let fs = FileStore::new();
+        let id = fs.create("m/file");
+        fs.write_at(id, 0, b"before"); // unattached: not counted
+        let m = MetricsRegistry::new();
+        fs.set_metrics(Some(m.clone()));
+        fs.write_at(id, 0, b"0123456789");
+        let _ = fs.read_at(id, 0, 4);
+        let mut buf = [0u8; 3];
+        fs.read_into(id, 1, &mut buf);
+        assert_eq!(m.counter("storage_write_bytes_total"), 10);
+        assert_eq!(m.counter("storage_read_bytes_total"), 7);
+        assert_eq!(m.counter("storage_faults_injected_total"), 0);
+        // Detach: counters freeze.
+        fs.set_metrics(None);
+        assert!(fs.metrics().is_none());
+        fs.write_at(id, 0, b"xxxx");
+        assert_eq!(m.counter("storage_write_bytes_total"), 10);
+    }
 
     #[test]
     fn create_open_round_trip() {

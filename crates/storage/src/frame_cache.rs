@@ -110,6 +110,47 @@ pub struct FrameCacheStats {
     pub bytes: u64,
 }
 
+/// Per-request attribution of frame-cache activity: how many lookups
+/// *one* invocation resolved as hits, populating misses, and raced
+/// loads. The cache's global [`FrameCacheStats`] aggregate the fleet;
+/// this delta is threaded through the lookup paths
+/// ([`SnapshotFrameCache::get_or_load_tracked`]) so each telemetry span
+/// carries the counts of its own invocation, even when many invocations
+/// share the cache concurrently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameCacheDelta {
+    /// Lookups this request served from a live cached extent.
+    pub hits: u64,
+    /// Lookups this request resolved by reading the store and populating.
+    pub misses: u64,
+    /// Lookups this request resolved by a raced (coalesced or
+    /// rewrite-raced) store read.
+    pub raced: u64,
+}
+
+impl FrameCacheDelta {
+    /// Total lookups attributed to the request.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.raced
+    }
+}
+
+impl std::ops::AddAssign for FrameCacheDelta {
+    fn add_assign(&mut self, rhs: FrameCacheDelta) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.raced += rhs.raced;
+    }
+}
+
+impl std::ops::Add for FrameCacheDelta {
+    type Output = FrameCacheDelta;
+    fn add(mut self, rhs: FrameCacheDelta) -> FrameCacheDelta {
+        self += rhs;
+        self
+    }
+}
+
 /// The backing file of a cached extent vanished mid-load: an unregister
 /// raced a concurrent cold start. Callers degrade to a plain store read
 /// (or surface a clean serve failure) instead of panicking.
@@ -407,6 +448,24 @@ impl SnapshotFrameCache {
         offset: u64,
         len: u64,
     ) -> Result<FrameBytes, FrameCacheGone> {
+        let mut scratch = FrameCacheDelta::default();
+        self.get_or_load_tracked(fs, file, offset, len, &mut scratch)
+    }
+
+    /// [`get_or_load`](SnapshotFrameCache::get_or_load) that additionally
+    /// attributes the lookup's resolution (hit / populating miss / raced)
+    /// to the caller's [`FrameCacheDelta`], so per-invocation telemetry
+    /// spans report real counts even when the cache is shared by
+    /// concurrent requests. The global counters are updated identically
+    /// either way.
+    pub fn get_or_load_tracked(
+        &self,
+        fs: &FileStore,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        delta: &mut FrameCacheDelta,
+    ) -> Result<FrameBytes, FrameCacheGone> {
         let key = (file, offset, len);
         let generation = fs.generation(file).ok_or(FrameCacheGone(file))?;
         {
@@ -415,6 +474,7 @@ impl SnapshotFrameCache {
                 if cached_gen == generation {
                     inner.touch(idx);
                     inner.hits += 1;
+                    delta.hits += 1;
                     return Ok(inner.bytes_of(idx));
                 }
             }
@@ -432,6 +492,7 @@ impl SnapshotFrameCache {
             // generation. Serve what we read, cache nothing; the next
             // lookup reloads under the new generation.
             self.inner.lock().raced += 1;
+            delta.raced += 1;
             return Ok(bytes);
         }
         let mut inner = self.inner.lock();
@@ -441,10 +502,12 @@ impl SnapshotFrameCache {
                 // onto its entry so both lanes serve one allocation.
                 inner.touch(idx);
                 inner.raced += 1;
+                delta.raced += 1;
                 return Ok(inner.bytes_of(idx));
             }
         }
         inner.misses += 1;
+        delta.misses += 1;
         Ok(inner.attach(key, generation, bytes, hash))
     }
 
@@ -549,6 +612,28 @@ mod tests {
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.entries, st.bytes), (1, 1, 1, 4));
         assert_eq!((st.admitted, st.deduped, st.content_entries), (1, 0, 1));
+    }
+
+    #[test]
+    fn tracked_lookups_attribute_per_request() {
+        let fs = FileStore::new();
+        let cache = SnapshotFrameCache::new();
+        let f = fs.create("snap/mem");
+        fs.write_at(f, 0, b"0123456789");
+        // Request A populates, request B is served zero-copy; each sees
+        // only its own resolution while the global stats see both.
+        let mut a = FrameCacheDelta::default();
+        let mut b = FrameCacheDelta::default();
+        cache.get_or_load_tracked(&fs, f, 0, 8, &mut a).unwrap();
+        cache.get_or_load_tracked(&fs, f, 0, 8, &mut b).unwrap();
+        assert_eq!(a, FrameCacheDelta { hits: 0, misses: 1, raced: 0 });
+        assert_eq!(b, FrameCacheDelta { hits: 1, misses: 0, raced: 0 });
+        assert_eq!(a.total(), 1);
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.raced), (1, 1, 0));
+        // Deltas add up.
+        let sum = a + b;
+        assert_eq!(sum, FrameCacheDelta { hits: 1, misses: 1, raced: 0 });
     }
 
     #[test]

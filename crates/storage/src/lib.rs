@@ -48,7 +48,7 @@ pub use fault::{
     StorageError,
 };
 pub use file_store::{FileId, FileStore};
-pub use frame_cache::{FrameCacheGone, FrameCacheStats, SnapshotFrameCache};
+pub use frame_cache::{FrameCacheDelta, FrameCacheGone, FrameCacheStats, SnapshotFrameCache};
 pub use io_trace::{IoKind, IoRecord, IoTrace};
 pub use page_cache::PageCache;
 

@@ -10,12 +10,12 @@
 //! ├──────────────┤ 4
 //! │ rows   u32   │
 //! ├──────────────┤ 8
-//! │ cols   u32   │  (= 23, the fixed span schema)
+//! │ cols   u32   │  (= 24, the fixed span schema)
 //! ├──────────────┤ 12
 //! │ column 0     │  kind u8 │ payload_len u32 │ payload
 //! │ column 1     │  str  payload: per row u32 len + bytes
 //! │  ...         │  u32  payload: rows × 4 B LE
-//! │ column 22    │  u64  payload: rows × 8 B LE
+//! │ column 23    │  u64  payload: rows × 8 B LE
 //! ├──────────────┤  bool payload: rows × 1 B (0/1)
 //! │ checksum u64 │  FNV-1a 64 over every byte above
 //! ├──────────────┤
@@ -51,19 +51,20 @@ const SCHEMA: &[(u8, usize)] = &[
     (KIND_U64, 0),  // seq
     (KIND_BOOL, 0), // cold
     (KIND_BOOL, 1), // recorded
-    (KIND_U64, 1),  // load_vmm_ns
-    (KIND_U64, 2),  // fetch_ws_ns
-    (KIND_U64, 3),  // install_ws_ns
-    (KIND_U64, 4),  // conn_restore_ns
-    (KIND_U64, 5),  // processing_ns
-    (KIND_U64, 6),  // record_finish_ns
-    (KIND_U64, 7),  // latency_ns
-    (KIND_U64, 8),  // cache_hits
-    (KIND_U64, 9),  // cache_misses
-    (KIND_U64, 10), // cache_raced
-    (KIND_U64, 11), // transient_retries
-    (KIND_U64, 12), // corrupt_reloads
-    (KIND_U64, 13), // retry_delay_ns
+    (KIND_U64, 1),  // vt_ns
+    (KIND_U64, 2),  // load_vmm_ns
+    (KIND_U64, 3),  // fetch_ws_ns
+    (KIND_U64, 4),  // install_ws_ns
+    (KIND_U64, 5),  // conn_restore_ns
+    (KIND_U64, 6),  // processing_ns
+    (KIND_U64, 7),  // record_finish_ns
+    (KIND_U64, 8),  // latency_ns
+    (KIND_U64, 9),  // cache_hits
+    (KIND_U64, 10), // cache_misses
+    (KIND_U64, 11), // cache_raced
+    (KIND_U64, 12), // transient_retries
+    (KIND_U64, 13), // corrupt_reloads
+    (KIND_U64, 14), // retry_delay_ns
     (KIND_BOOL, 2), // quarantined
     (KIND_BOOL, 3), // fallback_vanilla
     (KIND_BOOL, 4), // rebuilt
@@ -90,18 +91,19 @@ fn str_col_mut(r: &mut SpanRecord, i: usize) -> &mut String {
 fn u64_col(r: &SpanRecord, i: usize) -> u64 {
     match i {
         0 => r.seq,
-        1 => r.load_vmm_ns,
-        2 => r.fetch_ws_ns,
-        3 => r.install_ws_ns,
-        4 => r.conn_restore_ns,
-        5 => r.processing_ns,
-        6 => r.record_finish_ns,
-        7 => r.latency_ns,
-        8 => r.cache_hits,
-        9 => r.cache_misses,
-        10 => r.cache_raced,
-        11 => r.transient_retries,
-        12 => r.corrupt_reloads,
+        1 => r.vt_ns,
+        2 => r.load_vmm_ns,
+        3 => r.fetch_ws_ns,
+        4 => r.install_ws_ns,
+        5 => r.conn_restore_ns,
+        6 => r.processing_ns,
+        7 => r.record_finish_ns,
+        8 => r.latency_ns,
+        9 => r.cache_hits,
+        10 => r.cache_misses,
+        11 => r.cache_raced,
+        12 => r.transient_retries,
+        13 => r.corrupt_reloads,
         _ => r.retry_delay_ns,
     }
 }
@@ -109,18 +111,19 @@ fn u64_col(r: &SpanRecord, i: usize) -> u64 {
 fn u64_col_mut(r: &mut SpanRecord, i: usize) -> &mut u64 {
     match i {
         0 => &mut r.seq,
-        1 => &mut r.load_vmm_ns,
-        2 => &mut r.fetch_ws_ns,
-        3 => &mut r.install_ws_ns,
-        4 => &mut r.conn_restore_ns,
-        5 => &mut r.processing_ns,
-        6 => &mut r.record_finish_ns,
-        7 => &mut r.latency_ns,
-        8 => &mut r.cache_hits,
-        9 => &mut r.cache_misses,
-        10 => &mut r.cache_raced,
-        11 => &mut r.transient_retries,
-        12 => &mut r.corrupt_reloads,
+        1 => &mut r.vt_ns,
+        2 => &mut r.load_vmm_ns,
+        3 => &mut r.fetch_ws_ns,
+        4 => &mut r.install_ws_ns,
+        5 => &mut r.conn_restore_ns,
+        6 => &mut r.processing_ns,
+        7 => &mut r.record_finish_ns,
+        8 => &mut r.latency_ns,
+        9 => &mut r.cache_hits,
+        10 => &mut r.cache_misses,
+        11 => &mut r.cache_raced,
+        12 => &mut r.transient_retries,
+        13 => &mut r.corrupt_reloads,
         _ => &mut r.retry_delay_ns,
     }
 }
@@ -360,6 +363,7 @@ mod tests {
                 seq: i,
                 cold: i % 4 != 0,
                 recorded: i % 7 == 0,
+                vt_ns: i * 1_000_003,
                 load_vmm_ns: i * 11,
                 fetch_ws_ns: i * 13,
                 install_ws_ns: i * 17,

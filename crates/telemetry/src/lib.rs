@@ -28,16 +28,34 @@
 //! reports over millions of invocations stay cheap to produce and
 //! byte-stable across runs.
 
+//! The aggregation layer on top:
+//!
+//! * [`rollup`] — streaming rollup of spans into fixed virtual-time
+//!   windows per `(function, policy, shard)`, persisted as checksummed
+//!   columnar `telemetry/rollup-` batches whose log-bucketed histograms
+//!   **merge**: P50/P95/P99 over any window range is a bucket merge, no
+//!   raw span rescan ([`window_report`]).
+//! * [`attribution`] — the per-policy virtual-time attribution table
+//!   (phase means, disk-bound share, overlap won back).
+
+pub mod attribution;
 pub mod codec;
 pub mod reader;
 pub mod report;
+pub mod rollup;
 pub mod sink;
 pub mod span;
 pub mod synth;
 
+pub use attribution::{attribution_report, AttributionReport, AttributionRow};
 pub use codec::{decode_batch, encode_batch, BatchError};
 pub use reader::{for_each_span, scan, ScanStats};
 pub use report::{latency_report, GroupKey, GroupStats, LatencyReport};
+pub use rollup::{
+    build_rollups, decode_rollup_batch, encode_rollup_batch, for_each_rollup_row, window_report,
+    PhaseSums, RollupBuildStats, RollupBuilder, RollupCell, RollupKey, RollupScanStats,
+    WindowGroupStats, WindowReport, DEFAULT_WINDOW_NS, ROLLUP_PREFIX,
+};
 pub use sink::{TelemetrySink, BATCH_PREFIX, DEFAULT_BATCH_ROWS};
 pub use span::SpanRecord;
 pub use synth::synthesize;

@@ -19,6 +19,22 @@ pub struct ScanStats {
     pub spans: u64,
 }
 
+impl ScanStats {
+    /// A warning line when any batch was dropped, for CLIs to surface —
+    /// `None` on a clean scan. Dropped batches mean the report silently
+    /// covers fewer spans than were recorded; every reader should say so.
+    pub fn drop_warning(&self) -> Option<String> {
+        (self.batches_dropped > 0).then(|| {
+            format!(
+                "WARNING: dropped {} of {} telemetry batches (corrupt or truncated); \
+                 report covers surviving spans only",
+                self.batches_dropped,
+                self.batches_dropped + self.batches_ok
+            )
+        })
+    }
+}
+
 /// Streams every span in the store's telemetry batches, in batch order,
 /// to `visit`. Bad batches (checksum mismatch, truncation, unreadable
 /// file) are dropped and counted — the scan never panics and never stops
@@ -82,6 +98,27 @@ mod tests {
         assert_eq!(stats.batches_ok, 2);
         assert_eq!(stats.batches_dropped, 1);
         assert_eq!(spans.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn poisoned_batch_surfaces_a_drop_warning() {
+        let store = FileStore::new();
+        let sink = TelemetrySink::with_batch_rows(store.clone(), 2);
+        for i in 0..6 {
+            sink.record(SpanRecord {
+                seq: i,
+                ..SpanRecord::default()
+            });
+        }
+        let (_, clean) = scan(&store);
+        assert_eq!(clean.drop_warning(), None, "clean scans stay quiet");
+        // Poison one batch: its checksum no longer matches.
+        let id = store.open("telemetry/batch-00000001").unwrap();
+        store.write_at(id, 13, &[0xFF]);
+        let (_, stats) = scan(&store);
+        assert_eq!(stats.batches_dropped, 1);
+        let warn = stats.drop_warning().expect("drop must warn");
+        assert!(warn.contains("dropped 1 of 3"), "{warn}");
     }
 
     #[test]

@@ -1,0 +1,788 @@
+//! Windowed, mergeable rollups over flushed span batches.
+//!
+//! A rollup turns the raw span stream into fixed virtual-time windows per
+//! `(window, function, policy, shard)` cell: each cell carries a
+//! [`LogHistogram`] of end-to-end latency plus per-phase virtual-time
+//! sums. Because log-bucketed histograms merge by bucket-wise addition,
+//! any percentile over any *range* of windows is answered by merging the
+//! covered cells — no raw span rescan, ever (the acceptance test pins
+//! this with read accounting on a 1M-span store).
+//!
+//! Rollup batches persist beside span batches as
+//! `telemetry/rollup-NNNNNNNN` files in a checksummed columnar format:
+//!
+//! ```text
+//! ┌───────────────┐ 0
+//! │ magic "VTR1"  │
+//! ├───────────────┤ 4
+//! │ window_ns u64 │  fixed window width the batch was built with
+//! ├───────────────┤ 12
+//! │ rows    u32   │
+//! ├───────────────┤ 16
+//! │ cols    u32   │  (= 15, the fixed rollup schema)
+//! ├───────────────┤ 20
+//! │ column 0      │  kind u8 │ payload_len u32 │ payload
+//! │  ...          │  u64  payload: rows × 8 B LE   (window, count, …)
+//! │ column 14     │  str  payload: per row u32 len + bytes
+//! ├───────────────┤  u32  payload: rows × 4 B LE   (shard)
+//! │ checksum u64  │  hist payload: per row u32 pairs + (u16, u64) pairs
+//! ├───────────────┤
+//! │ magic "VTRE"  │
+//! └───────────────┘
+//! ```
+//!
+//! All integers little-endian; the FNV-1a 64 checksum covers every byte
+//! above it. [`decode_rollup_batch`] verifies trailing magic and checksum
+//! **before** parsing, so truncation or byte flips surface as a typed
+//! [`BatchError`] — readers drop the bad batch and keep the rest, exactly
+//! like span batches.
+
+use std::collections::BTreeMap;
+
+use sim_core::hash::fnv1a64;
+use sim_core::metrics::{LogHistogram, NUM_BUCKETS};
+use sim_storage::FileStore;
+
+use crate::codec::BatchError;
+use crate::reader::{for_each_span, ScanStats};
+use crate::report::GroupKey;
+use crate::span::SpanRecord;
+
+/// Store-name prefix of every rollup batch file.
+pub const ROLLUP_PREFIX: &str = "telemetry/rollup-";
+
+/// Default rollup window width: one virtual second.
+pub const DEFAULT_WINDOW_NS: u64 = 1_000_000_000;
+
+/// Default rows per rollup batch file.
+pub const DEFAULT_ROLLUP_ROWS: usize = 4096;
+
+/// Leading magic of a rollup batch.
+pub const ROLLUP_MAGIC: &[u8; 4] = b"VTR1";
+/// Trailing magic, after the footer checksum.
+pub const ROLLUP_FOOTER_MAGIC: &[u8; 4] = b"VTRE";
+
+const KIND_STR: u8 = 0;
+const KIND_U32: u8 = 1;
+const KIND_U64: u8 = 2;
+const KIND_HIST: u8 = 4;
+
+/// Per-phase virtual-time sums of one rollup cell, in span-column order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseSums {
+    /// Σ `load_vmm_ns`.
+    pub load_vmm_ns: u64,
+    /// Σ `fetch_ws_ns`.
+    pub fetch_ws_ns: u64,
+    /// Σ `install_ws_ns`.
+    pub install_ws_ns: u64,
+    /// Σ `conn_restore_ns` (fault-serve work).
+    pub conn_restore_ns: u64,
+    /// Σ `processing_ns` (compute).
+    pub processing_ns: u64,
+    /// Σ `record_finish_ns`.
+    pub record_finish_ns: u64,
+}
+
+impl PhaseSums {
+    /// Phase sums of one span.
+    pub fn of(s: &SpanRecord) -> Self {
+        PhaseSums {
+            load_vmm_ns: s.load_vmm_ns,
+            fetch_ws_ns: s.fetch_ws_ns,
+            install_ws_ns: s.install_ws_ns,
+            conn_restore_ns: s.conn_restore_ns,
+            processing_ns: s.processing_ns,
+            record_finish_ns: s.record_finish_ns,
+        }
+    }
+
+    /// Sum of every phase (the serial, no-overlap total).
+    pub fn serial_ns(&self) -> u64 {
+        self.load_vmm_ns
+            + self.fetch_ws_ns
+            + self.install_ws_ns
+            + self.conn_restore_ns
+            + self.processing_ns
+            + self.record_finish_ns
+    }
+}
+
+impl std::ops::AddAssign for PhaseSums {
+    fn add_assign(&mut self, rhs: PhaseSums) {
+        self.load_vmm_ns += rhs.load_vmm_ns;
+        self.fetch_ws_ns += rhs.fetch_ws_ns;
+        self.install_ws_ns += rhs.install_ws_ns;
+        self.conn_restore_ns += rhs.conn_restore_ns;
+        self.processing_ns += rhs.processing_ns;
+        self.record_finish_ns += rhs.record_finish_ns;
+    }
+}
+
+/// Identity of one rollup cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RollupKey {
+    /// Window index (`vt_ns / window_ns` of the spans it covers).
+    pub window: u64,
+    /// Function name.
+    pub function: String,
+    /// Policy label.
+    pub policy: String,
+    /// Serving shard.
+    pub shard: u32,
+}
+
+/// Aggregated contents of one rollup cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupCell {
+    /// Mergeable end-to-end latency histogram (also carries exact count,
+    /// sum, min and max).
+    pub latency: LogHistogram,
+    /// Per-phase virtual-time sums.
+    pub phases: PhaseSums,
+}
+
+/// Streaming span → windowed-cell aggregator. Feed spans in any order;
+/// cells key on `(window, function, policy, shard)` and merge as they
+/// come, so memory scales with distinct cells — never with span count.
+#[derive(Debug)]
+pub struct RollupBuilder {
+    window_ns: u64,
+    cells: BTreeMap<RollupKey, RollupCell>,
+}
+
+impl RollupBuilder {
+    /// A builder over fixed windows of `window_ns` (clamped to ≥ 1).
+    pub fn new(window_ns: u64) -> Self {
+        RollupBuilder {
+            window_ns: window_ns.max(1),
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The window width this builder buckets by, ns.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Folds one span into its cell.
+    pub fn add(&mut self, s: &SpanRecord) {
+        let key = RollupKey {
+            window: s.vt_ns / self.window_ns,
+            function: s.function.clone(),
+            policy: s.policy.clone(),
+            shard: s.shard,
+        };
+        let cell = self.cells.entry(key).or_insert_with(|| RollupCell {
+            latency: LogHistogram::new(),
+            phases: PhaseSums::default(),
+        });
+        cell.latency.record(s.latency_ns);
+        let mut p = cell.phases;
+        p += PhaseSums::of(s);
+        cell.phases = p;
+    }
+
+    /// Number of distinct cells so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no span was added yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The aggregated cells, ordered by key.
+    pub fn finish(self) -> Vec<(RollupKey, RollupCell)> {
+        self.cells.into_iter().collect()
+    }
+}
+
+/// Encodes rollup rows into one columnar batch blob.
+pub fn encode_rollup_batch(window_ns: u64, rows: &[(RollupKey, RollupCell)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + rows.len() * 96);
+    out.extend_from_slice(ROLLUP_MAGIC);
+    out.extend_from_slice(&window_ns.to_le_bytes());
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(COLUMNS as u32).to_le_bytes());
+    let mut payload = Vec::new();
+    for (col, &kind) in SCHEMA.iter().enumerate() {
+        payload.clear();
+        for (key, cell) in rows {
+            match col {
+                0 => payload.extend_from_slice(&key.window.to_le_bytes()),
+                1 => {
+                    let s = key.function.as_bytes();
+                    payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(s);
+                }
+                2 => {
+                    let s = key.policy.as_bytes();
+                    payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(s);
+                }
+                3 => payload.extend_from_slice(&key.shard.to_le_bytes()),
+                4 => payload.extend_from_slice(&cell.latency.count().to_le_bytes()),
+                5 => payload.extend_from_slice(&cell.latency.sum().to_le_bytes()),
+                6 => payload.extend_from_slice(&cell.latency.min().unwrap_or(0).to_le_bytes()),
+                7 => payload.extend_from_slice(&cell.latency.max().unwrap_or(0).to_le_bytes()),
+                8 => payload.extend_from_slice(&cell.phases.load_vmm_ns.to_le_bytes()),
+                9 => payload.extend_from_slice(&cell.phases.fetch_ws_ns.to_le_bytes()),
+                10 => payload.extend_from_slice(&cell.phases.install_ws_ns.to_le_bytes()),
+                11 => payload.extend_from_slice(&cell.phases.conn_restore_ns.to_le_bytes()),
+                12 => payload.extend_from_slice(&cell.phases.processing_ns.to_le_bytes()),
+                13 => payload.extend_from_slice(&cell.phases.record_finish_ns.to_le_bytes()),
+                _ => {
+                    let pairs = cell.latency.to_sparse();
+                    payload.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                    for (idx, n) in pairs {
+                        payload.extend_from_slice(&idx.to_le_bytes());
+                        payload.extend_from_slice(&n.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out.push(kind);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(ROLLUP_FOOTER_MAGIC);
+    out
+}
+
+/// `kind` per column, in encoding order: window, function, policy, shard,
+/// count, sum, min, max, six phase sums, histogram buckets.
+const SCHEMA: &[u8] = &[
+    KIND_U64,
+    KIND_STR,
+    KIND_STR,
+    KIND_U32,
+    KIND_U64,
+    KIND_U64,
+    KIND_U64,
+    KIND_U64,
+    KIND_U64,
+    KIND_U64,
+    KIND_U64,
+    KIND_U64,
+    KIND_U64,
+    KIND_U64,
+    KIND_HIST,
+];
+
+/// Number of columns in a rollup batch.
+pub const COLUMNS: usize = SCHEMA.len();
+
+fn rd_u16(b: &[u8], off: usize) -> Option<u16> {
+    b.get(off..off + 2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+}
+
+fn rd_u32(b: &[u8], off: usize) -> Option<u32> {
+    b.get(off..off + 4).map(|s| {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(s);
+        u32::from_le_bytes(a)
+    })
+}
+
+fn rd_u64(b: &[u8], off: usize) -> Option<u64> {
+    b.get(off..off + 8).map(|s| {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        u64::from_le_bytes(a)
+    })
+}
+
+/// Decodes one rollup batch, verifying footer magic and checksum first.
+/// Returns the window width the batch was built with plus its rows.
+/// Never panics: truncation, bit flips and layout disagreements all come
+/// back as a typed [`BatchError`].
+#[allow(clippy::type_complexity)]
+pub fn decode_rollup_batch(data: &[u8]) -> Result<(u64, Vec<(RollupKey, RollupCell)>), BatchError> {
+    const HEADER: usize = 20;
+    const FOOTER: usize = 12;
+    if data.len() < HEADER + FOOTER {
+        return Err(BatchError::TooShort);
+    }
+    if &data[..4] != ROLLUP_MAGIC {
+        return Err(BatchError::BadMagic);
+    }
+    let body_end = data.len() - FOOTER;
+    if &data[body_end + 8..] != ROLLUP_FOOTER_MAGIC {
+        return Err(BatchError::BadFooterMagic);
+    }
+    let stored = rd_u64(data, body_end).ok_or(BatchError::TooShort)?;
+    let computed = fnv1a64(&data[..body_end]);
+    if stored != computed {
+        return Err(BatchError::ChecksumMismatch { stored, computed });
+    }
+    let window_ns = rd_u64(data, 4).ok_or(BatchError::TooShort)?;
+    if window_ns == 0 {
+        return Err(BatchError::BadLayout("zero window width"));
+    }
+    let rows = rd_u32(data, 12).ok_or(BatchError::TooShort)? as usize;
+    let cols = rd_u32(data, 16).ok_or(BatchError::TooShort)? as usize;
+    if cols != COLUMNS {
+        return Err(BatchError::BadLayout("column count"));
+    }
+    let mut keys = vec![
+        RollupKey {
+            window: 0,
+            function: String::new(),
+            policy: String::new(),
+            shard: 0,
+        };
+        rows
+    ];
+    let mut counts = vec![0u64; rows];
+    let mut sums = vec![0u64; rows];
+    let mut mins = vec![0u64; rows];
+    let mut maxs = vec![0u64; rows];
+    let mut phases = vec![PhaseSums::default(); rows];
+    let mut hists: Vec<Vec<(u16, u64)>> = vec![Vec::new(); rows];
+    let mut off = HEADER;
+    for (col, &kind) in SCHEMA.iter().enumerate() {
+        let got_kind = *data.get(off).ok_or(BatchError::BadLayout("column header"))?;
+        if got_kind != kind {
+            return Err(BatchError::BadLayout("column kind"));
+        }
+        let len = rd_u32(data, off + 1).ok_or(BatchError::BadLayout("column header"))? as usize;
+        off += 5;
+        let payload = data
+            .get(off..off + len)
+            .ok_or(BatchError::BadLayout("column payload"))?;
+        off += len;
+        match kind {
+            KIND_STR => {
+                let mut p = 0usize;
+                for k in &mut keys {
+                    let slen =
+                        rd_u32(payload, p).ok_or(BatchError::BadLayout("string length"))? as usize;
+                    p += 4;
+                    let bytes = payload
+                        .get(p..p + slen)
+                        .ok_or(BatchError::BadLayout("string bytes"))?;
+                    p += slen;
+                    let s = String::from_utf8(bytes.to_vec())
+                        .map_err(|_| BatchError::BadLayout("string utf-8"))?;
+                    if col == 1 {
+                        k.function = s;
+                    } else {
+                        k.policy = s;
+                    }
+                }
+                if p != payload.len() {
+                    return Err(BatchError::BadLayout("string column tail"));
+                }
+            }
+            KIND_U32 => {
+                if payload.len() != rows * 4 {
+                    return Err(BatchError::BadLayout("u32 column size"));
+                }
+                for (i, k) in keys.iter_mut().enumerate() {
+                    k.shard = rd_u32(payload, i * 4).expect("sized above");
+                }
+            }
+            KIND_U64 => {
+                if payload.len() != rows * 8 {
+                    return Err(BatchError::BadLayout("u64 column size"));
+                }
+                for i in 0..rows {
+                    let v = rd_u64(payload, i * 8).expect("sized above");
+                    match col {
+                        0 => keys[i].window = v,
+                        4 => counts[i] = v,
+                        5 => sums[i] = v,
+                        6 => mins[i] = v,
+                        7 => maxs[i] = v,
+                        8 => phases[i].load_vmm_ns = v,
+                        9 => phases[i].fetch_ws_ns = v,
+                        10 => phases[i].install_ws_ns = v,
+                        11 => phases[i].conn_restore_ns = v,
+                        12 => phases[i].processing_ns = v,
+                        _ => phases[i].record_finish_ns = v,
+                    }
+                }
+            }
+            _ => {
+                let mut p = 0usize;
+                for h in &mut hists {
+                    let pairs =
+                        rd_u32(payload, p).ok_or(BatchError::BadLayout("histogram length"))?
+                            as usize;
+                    p += 4;
+                    if pairs > NUM_BUCKETS {
+                        return Err(BatchError::BadLayout("histogram pair count"));
+                    }
+                    h.reserve(pairs);
+                    for _ in 0..pairs {
+                        let idx =
+                            rd_u16(payload, p).ok_or(BatchError::BadLayout("histogram pair"))?;
+                        let n =
+                            rd_u64(payload, p + 2).ok_or(BatchError::BadLayout("histogram pair"))?;
+                        p += 10;
+                        h.push((idx, n));
+                    }
+                }
+                if p != payload.len() {
+                    return Err(BatchError::BadLayout("histogram column tail"));
+                }
+            }
+        }
+    }
+    if off != data.len() - FOOTER {
+        return Err(BatchError::BadLayout("trailing bytes before footer"));
+    }
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let latency = LogHistogram::from_sparse(&hists[i], sums[i], mins[i], maxs[i])
+            .ok_or(BatchError::BadLayout("inconsistent histogram"))?;
+        if latency.count() != counts[i] {
+            return Err(BatchError::BadLayout("count / histogram mismatch"));
+        }
+        out.push((
+            keys[i].clone(),
+            RollupCell {
+                latency,
+                phases: phases[i],
+            },
+        ));
+    }
+    Ok((window_ns, out))
+}
+
+/// What a rollup build wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RollupBuildStats {
+    /// Distinct `(window, function, policy, shard)` cells produced.
+    pub cells: u64,
+    /// Rollup batch files written.
+    pub batches: u64,
+    /// Spans folded in.
+    pub spans: u64,
+}
+
+/// Scans the store's span batches once and persists their windowed
+/// rollup as `telemetry/rollup-` batches (replacing any previous
+/// rollup). Returns what was written plus the underlying span-scan
+/// stats — corrupt span batches are dropped from the rollup exactly as
+/// they are from reports.
+pub fn build_rollups(store: &FileStore, window_ns: u64) -> (RollupBuildStats, ScanStats) {
+    let mut builder = RollupBuilder::new(window_ns);
+    let scan = for_each_span(store, |s| builder.add(s));
+    for name in store.list() {
+        if name.starts_with(ROLLUP_PREFIX) {
+            if let Some(id) = store.open(&name) {
+                store.delete(id);
+            }
+        }
+    }
+    let rows = builder.finish();
+    let mut stats = RollupBuildStats {
+        cells: rows.len() as u64,
+        batches: 0,
+        spans: scan.spans,
+    };
+    for chunk in rows.chunks(DEFAULT_ROLLUP_ROWS) {
+        let blob = encode_rollup_batch(window_ns, chunk);
+        let name = format!("{ROLLUP_PREFIX}{:08}", stats.batches);
+        let id = store.create(&name);
+        store.append(id, &blob);
+        stats.batches += 1;
+    }
+    (stats, scan)
+}
+
+/// What a rollup scan saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RollupScanStats {
+    /// Rollup batches that decoded cleanly.
+    pub batches_ok: u64,
+    /// Rollup batches dropped (checksum/layout/read failure, or a window
+    /// width disagreeing with the first good batch).
+    pub batches_dropped: u64,
+    /// Rows yielded.
+    pub rows: u64,
+}
+
+/// Streams every rollup row in the store, in batch order. Returns the
+/// window width (of the first good batch; later batches with a different
+/// width are dropped and counted) alongside the scan stats.
+pub fn for_each_rollup_row(
+    store: &FileStore,
+    mut visit: impl FnMut(&RollupKey, &RollupCell),
+) -> (Option<u64>, RollupScanStats) {
+    let mut stats = RollupScanStats::default();
+    let mut window_ns: Option<u64> = None;
+    for name in store.list() {
+        if !name.starts_with(ROLLUP_PREFIX) {
+            continue;
+        }
+        let Some(id) = store.open(&name) else {
+            stats.batches_dropped += 1;
+            continue;
+        };
+        let len = store.len(id);
+        let Some(blob) = store.try_read_at(id, 0, len as usize) else {
+            stats.batches_dropped += 1;
+            continue;
+        };
+        match decode_rollup_batch(&blob) {
+            Ok((w, rows)) => {
+                if *window_ns.get_or_insert(w) != w {
+                    stats.batches_dropped += 1;
+                    continue;
+                }
+                stats.batches_ok += 1;
+                stats.rows += rows.len() as u64;
+                for (k, c) in &rows {
+                    visit(k, c);
+                }
+            }
+            Err(_) => stats.batches_dropped += 1,
+        }
+    }
+    (window_ns, stats)
+}
+
+/// Latency estimate of one group over a window range, from merged
+/// histogram buckets. `count`/`min`/`max`/`mean` are exact; the
+/// percentiles carry the log-bucket error bound
+/// (`exact ≤ est ≤ exact · (1 + 1/32)`, see
+/// [`sim_core::metrics::LogHistogram::value_at_percentile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowGroupStats {
+    /// Invocations covered.
+    pub count: u64,
+    /// Exact minimum latency, ns.
+    pub min_ns: u64,
+    /// Estimated median, ns.
+    pub p50_ns: u64,
+    /// Estimated 95th percentile, ns.
+    pub p95_ns: u64,
+    /// Estimated 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Exact maximum latency, ns.
+    pub max_ns: u64,
+}
+
+/// A windowed percentile report, answered from rollup batches alone.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Window width of the underlying rollup, ns (`None` if the store
+    /// holds no rollup).
+    pub window_ns: Option<u64>,
+    /// Queried half-open window range `[lo, hi)`.
+    pub windows: (u64, u64),
+    /// Per-group estimates over the range, ordered by group key, plus the
+    /// merged histogram each was computed from.
+    pub groups: Vec<(GroupKey, WindowGroupStats, LogHistogram)>,
+    /// Rollup batch counters of the underlying scan.
+    pub scan: RollupScanStats,
+}
+
+impl WindowReport {
+    /// Stats for one group, if present.
+    pub fn group(&self, function: &str, policy: &str, shard: u32) -> Option<&WindowGroupStats> {
+        self.groups
+            .iter()
+            .find(|(k, _, _)| k.function == function && k.policy == policy && k.shard == shard)
+            .map(|(_, s, _)| s)
+    }
+
+    /// Total spans covered by the queried range.
+    pub fn total_count(&self) -> u64 {
+        self.groups.iter().map(|(_, s, _)| s.count).sum()
+    }
+
+    /// Renders the report as a table, milliseconds with 3 decimals.
+    pub fn table(&self) -> sim_core::Table {
+        let mut t = sim_core::Table::new(&[
+            "function", "policy", "shard", "count", "min_ms", "p50_ms", "p95_ms", "p99_ms",
+            "max_ms",
+        ]);
+        t.numeric();
+        let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+        for (key, st, _) in &self.groups {
+            t.row_owned(vec![
+                key.function.clone(),
+                key.policy.clone(),
+                key.shard.to_string(),
+                st.count.to_string(),
+                ms(st.min_ns),
+                ms(st.p50_ns),
+                ms(st.p95_ns),
+                ms(st.p99_ns),
+                ms(st.max_ns),
+            ]);
+        }
+        t
+    }
+}
+
+/// Answers a percentile query over windows `[lo_window, hi_window)` by
+/// merging rollup cells per `(function, policy, shard)` — reads rollup
+/// batches only, never the raw span batches.
+pub fn window_report(store: &FileStore, lo_window: u64, hi_window: u64) -> WindowReport {
+    let mut merged: BTreeMap<(String, String, u32), LogHistogram> = BTreeMap::new();
+    let (window_ns, scan) = for_each_rollup_row(store, |k, c| {
+        if k.window < lo_window || k.window >= hi_window {
+            return;
+        }
+        merged
+            .entry((k.function.clone(), k.policy.clone(), k.shard))
+            .or_default()
+            .merge(&c.latency);
+    });
+    let groups = merged
+        .into_iter()
+        .filter(|(_, h)| h.count() > 0)
+        .map(|((function, policy, shard), h)| {
+            let stats = WindowGroupStats {
+                count: h.count(),
+                min_ns: h.min().unwrap_or(0),
+                p50_ns: h.value_at_percentile(50.0).unwrap_or(0),
+                p95_ns: h.value_at_percentile(95.0).unwrap_or(0),
+                p99_ns: h.value_at_percentile(99.0).unwrap_or(0),
+                max_ns: h.max().unwrap_or(0),
+            };
+            (
+                GroupKey {
+                    function,
+                    policy,
+                    shard,
+                },
+                stats,
+                h,
+            )
+        })
+        .collect();
+    WindowReport {
+        window_ns,
+        windows: (lo_window, hi_window),
+        groups,
+        scan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TelemetrySink;
+    use crate::synth::synthesize;
+
+    fn seeded_store(n: u64) -> FileStore {
+        let store = FileStore::new();
+        synthesize(
+            &TelemetrySink::new(store.clone()),
+            42,
+            n,
+            3,
+            &["helloworld", "pyaes", "chameleon", "json"],
+        );
+        store
+    }
+
+    #[test]
+    fn rollup_codec_round_trip() {
+        let store = seeded_store(3000);
+        let mut builder = RollupBuilder::new(DEFAULT_WINDOW_NS);
+        for_each_span(&store, |s| builder.add(s));
+        let rows = builder.finish();
+        assert!(!rows.is_empty());
+        let blob = encode_rollup_batch(DEFAULT_WINDOW_NS, &rows);
+        let (w, decoded) = decode_rollup_batch(&blob).unwrap();
+        assert_eq!(w, DEFAULT_WINDOW_NS);
+        assert_eq!(decoded, rows);
+    }
+
+    #[test]
+    fn rollup_truncation_and_flips_are_errors_not_panics() {
+        let store = seeded_store(500);
+        let mut builder = RollupBuilder::new(DEFAULT_WINDOW_NS);
+        for_each_span(&store, |s| builder.add(s));
+        let rows = builder.finish();
+        let blob = encode_rollup_batch(DEFAULT_WINDOW_NS, &rows);
+        for cut in 0..blob.len().min(64) {
+            assert!(decode_rollup_batch(&blob[..cut]).is_err(), "cut {cut}");
+        }
+        for cut in blob.len().saturating_sub(32)..blob.len() {
+            assert!(decode_rollup_batch(&blob[..cut]).is_err(), "cut {cut}");
+        }
+        let step = (blob.len() / 97).max(1);
+        for pos in (0..blob.len()).step_by(step) {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0xA5;
+            assert_ne!(
+                decode_rollup_batch(&bad).ok(),
+                Some((DEFAULT_WINDOW_NS, rows.clone())),
+                "flip at {pos} must not decode to the original"
+            );
+        }
+    }
+
+    #[test]
+    fn build_then_query_covers_all_spans_without_raw_rescan() {
+        let store = seeded_store(10_000);
+        let (built, scan) = build_rollups(&store, DEFAULT_WINDOW_NS);
+        assert_eq!(built.spans, 10_000);
+        assert_eq!(scan.batches_dropped, 0);
+        assert!(built.batches >= 1);
+
+        let reads_before = store.read_calls();
+        let report = window_report(&store, 0, u64::MAX);
+        let reads = store.read_calls() - reads_before;
+        assert_eq!(report.total_count(), 10_000);
+        assert_eq!(report.window_ns, Some(DEFAULT_WINDOW_NS));
+        assert_eq!(
+            reads, built.batches,
+            "window query must read rollup batches only"
+        );
+        // The stream spans multiple windows, and a narrow range covers
+        // strictly fewer spans than the full range.
+        let narrow = window_report(&store, 0, 3);
+        assert!(narrow.total_count() > 0);
+        assert!(narrow.total_count() < report.total_count());
+    }
+
+    #[test]
+    fn rebuilding_replaces_the_previous_rollup() {
+        let store = seeded_store(2000);
+        let (first, _) = build_rollups(&store, DEFAULT_WINDOW_NS);
+        // A coarser window produces fewer cells; stale batches must not
+        // linger or double-count.
+        let (second, _) = build_rollups(&store, 60 * DEFAULT_WINDOW_NS);
+        assert!(second.cells < first.cells);
+        let report = window_report(&store, 0, u64::MAX);
+        assert_eq!(report.total_count(), 2000);
+        assert_eq!(report.scan.batches_ok, second.batches);
+    }
+
+    #[test]
+    fn corrupt_rollup_batch_is_dropped_rest_survive() {
+        let store = seeded_store(4000);
+        // Tiny batches so the rollup spans several files.
+        let mut builder = RollupBuilder::new(DEFAULT_WINDOW_NS);
+        for_each_span(&store, |s| builder.add(s));
+        let rows = builder.finish();
+        assert!(rows.len() >= 6);
+        let total: u64 = rows.iter().map(|(_, c)| c.latency.count()).sum();
+        for (i, chunk) in rows.chunks(rows.len() / 3).enumerate() {
+            let blob = encode_rollup_batch(DEFAULT_WINDOW_NS, chunk);
+            let id = store.create(&format!("{ROLLUP_PREFIX}{i:08}"));
+            store.append(id, &blob);
+        }
+        let id = store.open(&format!("{ROLLUP_PREFIX}{:08}", 1)).unwrap();
+        store.write_at(id, 30, &[0x5A]);
+        let dropped_count: u64 = rows[rows.len() / 3..2 * (rows.len() / 3)]
+            .iter()
+            .map(|(_, c)| c.latency.count())
+            .sum();
+        let report = window_report(&store, 0, u64::MAX);
+        assert_eq!(report.scan.batches_dropped, 1);
+        assert_eq!(report.total_count(), total - dropped_count);
+    }
+}

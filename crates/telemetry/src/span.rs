@@ -24,6 +24,10 @@ pub struct SpanRecord {
     pub cold: bool,
     /// True if this run recorded (or re-recorded) the working set.
     pub recorded: bool,
+    /// Virtual completion time of the invocation on its orchestrator's
+    /// timeline, ns since simulation start. Windowed rollups bucket spans
+    /// by this instant.
+    pub vt_ns: u64,
     /// `LoadVmm` phase, virtual ns.
     pub load_vmm_ns: u64,
     /// `FetchWs` phase, virtual ns.

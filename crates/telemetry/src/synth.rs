@@ -24,13 +24,20 @@ const POLICIES: &[(&str, f64)] = &[
     ("Warm", 1.2),
 ];
 
+/// Mean virtual inter-arrival gap of the synthetic stream, ns. 2 ms per
+/// span puts ~500 spans in each one-second rollup window.
+const MEAN_GAP_NS: f64 = 2_000_000.0;
+
 /// Generates `n` deterministic spans into `sink` and flushes the tail.
 ///
 /// Functions are drawn uniformly from `functions`, each hash-homed onto
 /// one of `shards` shards (mirroring `shard_for`); latency is the
 /// policy's base with multiplicative jitter plus an exponential tail;
 /// ~1% of cold spans carry transient retries and ~0.2% a Vanilla
-/// fallback, so recovery columns are exercised.
+/// fallback, so recovery columns are exercised. Spans complete along a
+/// cumulative virtual clock (exponential inter-arrival gaps, mean
+/// `MEAN_GAP_NS` = 2 ms), so `vt_ns` advances monotonically and windowed
+/// rollups see a realistic multi-window stream.
 ///
 /// # Panics
 ///
@@ -40,6 +47,7 @@ pub fn synthesize(sink: &TelemetrySink, seed: u64, n: u64, shards: u32, function
     assert!(shards > 0, "need at least one shard");
     let mut rng = DetRng::new(seed);
     let mut seqs = vec![0u64; functions.len()];
+    let mut vt_ns = 0u64;
     for _ in 0..n {
         let fi = rng.gen_range(functions.len() as u64) as usize;
         let function = functions[fi];
@@ -52,6 +60,7 @@ pub fn synthesize(sink: &TelemetrySink, seed: u64, n: u64, shards: u32, function
         let latency_ns = (latency_ms * 1e6) as u64;
         let seq = seqs[fi];
         seqs[fi] += 1;
+        vt_ns += rng.exp_f64(MEAN_GAP_NS) as u64;
 
         let mut span = SpanRecord {
             function: function.to_string(),
@@ -60,6 +69,7 @@ pub fn synthesize(sink: &TelemetrySink, seed: u64, n: u64, shards: u32, function
             seq,
             cold,
             recorded,
+            vt_ns: vt_ns + latency_ns,
             latency_ns,
             ..SpanRecord::default()
         };

@@ -32,6 +32,7 @@ fn gen_spans(seed: u64, n: usize) -> Vec<SpanRecord> {
                 seq: i as u64 ^ rng.next_u64(),
                 cold: rng.gen_bool(0.5),
                 recorded: rng.gen_bool(0.2),
+                vt_ns: rng.next_u64(),
                 load_vmm_ns: rng.next_u64(),
                 fetch_ws_ns: rng.next_u64(),
                 install_ws_ns: rng.next_u64(),

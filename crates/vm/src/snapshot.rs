@@ -257,6 +257,26 @@ pub fn verify_restored_cached(
     fs: &FileStore,
     cache: Option<&sim_storage::SnapshotFrameCache>,
 ) -> Result<u64, String> {
+    let mut scratch = sim_storage::FrameCacheDelta::default();
+    verify_restored_tracked(vm, snapshot, fs, cache, &mut scratch)
+}
+
+/// [`verify_restored_cached`] that additionally attributes its cache
+/// lookups (hit / miss / raced) to the caller's
+/// [`sim_storage::FrameCacheDelta`], so per-invocation telemetry can
+/// report the verify pass's share of frame-cache activity. Without a
+/// cache, `delta` is untouched.
+///
+/// # Errors
+///
+/// As [`verify_restored`].
+pub fn verify_restored_tracked(
+    vm: &MicroVm,
+    snapshot: &Snapshot,
+    fs: &FileStore,
+    cache: Option<&sim_storage::SnapshotFrameCache>,
+    delta: &mut sim_storage::FrameCacheDelta,
+) -> Result<u64, String> {
     let mem = vm.memory();
     let mut verified = 0;
     let mut staged = Vec::new();
@@ -267,7 +287,7 @@ pub fn verify_restored_cached(
         let cached;
         let expect: &[u8] = if let Some(cache) = cache {
             cached = cache
-                .get_or_load(fs, snapshot.mem_file, run.file_offset(), run.byte_len())
+                .get_or_load_tracked(fs, snapshot.mem_file, run.file_offset(), run.byte_len(), delta)
                 .map_err(|gone| format!("verify source vanished: {gone}"))?;
             &cached
         } else {

@@ -197,3 +197,48 @@ fn spans_mirror_outcomes_field_for_field() {
     // Warm invocations never touch it.
     assert_eq!(spans[5].cache_hits + spans[5].cache_misses + spans[5].cache_raced, 0);
 }
+
+/// Concurrent batches carry *real* per-request frame-cache attribution:
+/// every cold span's hit/miss/raced columns are its own lookups against
+/// the shared cache, threaded through `PreparedCold` — not the zeroed
+/// columns the emit path used to stamp. Also pins the virtual completion
+/// time column: spans complete at their timeline end, never at zero.
+#[test]
+fn concurrent_spans_carry_nonzero_cache_deltas() {
+    let (mut c, _) = prepared_cluster(0xCAFE, 2, false);
+    let tstore = FileStore::new();
+    let sink = TelemetrySink::with_batch_rows(tstore.clone(), 4);
+    c.set_telemetry(Some(sink.clone()));
+    let reqs: Vec<ColdRequest> = FUNCS
+        .iter()
+        .flat_map(|&f| ColdPolicy::ALL.into_iter().map(move |p| ColdRequest::shared(f, p)))
+        .collect();
+    let batch = c.invoke_concurrent(&reqs);
+    sink.flush();
+    let (spans, stats) = scan(&tstore);
+    assert_eq!(stats.batches_dropped, 0);
+    assert_eq!(spans.len(), batch.outcomes.len());
+    // Spans emit in request order; every request in this batch is cold
+    // and consults the shared frame cache at least for restore
+    // verification — zero attribution means the fix regressed.
+    for (span, req) in spans.iter().zip(&reqs) {
+        assert_eq!(span.function, req.function.to_string());
+        let delta = span.cache_hits + span.cache_misses + span.cache_raced;
+        assert!(
+            delta > 0,
+            "concurrent {} span of {} has zeroed cache columns",
+            span.policy,
+            span.function
+        );
+        assert_eq!(span.vt_ns, span.latency_ns, "batch arrives at virtual zero");
+        assert!(span.vt_ns > 0);
+    }
+    // REAP spans specifically: prefetch makes them the heaviest cache
+    // users in the batch.
+    let reap_total: u64 = spans
+        .iter()
+        .filter(|s| s.policy == "Reap")
+        .map(|s| s.cache_hits + s.cache_misses + s.cache_raced)
+        .sum();
+    assert!(reap_total > 0, "REAP spans must carry cache deltas");
+}
