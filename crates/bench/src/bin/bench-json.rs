@@ -523,6 +523,101 @@ fn bench_cluster(r: &mut Report) {
             "half-budget batches must keep evicting under pressure"
         );
     }
+
+    // Overload twin: the same 64-request fan-out, but every request
+    // carries a deadline and the admission layer runs its bounded-queue
+    // pre-pass. The median prices what overload protection costs on the
+    // hot path: a shed request resolves in the pre-pass without touching
+    // a shard, so the group should sit well *below* the plain 4-shard
+    // group. Queue-only admission (no token bucket) keeps every measured
+    // batch identical — admission queues are per-batch state.
+    let overload_name = "cluster/invoke_cold_64fn_overload";
+    if r.wants(overload_name) {
+        use sim_core::SimDuration;
+        use vhive_cluster::AdmissionConfig;
+        let mut cluster = ClusterOrchestrator::new(0xC10_5732, 4);
+        for f in funcs {
+            cluster.register(f);
+            cluster.invoke_record(f);
+        }
+        cluster.set_admission(Some(AdmissionConfig {
+            max_queue_depth: Some(4),
+            ..AdmissionConfig::default()
+        }));
+        let overload_reqs: Vec<ColdRequest> = reqs
+            .iter()
+            .map(|&q| q.with_deadline(SimDuration::from_millis(250)))
+            .collect();
+        r.add(overload_name, || {
+            let batch = cluster.invoke_concurrent(&overload_reqs);
+            assert_eq!(
+                batch.dispositions.len(),
+                64,
+                "every request must resolve to an explicit disposition"
+            );
+            assert_eq!(batch.outcomes.len(), batch.served.len());
+            assert!(
+                batch.outcomes.len() < 64,
+                "a 16-deep cluster admission window must shed a 64-burst"
+            );
+        });
+    }
+}
+
+/// Router replay under overload: one million arrivals pushed through a
+/// bounded admission queue with a latency budget. Offered load is ~25×
+/// what the 8-instance pool serves, so the vast majority of events
+/// resolve in the shed fast-path — the group prices the router's
+/// per-event bookkeeping at fleet replay scale, and asserts the no-hang
+/// invariant (`goodput + shed + expired == offered`) on every measured
+/// pass.
+fn bench_router(r: &mut Report) {
+    use functionbench::{FunctionId, InvocationEvent};
+    use sim_core::SimDuration;
+    use vhive_core::{route_workload, FunctionCosts, RouterConfig};
+
+    let name = "router/replay_shed_1m";
+    if !r.wants(name) {
+        return;
+    }
+    let funcs = [
+        FunctionId::helloworld,
+        FunctionId::chameleon,
+        FunctionId::pyaes,
+        FunctionId::json_serdes,
+    ];
+    let mut costs = std::collections::HashMap::new();
+    for f in funcs {
+        costs.insert(
+            f,
+            FunctionCosts {
+                cold_latency: SimDuration::from_millis(232),
+                warm_latency: SimDuration::from_millis(10),
+                warm_bytes: 150 * 1024 * 1024,
+            },
+        );
+    }
+    let events: Vec<InvocationEvent> = (0..1_000_000u64)
+        .map(|i| InvocationEvent {
+            at: sim_core::SimTime::ZERO + SimDuration::from_micros(50 * i),
+            function: funcs[(i % 4) as usize],
+            seq: i,
+        })
+        .collect();
+    let config = RouterConfig {
+        max_queue_depth: Some(64),
+        deadline: Some(SimDuration::from_secs(1)),
+        ..RouterConfig::default()
+    };
+    r.add(name, || {
+        let report = route_workload(&events, config, &costs);
+        assert_eq!(
+            report.goodput() + report.shed + report.expired,
+            1_000_000,
+            "every replayed event must resolve to goodput, shed, or expired"
+        );
+        assert!(report.shed > 500_000, "25x overload must shed most arrivals");
+    });
 }
 
 /// Pure alias-install throughput: the 64 MB fragmented working set
@@ -910,6 +1005,7 @@ fn main() {
     bench_fault_path(&mut report, &fs, &pages);
     bench_timeline(&mut report, &fs);
     bench_cluster(&mut report);
+    bench_router(&mut report);
     bench_fault_recovery(&mut report);
     bench_telemetry(&mut report);
     assert!(

@@ -58,11 +58,14 @@
 //! assert!(batch.makespan >= batch.outcomes[0].latency);
 //! ```
 
+pub mod admission;
 pub mod orchestrator;
 pub mod sweep;
 
+pub use admission::{AdmissionConfig, RateLimit, ShedPolicy};
 pub use orchestrator::{ClusterBatch, ClusterOrchestrator, ColdRequest, ShardHealth};
 pub use sweep::{cluster_concurrent, shard_lane_sweep, ClusterScalePoint};
+pub use vhive_core::{Disposition, ShedReason};
 
 use functionbench::FunctionId;
 

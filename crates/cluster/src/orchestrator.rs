@@ -6,17 +6,18 @@ use std::time::{Duration, Instant};
 
 use functionbench::FunctionId;
 use sim_core::metrics::labeled;
-use sim_core::{MetricsRegistry, SimDuration, SimTime};
+use sim_core::{Deadline, MetricsRegistry, SimDuration, SimTime, TokenBucket};
 use sim_storage::{
     DeviceProfile, DiskStats, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope,
     FileStore, FrameCacheDelta, FrameCacheStats, SnapshotFrameCache,
 };
 use vhive_core::{
-    ColdPolicy, HostCostModel, InstanceFiles, InvocationOutcome, Orchestrator, PreparedCold,
-    RegisterInfo, ReapFiles, ShardUnavailable,
+    BreakerPolicy, ColdAbort, ColdPolicy, Disposition, HostCostModel, InstanceFiles,
+    InvocationOutcome, Orchestrator, PreparedCold, RegisterInfo, ReapFiles,
 };
 use vhive_telemetry::TelemetrySink;
 
+use crate::admission::{self, AdmissionConfig};
 use crate::shard_for;
 
 /// One busy shard's slice of a concurrent batch: the shard's index, the
@@ -51,6 +52,15 @@ pub struct ColdRequest {
     pub independent: bool,
     /// Arrival time on the shared timeline.
     pub arrival: SimTime,
+    /// Optional virtual-time latency budget, relative to `arrival`. A
+    /// request carrying one resolves to an explicit [`Disposition`]: it
+    /// can be shed at admission, aborted mid-recovery once
+    /// retries/injected delays exhaust the budget (its seq rolled
+    /// back), or served and classified
+    /// [`Disposition::DeadlineExceeded`] if its simulated completion
+    /// lands past the expiry instant. `None` = no deadline (the
+    /// historical behavior).
+    pub deadline: Option<SimDuration>,
 }
 
 impl ColdRequest {
@@ -62,6 +72,7 @@ impl ColdRequest {
             policy,
             independent: false,
             arrival: SimTime::ZERO,
+            deadline: None,
         }
     }
 
@@ -73,16 +84,33 @@ impl ColdRequest {
             ..ColdRequest::shared(function, policy)
         }
     }
+
+    /// Attaches a virtual-time latency budget (relative to arrival).
+    pub fn with_deadline(mut self, budget: SimDuration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
 }
 
 /// Result of one concurrent batch: per-request outcomes plus the shared
 /// disk's counters and the batch-level timings.
 #[derive(Debug)]
 pub struct ClusterBatch {
-    /// Outcomes in request order. Each carries the **batch's** disk
-    /// statistics (instances share one disk; per-instance attribution
-    /// does not exist on real hardware either).
+    /// Outcomes of the **served** requests, in request order. Each
+    /// carries the **batch's** disk statistics (instances share one
+    /// disk; per-instance attribution does not exist on real hardware
+    /// either). Without an admission layer or deadlines this is every
+    /// request; otherwise `served[j]` maps `outcomes[j]` back to its
+    /// request index and `dispositions` covers the rest.
     pub outcomes: Vec<InvocationOutcome>,
+    /// Explicit final state of **every** request, in request order —
+    /// nothing is silently dropped or hung. All `Completed` when the
+    /// overload layer is off.
+    pub dispositions: Vec<Disposition>,
+    /// Request indices of `outcomes` (ascending). `served.len() ==
+    /// outcomes.len()`; a request absent here was shed or aborted
+    /// mid-recovery and has no outcome.
+    pub served: Vec<usize>,
     /// Counters of the shared timed disk for the whole batch.
     pub disk_stats: DiskStats,
     /// Simulated time until the last instance finished.
@@ -94,6 +122,14 @@ pub struct ClusterBatch {
     pub serve_wall: Duration,
     /// Per-shard health after the batch (index = shard index).
     pub shard_health: Vec<ShardHealth>,
+}
+
+impl ClusterBatch {
+    /// Requests that completed within their deadline (all served
+    /// requests when no deadlines were set) — the batch's goodput.
+    pub fn goodput(&self) -> u64 {
+        self.dispositions.iter().filter(|d| d.is_goodput()).count() as u64
+    }
 }
 
 /// The sharded control plane: N shards, each a full
@@ -110,6 +146,11 @@ pub struct ClusterOrchestrator {
     /// Cluster-level metrics (health transitions, reroutes); off by
     /// default, broadcast to shards by [`Self::set_metrics`].
     metrics: Option<MetricsRegistry>,
+    /// Admission control for concurrent batches; off by default.
+    admission: Option<AdmissionConfig>,
+    /// Persistent per-function rate-limiter state (advances across
+    /// batches on request arrival instants).
+    rate_buckets: HashMap<FunctionId, TokenBucket>,
 }
 
 impl ClusterOrchestrator {
@@ -153,6 +194,37 @@ impl ClusterOrchestrator {
             health,
             failover: HashMap::new(),
             metrics: None,
+            admission: None,
+            rate_buckets: HashMap::new(),
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) admission control for
+    /// concurrent batches: bounded per-shard admission queues, the
+    /// per-function token-bucket rate limiter, and brownout shedding on
+    /// [`ShardHealth::Degraded`] shards (see [`crate::admission`]).
+    /// Re-attaching resets the rate-limiter buckets. Off by default —
+    /// and the *admitted* subset of any batch is served byte-identically
+    /// to a run submitted with exactly that subset and no admission
+    /// layer (pinned by this crate's proptests).
+    pub fn set_admission(&mut self, config: Option<AdmissionConfig>) {
+        self.admission = config;
+        self.rate_buckets.clear();
+    }
+
+    /// The attached admission configuration, if any.
+    pub fn admission(&self) -> Option<AdmissionConfig> {
+        self.admission
+    }
+
+    /// Arms (or disarms, with `None`) per-function circuit breakers on
+    /// every shard (see [`vhive_core::Orchestrator::set_breaker`]).
+    /// Batch requests shed by an open breaker resolve to
+    /// [`Disposition::Shed`] with the cooldown remaining as the retry
+    /// hint.
+    pub fn set_breaker(&mut self, policy: Option<BreakerPolicy>) {
+        for shard in &mut self.shards {
+            shard.set_breaker(policy);
         }
     }
 
@@ -172,8 +244,14 @@ impl ClusterOrchestrator {
     }
 
     /// The shard `f` is actually served from: its failover placement if
-    /// it was moved off a dead home shard, else the first live shard at
-    /// or after its hash home (probing forward wraps around).
+    /// it was moved off a dead home shard, else the first live shard
+    /// already holding its state at or after its hash home (state
+    /// gravity — a [`ShardHealth::Degraded`] shard keeps serving the
+    /// functions it owns), else — for *new* placements — the first
+    /// **healthy** shard probing forward from home (brownout steering:
+    /// Degraded shards receive no new work while a healthy alternative
+    /// exists), falling back to the first live shard when every
+    /// survivor is Degraded. Probes wrap around.
     ///
     /// # Panics
     ///
@@ -186,6 +264,23 @@ impl ClusterOrchestrator {
         }
         let home = self.shard_of(f);
         let n = self.shards.len();
+        // State gravity: a live shard that already owns f's state
+        // serves it, Degraded or not — moving state is failover's job.
+        for k in 0..n {
+            let idx = (home + k) % n;
+            if self.health[idx] != ShardHealth::Dead && self.shards[idx].is_registered(f) {
+                return idx;
+            }
+        }
+        // New placement (fresh registration, or a dead home's rebuild):
+        // steer around Degraded shards while a Healthy one exists.
+        for k in 0..n {
+            let idx = (home + k) % n;
+            if self.health[idx] == ShardHealth::Healthy {
+                return idx;
+            }
+        }
+        // Every survivor is browned out: better Degraded than dead.
         for k in 0..n {
             let idx = (home + k) % n;
             if self.health[idx] != ShardHealth::Dead {
@@ -212,14 +307,18 @@ impl ClusterOrchestrator {
 
     fn home_mut(&mut self, f: FunctionId) -> &mut Orchestrator {
         let idx = self.route_of(f);
-        // Routed off a dead home shard: move the function's state to the
-        // survivor first (no-op for fresh registrations — there is no
-        // state anywhere yet to rebuild from).
-        if idx != self.shard_of(f) && !self.shards[idx].is_registered(f) {
-            if let Some(meta) = self.rebuild_meta_for(f, idx) {
-                self.shards[idx].rebuild_from(f, meta);
-                self.failover.insert(f, idx);
+        if idx != self.shard_of(f) {
+            // Routed off its home shard (dead home, or brownout
+            // steering): move the function's state to the survivor
+            // first (no-op for fresh registrations — there is no state
+            // anywhere yet to rebuild from), and pin the placement so
+            // the function stays put once its state lands there.
+            if !self.shards[idx].is_registered(f) {
+                if let Some(meta) = self.rebuild_meta_for(f, idx) {
+                    self.shards[idx].rebuild_from(f, meta);
+                }
             }
+            self.failover.insert(f, idx);
         }
         &mut self.shards[idx]
     }
@@ -461,7 +560,8 @@ impl ClusterOrchestrator {
     /// ## Failover
     ///
     /// A shard whose snapshot store is unreachable (blackout, persistent
-    /// faults) fails its requests with [`ShardUnavailable`]; the batch
+    /// faults) fails its requests with
+    /// [`ShardUnavailable`](vhive_core::ShardUnavailable); the batch
     /// marks the shard [`ShardHealth::Dead`], rebuilds the affected
     /// functions on the next live shard (same seed ⇒ bit-identical
     /// snapshot; the record invocation replays at its pinned seq), and
@@ -480,6 +580,8 @@ impl ClusterOrchestrator {
         if reqs.is_empty() {
             return ClusterBatch {
                 outcomes: Vec::new(),
+                dispositions: Vec::new(),
+                served: Vec::new(),
                 disk_stats: DiskStats::default(),
                 makespan: SimDuration::ZERO,
                 serve_wall: started.elapsed(),
@@ -487,6 +589,8 @@ impl ClusterOrchestrator {
             };
         }
         let n = reqs.len();
+        let overload_aware = self.admission.is_some() || reqs.iter().any(|r| r.deadline.is_some());
+        let mut dispositions: Vec<Disposition> = vec![Disposition::Completed; n];
         let mut slots: Vec<Option<PreparedCold>> = (0..n).map(|_| None).collect();
         let mut rerouted = vec![false; n];
         let mut rebuilt = vec![false; n];
@@ -495,6 +599,30 @@ impl ClusterOrchestrator {
         // round. Each extra round kills at least one shard, so the round
         // count is bounded by the shard count.
         let mut pending: Vec<usize> = (0..n).collect();
+        // Admission pre-pass: a pure function of (stream, config,
+        // health) run before any seq is consumed or work done, so the
+        // admitted subset is served byte-identically to a layer-off run
+        // over exactly that subset.
+        if let Some(cfg) = self.admission {
+            let routes: Vec<usize> = reqs.iter().map(|r| self.route_of(r.function)).collect();
+            let decisions =
+                admission::admit_batch(&cfg, reqs, &routes, &self.health, &mut self.rate_buckets);
+            pending = Vec::new();
+            for (i, d) in decisions.into_iter().enumerate() {
+                match d {
+                    None => pending.push(i),
+                    Some(shed) => {
+                        dispositions[i] = shed;
+                        self.shards[routes[i]].emit_unserved(
+                            reqs[i].function,
+                            reqs[i].policy,
+                            reqs[i].arrival,
+                            shed,
+                        );
+                    }
+                }
+            }
+        }
         let mut rounds = 0usize;
         while !pending.is_empty() {
             assert!(
@@ -539,7 +667,7 @@ impl ClusterOrchestrator {
                 .collect();
 
             let lanes = sim_core::effective_lanes(work.len());
-            let results: Vec<(usize, usize, Result<PreparedCold, ShardUnavailable>)> =
+            let results: Vec<(usize, usize, Result<PreparedCold, ColdAbort>)> =
                 if lanes <= 1 || work.len() <= 1 {
                     prepare_lane(work)
                 } else {
@@ -576,7 +704,7 @@ impl ClusterOrchestrator {
                         served_by[i] = shard_idx;
                         slots[i] = Some(p);
                     }
-                    Err(_) => {
+                    Err(ColdAbort::Shard(_)) => {
                         // The shard's store is unreachable: declare it dead
                         // (replacing any scoped injector with a full
                         // blackout) and re-queue the request.
@@ -585,6 +713,36 @@ impl ClusterOrchestrator {
                         }
                         rerouted[i] = true;
                         requeue.push(i);
+                    }
+                    Err(ColdAbort::Deadline(e)) => {
+                        // Budget exhausted mid-recovery: the seq was
+                        // rolled back on the shard; the request resolves
+                        // here (no requeue).
+                        dispositions[i] = Disposition::DeadlineExceeded;
+                        self.shards[shard_idx].emit_unserved(
+                            reqs[i].function,
+                            reqs[i].policy,
+                            reqs[i].arrival + e.budget,
+                            Disposition::DeadlineExceeded,
+                        );
+                    }
+                    Err(ColdAbort::Shed {
+                        reason,
+                        retry_after,
+                    }) => {
+                        // Shed on the shard (open circuit breaker): no
+                        // seq consumed, resolves here.
+                        let shed = Disposition::Shed {
+                            reason,
+                            retry_after,
+                        };
+                        dispositions[i] = shed;
+                        self.shards[shard_idx].emit_unserved(
+                            reqs[i].function,
+                            reqs[i].policy,
+                            reqs[i].arrival,
+                            shed,
+                        );
                     }
                 }
             }
@@ -595,11 +753,25 @@ impl ClusterOrchestrator {
             pending = requeue;
         }
 
-        let mut prepared: Vec<PreparedCold> = slots
-            .into_iter()
-            .map(|p| p.expect("every request prepared"))
-            .collect();
-        for (i, p) in prepared.iter_mut().enumerate() {
+        // Gather the served requests — all of them when the overload
+        // layer is off; the admitted-and-prepared subset otherwise — in
+        // request order.
+        let mut served: Vec<usize> = Vec::new();
+        let mut prepared: Vec<PreparedCold> = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(p) => {
+                    served.push(i);
+                    prepared.push(p);
+                }
+                None => assert!(
+                    !dispositions[i].is_goodput(),
+                    "request {i} neither prepared nor resolved"
+                ),
+            }
+        }
+        for (j, p) in prepared.iter_mut().enumerate() {
+            let i = served[j];
             if rerouted[i] {
                 p.recovery_mut().rerouted = true;
             }
@@ -608,7 +780,10 @@ impl ClusterOrchestrator {
             }
         }
         if let Some(m) = &self.metrics {
-            m.add("reroutes_total", rerouted.iter().filter(|&&r| r).count() as u64);
+            m.add(
+                "reroutes_total",
+                served.iter().filter(|&&i| rerouted[i]).count() as u64,
+            );
         }
 
         // One shared disk + CPU pool for the whole batch.
@@ -630,15 +805,38 @@ impl ClusterOrchestrator {
                 p.into_outcome(r, disk_stats)
             })
             .collect();
-        // Telemetry: one span per request, in request order, tagged with
-        // the shard that actually served it and charged the frame-cache
-        // lookups its own prepare pass performed (a no-op without an
-        // attached sink or registry).
-        for (i, outcome) in outcomes.iter().enumerate() {
-            self.shards[served_by[i]].emit_telemetry_attributed(outcome, deltas[i], ends[i]);
+        // Telemetry: one span per served request, in request order,
+        // tagged with the shard that actually served it and charged the
+        // frame-cache lookups its own prepare pass performed (a no-op
+        // without an attached sink or registry). A served request whose
+        // simulated completion (including retry backoff) lands past its
+        // deadline keeps its outcome — byte-identical to the layer-off
+        // run — but is classified DeadlineExceeded against goodput.
+        for (j, outcome) in outcomes.iter().enumerate() {
+            let i = served[j];
+            if let Some(budget) = reqs[i].deadline {
+                let completion = ends[j] + outcome.recovery.retry_delay;
+                if Deadline::new(reqs[i].arrival, budget).expired_at(completion) {
+                    dispositions[i] = Disposition::DeadlineExceeded;
+                }
+            }
+            self.shards[served_by[i]].emit_telemetry_disposed(
+                outcome,
+                deltas[j],
+                ends[j],
+                dispositions[i],
+            );
+        }
+        if overload_aware {
+            if let Some(m) = &self.metrics {
+                let goodput = dispositions.iter().filter(|d| d.is_goodput()).count();
+                m.set_gauge("cluster_goodput", goodput as i64);
+            }
         }
         ClusterBatch {
             outcomes,
+            dispositions,
+            served,
             disk_stats,
             makespan,
             serve_wall: started.elapsed(),
@@ -649,21 +847,23 @@ impl ClusterOrchestrator {
 
 /// Runs one lane's shards sequentially: every request's functional pass +
 /// program compilation, in input order per shard. Returns
-/// `(request index, shard index, prepared-or-unavailable)` — a shard that
-/// cannot serve (storage blackout, persistent faults) yields errors for
-/// the caller's failover round instead of panicking the lane. Shadow
-/// (`independent`) requests have no fallible twin; they model concurrency
-/// experiments and keep the panicking path.
-fn prepare_lane(
-    work: Vec<ShardWork<'_>>,
-) -> Vec<(usize, usize, Result<PreparedCold, ShardUnavailable>)> {
+/// `(request index, shard index, prepared-or-aborted)` — a shard that
+/// cannot serve (storage blackout, persistent faults) yields
+/// [`ColdAbort::Shard`] for the caller's failover round instead of
+/// panicking the lane; a request whose deadline budget runs out
+/// mid-recovery or that an open circuit breaker sheds yields the
+/// matching abort and resolves without a retry. Shadow (`independent`)
+/// requests have no fallible twin; they model concurrency experiments
+/// and keep the panicking path.
+fn prepare_lane(work: Vec<ShardWork<'_>>) -> Vec<(usize, usize, Result<PreparedCold, ColdAbort>)> {
     let mut out = Vec::with_capacity(work.iter().map(|(_, _, w)| w.len()).sum());
     for (shard_idx, shard, reqs) in work {
         for (i, r) in reqs {
             let res = if r.independent {
                 Ok(shard.prepare_cold_shadow(r.function, r.policy, r.arrival))
             } else {
-                shard.try_prepare_cold(r.function, r.policy, r.arrival)
+                let deadline = r.deadline.map(|b| Deadline::new(r.arrival, b));
+                shard.try_prepare_cold_within(r.function, r.policy, r.arrival, deadline)
             };
             out.push((i, shard_idx, res));
         }

@@ -11,8 +11,9 @@
 
 use functionbench::FunctionId;
 use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
 use sim_storage::FileId;
-use vhive_cluster::{ClusterOrchestrator, ColdRequest};
+use vhive_cluster::{AdmissionConfig, ClusterOrchestrator, ColdRequest, RateLimit};
 use vhive_core::ColdPolicy;
 
 /// Light two-function workload (keeps boots cheap under many cases).
@@ -134,6 +135,73 @@ proptest! {
             if shards > 1 {
                 prop_assert_eq!(&run(shards, false, None), &reference, "shards={} uncached", shards);
             }
+        }
+    }
+}
+
+/// A seeded overload burst: `n` shared requests alternating over
+/// `FUNCS`, arriving every 50µs — far above any sane token rate.
+fn burst(n: usize) -> Vec<ColdRequest> {
+    (0..n)
+        .map(|i| {
+            let mut r = ColdRequest::shared(FUNCS[i % FUNCS.len()], ColdPolicy::Reap);
+            r.arrival = SimTime::ZERO + SimDuration::from_micros(50 * i as u64);
+            r
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig { cases: 3 })]
+
+    /// The pinned overload invariant: requests *admitted* by the
+    /// admission layer are served byte-identically to a layer-off run
+    /// submitted with exactly the admitted subset — shedding happens
+    /// before any seq is consumed or work done, so admission is
+    /// invisible in every served outcome.
+    #[test]
+    fn admitted_requests_match_the_layer_off_run(seed in 0u64..10_000) {
+        let reqs = burst(10);
+        let mut on = prepared_cluster(seed, 2);
+        on.set_admission(Some(AdmissionConfig {
+            rate_limit: Some(RateLimit { burst: 2.0, per_sec: 4000.0 }),
+            ..AdmissionConfig::default()
+        }));
+        let batch = on.invoke_concurrent(&reqs);
+        prop_assert_eq!(batch.dispositions.len(), reqs.len());
+        prop_assert!(batch.served.len() < reqs.len(), "burst must shed");
+        prop_assert!(!batch.served.is_empty(), "burst must also admit");
+
+        let subset: Vec<ColdRequest> = batch.served.iter().map(|&i| reqs[i]).collect();
+        let mut off = prepared_cluster(seed, 2);
+        let reference = off.invoke_concurrent(&subset);
+        prop_assert_eq!(
+            format!("{:?}", batch.outcomes),
+            format!("{:?}", reference.outcomes)
+        );
+    }
+
+    /// Shed-set determinism: under a seeded burst and a rate-limit
+    /// admission config, the disposition vector (which requests shed,
+    /// which completed, and why) is identical at 1, 2 and 3 shards —
+    /// admission is a pure function of the arrival stream, never of the
+    /// cluster geometry.
+    #[test]
+    fn shed_set_is_shard_count_invariant(seed in 0u64..10_000) {
+        let reqs = burst(12);
+        let run = |shards: usize| {
+            let mut c = prepared_cluster(seed, shards);
+            c.set_admission(Some(AdmissionConfig {
+                rate_limit: Some(RateLimit { burst: 3.0, per_sec: 5000.0 }),
+                ..AdmissionConfig::default()
+            }));
+            let batch = c.invoke_concurrent(&reqs);
+            format!("{:?}", batch.dispositions)
+        };
+        let one = run(1);
+        prop_assert!(one.contains("Shed"), "burst must shed somewhere");
+        for shards in [2usize, 3] {
+            prop_assert_eq!(&run(shards), &one, "shards={}", shards);
         }
     }
 }

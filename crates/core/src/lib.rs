@@ -49,11 +49,13 @@
 //! assert!(record.verified_pages > 0);
 //! ```
 
+pub mod breaker;
 pub mod costs;
 pub mod detect;
 pub mod invocation;
 pub mod monitor;
 pub mod orchestrator;
+pub mod overload;
 pub mod policy;
 pub mod recovery;
 pub mod report;
@@ -63,11 +65,13 @@ pub mod scale;
 pub mod timeline;
 pub mod ws_file;
 
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 pub use costs::HostCostModel;
 pub use detect::{contiguity, working_set_overlap, ContiguityStats, MispredictionReport, OverlapStats};
 pub use invocation::{Breakdown, ColdPolicy, InstanceFiles, InstanceProgram, Phase, TimedStep};
 pub use monitor::{Monitor, MonitorMode, MonitorStats, PrefetchError};
 pub use orchestrator::{InvocationOutcome, Orchestrator, PreparedCold, RegisterInfo};
+pub use overload::{ColdAbort, DeadlineExpired, Disposition, ShedReason};
 pub use policy::{simulate_worker, FunctionCosts, KeepWarmPolicy, WorkerReport};
 pub use recovery::{AttemptError, RebuildMeta, RecoveryReport, RetryPolicy, ShardUnavailable};
 pub use rerandomize::{restore_rerandomized, LayoutPermutation, RerandomizedRun};

@@ -19,12 +19,13 @@ use microvm::{
     MicroVm, Snapshot, VmConfig,
 };
 use sim_core::metrics::labeled;
-use sim_core::{MetricsRegistry, SimDuration, SimTime};
+use sim_core::{Deadline, MetricsRegistry, SimDuration, SimTime};
 use sim_storage::{
     DeviceProfile, Disk, DiskStats, FaultClass, FileStore, FrameCacheDelta, FrameCacheStats,
     SnapshotFrameCache, StorageError,
 };
 
+use crate::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 use crate::costs::HostCostModel;
 use crate::detect::MispredictionReport;
 use crate::invocation::{
@@ -32,6 +33,7 @@ use crate::invocation::{
     InstanceProgram,
 };
 use crate::monitor::{Monitor, MonitorMode, MonitorStats, PrefetchError};
+use crate::overload::{ColdAbort, DeadlineExpired, Disposition, ShedReason};
 use crate::recovery::{AttemptError, RebuildMeta, RecoveryReport, RetryPolicy, ShardUnavailable};
 use crate::timeline::Timeline;
 use crate::ws_file::{read_trace_file, read_trace_runs, ReapFiles};
@@ -225,6 +227,18 @@ struct FunctionState {
     recorded_seq: Option<u64>,
 }
 
+/// Why the budgeted recovery loop stopped: a fault it could not retry
+/// (handed up unchanged), or a virtual-time budget it could not respect.
+#[derive(Debug)]
+enum RecoverAbort {
+    /// The final attempt's error, for the caller's quarantine/failover
+    /// decision — exactly what the unbudgeted loop returns.
+    Attempt(AttemptError),
+    /// Committing to the next retry (or absorbing an injected delay)
+    /// would exceed the request's deadline budget.
+    DeadlineExhausted,
+}
+
 /// The orchestrator: control plane + data-plane router of one worker.
 #[derive(Debug)]
 pub struct Orchestrator {
@@ -269,6 +283,13 @@ pub struct Orchestrator {
     /// outcomes and per-instance counters only — simulated results are
     /// byte-identical with metrics on or off.
     metrics: Option<MetricsRegistry>,
+    /// Circuit-breaker policy for the overload-aware invoke paths (off
+    /// by default; see [`set_breaker`](Self::set_breaker)). Only
+    /// `try_prepare_cold_within` consults breakers — the legacy paths
+    /// are byte-identical with or without a policy set.
+    breaker_policy: Option<BreakerPolicy>,
+    /// Per-function breakers, created lazily under `breaker_policy`.
+    breakers: HashMap<FunctionId, CircuitBreaker>,
     functions: HashMap<FunctionId, FunctionState>,
 }
 
@@ -320,8 +341,34 @@ impl Orchestrator {
             telemetry: None,
             telemetry_shard: 0,
             metrics: None,
+            breaker_policy: None,
+            breakers: HashMap::new(),
             functions: HashMap::new(),
         }
+    }
+
+    /// Arms (or disarms, with `None`) per-function circuit breakers on
+    /// the overload-aware invoke paths
+    /// ([`try_prepare_cold_within`](Self::try_prepare_cold_within)):
+    /// after `failure_threshold` consecutive failures — quarantine
+    /// fallbacks, shard blackouts, mid-recovery deadline aborts — the
+    /// function trips open and sheds until the virtual-time cooldown
+    /// admits a half-open probe. Off by default; the legacy
+    /// `invoke_cold`/`try_prepare_cold` paths never consult breakers.
+    pub fn set_breaker(&mut self, policy: Option<BreakerPolicy>) {
+        self.breaker_policy = policy;
+        self.breakers.clear();
+    }
+
+    /// `f`'s breaker state, if breakers are armed and `f` has been seen
+    /// by the overload-aware path.
+    pub fn breaker_state(&self, f: FunctionId) -> Option<BreakerState> {
+        self.breakers.get(&f).map(|b| b.state())
+    }
+
+    /// Times `f`'s breaker has tripped open (0 if never seen).
+    pub fn breaker_trips(&self, f: FunctionId) -> u64 {
+        self.breakers.get(&f).map_or(0, |b| b.trips())
     }
 
     /// Sets the transient-fault retry schedule (see [`RetryPolicy`]).
@@ -478,13 +525,73 @@ impl Orchestrator {
         delta: FrameCacheDelta,
         vt: SimTime,
     ) {
+        self.emit_telemetry_disposed(outcome, delta, vt, Disposition::Completed);
+    }
+
+    /// [`emit_telemetry_attributed`](Self::emit_telemetry_attributed)
+    /// with an explicit overload disposition — the overload-aware paths
+    /// stamp `deadline_exceeded` on late completions; everything else is
+    /// `completed`.
+    pub fn emit_telemetry_disposed(
+        &self,
+        outcome: &InvocationOutcome,
+        delta: FrameCacheDelta,
+        vt: SimTime,
+        disposition: Disposition,
+    ) {
         self.record_invocation_metrics(outcome, delta);
-        self.emit_span(outcome, delta, vt);
+        if disposition == Disposition::DeadlineExceeded {
+            if let Some(m) = &self.metrics {
+                m.inc("deadline_exceeded_total");
+            }
+        }
+        self.emit_span(outcome, delta, vt, disposition);
+    }
+
+    /// Emits the span + metrics of a request that produced **no**
+    /// outcome: shed at admission or expired mid-recovery. The span
+    /// carries identity and the disposition label with zero phase and
+    /// latency columns (no work was billed), so the disposition table is
+    /// complete — every request appears exactly once in telemetry.
+    pub fn emit_unserved(
+        &self,
+        f: FunctionId,
+        requested: ColdPolicy,
+        vt: SimTime,
+        disposition: Disposition,
+    ) {
+        if let Some(m) = &self.metrics {
+            match disposition {
+                Disposition::Shed { reason, .. } => {
+                    m.inc(&labeled("overload_shed_total", &[("reason", reason.label())]));
+                }
+                Disposition::DeadlineExceeded => m.inc("deadline_exceeded_total"),
+                Disposition::Completed => {}
+            }
+        }
+        let Some(sink) = &self.telemetry else {
+            return;
+        };
+        sink.record(SpanRecord {
+            function: f.to_string(),
+            policy: format!("{requested:?}"),
+            shard: self.telemetry_shard,
+            cold: true,
+            vt_ns: vt.as_nanos(),
+            disposition: disposition.label().to_string(),
+            ..SpanRecord::default()
+        });
     }
 
     /// Builds and records the span for `outcome`, charging it `delta` and
     /// stamping virtual completion time `vt`.
-    fn emit_span(&self, outcome: &InvocationOutcome, delta: FrameCacheDelta, vt: SimTime) {
+    fn emit_span(
+        &self,
+        outcome: &InvocationOutcome,
+        delta: FrameCacheDelta,
+        vt: SimTime,
+        disposition: Disposition,
+    ) {
         let Some(sink) = &self.telemetry else {
             return;
         };
@@ -513,6 +620,7 @@ impl Orchestrator {
             fallback_vanilla: outcome.recovery.fallback_vanilla,
             rebuilt: outcome.recovery.rebuilt,
             rerouted: outcome.recovery.rerouted,
+            disposition: disposition.label().to_string(),
         });
     }
 
@@ -755,6 +863,32 @@ impl Orchestrator {
         seq: u64,
         recovery: &mut RecoveryReport,
     ) -> Result<FunctionalRun, AttemptError> {
+        self.functional_recovering_within(f, mode, seq, recovery, None)
+            .map_err(|e| match e {
+                RecoverAbort::Attempt(e) => e,
+                RecoverAbort::DeadlineExhausted => {
+                    unreachable!("no budget was set")
+                }
+            })
+    }
+
+    /// [`functional_recovering`](Self::functional_recovering) with an
+    /// optional virtual-time budget. Retry backoff *and* injected device
+    /// delays (drained after every failed attempt, so `FaultKind::Delay`
+    /// spikes consume the same budget backoff does) accumulate in
+    /// `recovery.retry_delay`; once committing to the next retry would
+    /// exceed the budget the loop aborts with
+    /// [`RecoverAbort::DeadlineExhausted`] instead of backing off.
+    /// Without a budget the loop behaves exactly as it always has —
+    /// delays drain only at completion.
+    fn functional_recovering_within(
+        &mut self,
+        f: FunctionId,
+        mode: MonitorMode,
+        seq: u64,
+        recovery: &mut RecoveryReport,
+        budget: Option<SimDuration>,
+    ) -> Result<FunctionalRun, RecoverAbort> {
         let mut transient_attempts = 0u32;
         let mut corrupt_retried = false;
         loop {
@@ -762,17 +896,29 @@ impl Orchestrator {
                 Ok(run) => return Ok(run),
                 Err(e) => e,
             };
+            if let Some(b) = budget {
+                // Charge injected delays as they land so they consume
+                // deadline budget; a spike alone can exhaust it.
+                self.drain_injected_delay(f, recovery);
+                if recovery.retry_delay > b {
+                    return Err(RecoverAbort::DeadlineExhausted);
+                }
+            }
             let transient = matches!(&err, AttemptError::Restore(FaultClass::Transient, _))
                 || matches!(&err, AttemptError::Prefetch(PrefetchError::Storage(se))
                     if se.class() == FaultClass::Transient);
             if transient {
                 if transient_attempts < self.retry_policy.max_retries {
+                    let backoff = self.retry_policy.delay_for(transient_attempts);
+                    if budget.is_some_and(|b| recovery.retry_delay + backoff > b) {
+                        return Err(RecoverAbort::DeadlineExhausted);
+                    }
                     recovery.transient_retries += 1;
-                    recovery.retry_delay += self.retry_policy.delay_for(transient_attempts);
+                    recovery.retry_delay += backoff;
                     transient_attempts += 1;
                     continue;
                 }
-                return Err(err);
+                return Err(RecoverAbort::Attempt(err));
             }
             if matches!(&err, AttemptError::Prefetch(PrefetchError::Artifact(_)))
                 && !corrupt_retried
@@ -784,7 +930,7 @@ impl Orchestrator {
                 recovery.corrupt_reloads += 1;
                 continue;
             }
-            return Err(err);
+            return Err(RecoverAbort::Attempt(err));
         }
     }
 
@@ -1287,10 +1433,101 @@ impl Orchestrator {
         policy: ColdPolicy,
         arrival: SimTime,
     ) -> Result<PreparedCold, ShardUnavailable> {
-        if policy.uses_ws() && self.auto_rerecord && self.needs_rerecord(f) {
-            // §7.2 fallback: refresh the stale working set.
-            return self.try_prepare_record(f, arrival);
+        self.prepare_cold_guarded(f, policy, arrival, None)
+            .map_err(|e| match e {
+                ColdAbort::Shard(e) => e,
+                ColdAbort::Deadline(_) | ColdAbort::Shed { .. } => {
+                    unreachable!("no deadline was set")
+                }
+            })
+    }
+
+    /// The overload-aware twin of
+    /// [`try_prepare_cold`](Self::try_prepare_cold): consults `f`'s
+    /// circuit breaker (if [armed](Self::set_breaker)) before any work,
+    /// and threads the request's virtual-time deadline budget through
+    /// the recovery loop — retry backoff and injected delays consume
+    /// it, and exhausting it mid-recovery aborts with the consumed seq
+    /// rolled back, exactly like a [`ShardUnavailable`] failover.
+    ///
+    /// With no deadline and no breaker armed this is byte-identical to
+    /// the legacy path (pinned by the overload proptests). Note a
+    /// *completed* preparation may still finish past the deadline once
+    /// simulated: callers compare the timed completion against
+    /// [`Deadline::expires_at`] to classify late completions.
+    ///
+    /// # Errors
+    ///
+    /// [`ColdAbort::Shard`] as the legacy path;
+    /// [`ColdAbort::Deadline`] when the budget ran out mid-recovery;
+    /// [`ColdAbort::Shed`] when the breaker was open.
+    pub fn try_prepare_cold_within(
+        &mut self,
+        f: FunctionId,
+        policy: ColdPolicy,
+        arrival: SimTime,
+        deadline: Option<Deadline>,
+    ) -> Result<PreparedCold, ColdAbort> {
+        let now = deadline.map_or(arrival, |d| d.arrival);
+        if let Some(bp) = self.breaker_policy {
+            let breaker = self
+                .breakers
+                .entry(f)
+                .or_insert_with(|| CircuitBreaker::new(bp));
+            if let Err(retry_after) = breaker.admit(now) {
+                return Err(ColdAbort::Shed {
+                    reason: ShedReason::BreakerOpen,
+                    retry_after: Some(retry_after),
+                });
+            }
         }
+        let res = self.prepare_cold_guarded(f, policy, arrival, deadline);
+        if self.breaker_policy.is_some() {
+            // Quarantine fallbacks, shard blackouts and deadline aborts
+            // all count as failures; a clean (or merely retried) cold
+            // start resets the run.
+            let failure = match &res {
+                Ok(p) => p.recovery().fallback_vanilla || p.recovery().quarantined,
+                Err(ColdAbort::Shard(_) | ColdAbort::Deadline(_)) => true,
+                Err(ColdAbort::Shed { .. }) => false,
+            };
+            let tripped = {
+                let breaker = self.breakers.get_mut(&f).expect("breaker armed above");
+                if failure {
+                    breaker.record_failure(now)
+                } else {
+                    breaker.record_success();
+                    false
+                }
+            };
+            if tripped {
+                if let Some(m) = &self.metrics {
+                    let fname = f.to_string();
+                    m.inc(&labeled("breaker_trips_total", &[("function", &fname)]));
+                }
+            }
+        }
+        res
+    }
+
+    /// The recovery state machine shared by
+    /// [`try_prepare_cold`](Self::try_prepare_cold) (no deadline) and
+    /// [`try_prepare_cold_within`](Self::try_prepare_cold_within).
+    fn prepare_cold_guarded(
+        &mut self,
+        f: FunctionId,
+        policy: ColdPolicy,
+        arrival: SimTime,
+        deadline: Option<Deadline>,
+    ) -> Result<PreparedCold, ColdAbort> {
+        if policy.uses_ws() && self.auto_rerecord && self.needs_rerecord(f) {
+            // §7.2 fallback: refresh the stale working set. Re-record
+            // runs unbudgeted — its cost is the artifact refresh, not
+            // this request's latency; a late completion is still
+            // classified against the deadline by the caller.
+            return self.try_prepare_record(f, arrival).map_err(ColdAbort::Shard);
+        }
+        let budget = deadline.map(|d| d.remaining(arrival));
         let mut recovery = RecoveryReport::default();
         let mut effective = policy;
         if policy.uses_ws() {
@@ -1318,14 +1555,28 @@ impl Orchestrator {
             } else {
                 MonitorMode::OnDemand
             };
-            match self.functional_recovering(f, mode, seq, &mut recovery) {
+            match self.functional_recovering_within(f, mode, seq, &mut recovery, budget) {
                 Ok(run) => break run,
-                Err(e @ AttemptError::Restore(..)) => {
+                Err(RecoverAbort::DeadlineExhausted) => {
+                    // Roll back the consumed seq exactly like a shard
+                    // failover: the next admitted request of `f`
+                    // completes with the seq this one surrendered.
+                    let st = self.state_mut(f);
+                    if st.next_seq == seq + 1 {
+                        st.next_seq = seq;
+                    }
+                    return Err(ColdAbort::Deadline(DeadlineExpired {
+                        function: f,
+                        spent: recovery.retry_delay,
+                        budget: budget.expect("budget set when exhausted"),
+                    }));
+                }
+                Err(RecoverAbort::Attempt(e @ AttemptError::Restore(..))) => {
                     // The snapshot itself is unreachable: nothing this
                     // shard can serve. Hand the request back for failover.
-                    return Err(self.surrender_seq(f, seq, e));
+                    return Err(ColdAbort::Shard(self.surrender_seq(f, seq, e)));
                 }
-                Err(AttemptError::Prefetch(e)) => {
+                Err(RecoverAbort::Attempt(AttemptError::Prefetch(e))) => {
                     // Artifact trouble (corrupt bytes survived the reload,
                     // artifact storage gone, retries exhausted): quarantine
                     // and serve this request Vanilla off the intact
@@ -1427,6 +1678,59 @@ impl Orchestrator {
         let outcome = prepared.into_outcome(results[0], disk);
         self.emit_telemetry_attributed(&outcome, delta, results[0].end);
         outcome
+    }
+
+    /// One cold invocation under `policy` with an optional virtual-time
+    /// deadline: the overload-aware single-node invoke. Always resolves
+    /// to an explicit [`Disposition`]:
+    ///
+    /// * `Completed` — served, and (with a deadline) its virtual
+    ///   completion (timed finish + recovery retry delay) landed at or
+    ///   before the expiry instant;
+    /// * `Shed` — the function's circuit breaker was open; no seq was
+    ///   consumed and no outcome exists;
+    /// * `DeadlineExceeded` — either the budget ran out mid-recovery
+    ///   (seq rolled back, no outcome) or the run completed late (the
+    ///   outcome is returned — byte-identical to the deadline-off run —
+    ///   but does not count as goodput).
+    ///
+    /// # Panics
+    ///
+    /// As [`invoke_cold`](Self::invoke_cold), plus on an unrecoverable
+    /// shard blackout (single-node callers have nowhere to re-route; use
+    /// the cluster layer for failover).
+    pub fn invoke_cold_within(
+        &mut self,
+        f: FunctionId,
+        policy: ColdPolicy,
+        deadline: Option<Deadline>,
+    ) -> (Disposition, Option<InvocationOutcome>) {
+        let arrival = deadline.map_or(SimTime::ZERO, |d| d.arrival);
+        let mut prepared = match self.try_prepare_cold_within(f, policy, arrival, deadline) {
+            Ok(p) => p,
+            Err(ColdAbort::Shed { reason, retry_after }) => {
+                let d = Disposition::Shed { reason, retry_after };
+                self.emit_unserved(f, policy, arrival, d);
+                return (d, None);
+            }
+            Err(ColdAbort::Deadline(_)) => {
+                self.emit_unserved(f, policy, arrival, Disposition::DeadlineExceeded);
+                return (Disposition::DeadlineExceeded, None);
+            }
+            Err(ColdAbort::Shard(e)) => panic!("{e}"),
+        };
+        let (results, disk) = self.run_timed(vec![prepared.take_program()]);
+        let delta = prepared.cache_delta();
+        let outcome = prepared.into_outcome(results[0], disk);
+        // True virtual completion = timed finish + recovery time spent
+        // off-timeline (retry backoff, injected delays).
+        let completion = results[0].end + outcome.recovery.retry_delay;
+        let disposition = match deadline {
+            Some(d) if d.expired_at(completion) => Disposition::DeadlineExceeded,
+            _ => Disposition::Completed,
+        };
+        self.emit_telemetry_disposed(&outcome, delta, results[0].end, disposition);
+        (disposition, Some(outcome))
     }
 
     /// One warm invocation: the instance is memory-resident; no VMM load,

@@ -1,0 +1,218 @@
+//! Overload dispositions: what finally happened to a request.
+//!
+//! PR 7's recovery machinery guarantees no request is *dropped*; this
+//! module guarantees none is *silently hung* either. Every request
+//! served through an overload-aware path resolves to exactly one
+//! [`Disposition`]:
+//!
+//! * [`Completed`](Disposition::Completed) — served within its deadline
+//!   (or with no deadline set);
+//! * [`Shed`](Disposition::Shed) — rejected before any work: the
+//!   admission queue was full, the function's token bucket was empty,
+//!   its circuit breaker was open, or its home shard was browning out.
+//!   No input seq is consumed — a later run admitting the request
+//!   serves it with the seq it would have had;
+//! * [`DeadlineExceeded`](Disposition::DeadlineExceeded) — the
+//!   virtual-time budget ran out, either mid-recovery (retry backoff /
+//!   injected delays exhausted it before the functional pass finished;
+//!   the consumed seq is rolled back exactly like `ShardUnavailable`)
+//!   or at completion (the simulated finish landed past the expiry
+//!   instant; the outcome exists but counts against goodput).
+
+use std::fmt;
+
+use functionbench::FunctionId;
+use sim_core::SimDuration;
+
+use crate::recovery::ShardUnavailable;
+
+/// Why a request was shed before any work was done on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded admission queue was at capacity.
+    QueueFull,
+    /// The function's token-bucket rate limiter was empty.
+    RateLimited,
+    /// The function's circuit breaker was open.
+    BreakerOpen,
+    /// The home shard is Degraded and the request's remaining budget
+    /// could not absorb a degraded-path cold start.
+    Brownout,
+}
+
+impl ShedReason {
+    /// Stable lowercase label (telemetry spans, metrics series, CSV).
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::BreakerOpen => "breaker_open",
+            ShedReason::Brownout => "brownout",
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The explicit final state of one request under overload-aware
+/// serving. Exactly one per request; no fourth, implicit "still
+/// pending" state exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Served, and (if a deadline was set) finished within it.
+    Completed,
+    /// Rejected up front, with an optional virtual-time retry hint
+    /// (breaker cooldown remaining, brownout backoff).
+    Shed {
+        /// Why admission rejected the request.
+        reason: ShedReason,
+        /// When the caller should try again, if the shedder knows.
+        retry_after: Option<SimDuration>,
+    },
+    /// The virtual-time budget expired before (or at) completion.
+    DeadlineExceeded,
+}
+
+impl Disposition {
+    /// True only for [`Disposition::Completed`] — the goodput predicate.
+    pub fn is_goodput(self) -> bool {
+        matches!(self, Disposition::Completed)
+    }
+
+    /// Stable lowercase label (telemetry spans, metrics series, CSV).
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::Completed => "completed",
+            Disposition::Shed {
+                reason: ShedReason::QueueFull,
+                ..
+            } => "shed_queue_full",
+            Disposition::Shed {
+                reason: ShedReason::RateLimited,
+                ..
+            } => "shed_rate_limited",
+            Disposition::Shed {
+                reason: ShedReason::BreakerOpen,
+                ..
+            } => "shed_breaker_open",
+            Disposition::Shed {
+                reason: ShedReason::Brownout,
+                ..
+            } => "shed_brownout",
+            Disposition::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The request's virtual-time budget ran out mid-recovery: retry
+/// backoff and injected delays exhausted it before the functional pass
+/// could finish. The consumed input seq was rolled back (exactly like
+/// [`ShardUnavailable`]), so a later request completes with the seq
+/// this one surrendered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineExpired {
+    /// The function whose cold start timed out.
+    pub function: FunctionId,
+    /// Virtual recovery time spent before giving up.
+    pub spent: SimDuration,
+    /// The budget the request arrived with.
+    pub budget: SimDuration,
+}
+
+impl fmt::Display for DeadlineExpired {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: deadline exceeded mid-recovery ({} spent of {} budget)",
+            self.function, self.spent, self.budget
+        )
+    }
+}
+
+impl std::error::Error for DeadlineExpired {}
+
+/// Why an overload-aware cold start did not produce a `PreparedCold`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColdAbort {
+    /// The shard's snapshot store is unreachable — re-route (seq rolled
+    /// back), exactly as on the legacy path.
+    Shard(ShardUnavailable),
+    /// The virtual-time budget ran out mid-recovery (seq rolled back).
+    Deadline(DeadlineExpired),
+    /// Shed before any work (no seq consumed).
+    Shed {
+        /// Why admission rejected the request.
+        reason: ShedReason,
+        /// Virtual-time retry hint, when known.
+        retry_after: Option<SimDuration>,
+    },
+}
+
+impl fmt::Display for ColdAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColdAbort::Shard(e) => e.fmt(f),
+            ColdAbort::Deadline(e) => e.fmt(f),
+            ColdAbort::Shed { reason, .. } => write!(f, "shed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ColdAbort {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Disposition::Completed.label(), "completed");
+        assert_eq!(
+            Disposition::Shed {
+                reason: ShedReason::QueueFull,
+                retry_after: None
+            }
+            .label(),
+            "shed_queue_full"
+        );
+        assert_eq!(Disposition::DeadlineExceeded.label(), "deadline_exceeded");
+        assert_eq!(ShedReason::Brownout.to_string(), "brownout");
+    }
+
+    #[test]
+    fn only_completed_counts_as_goodput() {
+        assert!(Disposition::Completed.is_goodput());
+        assert!(!Disposition::DeadlineExceeded.is_goodput());
+        assert!(!Disposition::Shed {
+            reason: ShedReason::RateLimited,
+            retry_after: None
+        }
+        .is_goodput());
+    }
+
+    #[test]
+    fn abort_renders_its_cause() {
+        let e = ColdAbort::Deadline(DeadlineExpired {
+            function: FunctionId::helloworld,
+            spent: SimDuration::from_millis(3),
+            budget: SimDuration::from_millis(2),
+        });
+        let s = e.to_string();
+        assert!(s.contains("deadline exceeded"), "{s}");
+        let shed = ColdAbort::Shed {
+            reason: ShedReason::BreakerOpen,
+            retry_after: Some(SimDuration::from_millis(7)),
+        };
+        assert_eq!(shed.to_string(), "shed: breaker_open");
+    }
+}

@@ -27,6 +27,16 @@ pub struct RouterConfig {
     pub max_instances: usize,
     /// Idle-instance reclamation policy.
     pub keep_warm: KeepWarmPolicy,
+    /// Per-function admission-queue bound. An arrival that finds the pool
+    /// saturated *and* the queue at this depth is shed (reject-newest)
+    /// instead of queued. `None` (the default) keeps the historical
+    /// unbounded queue.
+    pub max_queue_depth: Option<usize>,
+    /// Per-request latency budget. A queued request whose wait already
+    /// exceeds the budget when an instance frees up is dropped as
+    /// expired rather than dispatched (reject-over-deadline). `None`
+    /// disables expiry.
+    pub deadline: Option<SimDuration>,
 }
 
 impl Default for RouterConfig {
@@ -34,6 +44,8 @@ impl Default for RouterConfig {
         RouterConfig {
             max_instances: 8,
             keep_warm: KeepWarmPolicy::default(),
+            max_queue_depth: None,
+            deadline: None,
         }
     }
 }
@@ -57,6 +69,23 @@ pub struct RouterReport {
     pub peak_instances: u64,
     /// Peak pinned instance memory, bytes.
     pub peak_memory_bytes: u64,
+    /// Requests shed on arrival because the admission queue was full
+    /// (only with [`RouterConfig::max_queue_depth`]).
+    pub shed: u64,
+    /// Queued requests dropped at dispatch because their wait exceeded
+    /// the deadline (only with [`RouterConfig::deadline`]).
+    pub expired: u64,
+    /// Deepest any per-function admission queue got.
+    pub queue_depth_hwm: u64,
+}
+
+impl RouterReport {
+    /// Requests that actually completed — the report's goodput. Every
+    /// input event resolves to exactly one of goodput, `shed`, or
+    /// `expired`; nothing hangs in a queue forever.
+    pub fn goodput(&self) -> u64 {
+        self.invocations
+    }
 }
 
 #[derive(Debug, Default)]
@@ -126,9 +155,13 @@ pub fn route_workload(events: &[InvocationEvent], config: RouterConfig, costs: &
                     pool.busy += 1;
                     report.cold_starts += 1;
                     dispatch(now, arrived, cost.cold_latency, f, &mut queue, &mut report);
+                } else if config.max_queue_depth.is_some_and(|d| pool.queue.len() >= d) {
+                    // Admission queue full: reject-newest.
+                    report.shed += 1;
                 } else {
                     pool.queue.push_back(arrived);
                     report.queued += 1;
+                    report.queue_depth_hwm = report.queue_depth_hwm.max(pool.queue.len() as u64);
                 }
                 // Memory/instance accounting.
                 let (alive, mem): (u64, u64) = pools
@@ -144,6 +177,14 @@ pub fn route_workload(events: &[InvocationEvent], config: RouterConfig, costs: &
                 let cost = *costs.get(&f).expect("completed function has costs");
                 let pool = pools.get_mut(&f).expect("completion for known pool");
                 pool.busy -= 1;
+                // Reject-over-deadline: drop queue entries whose wait
+                // already blew the budget before handing out the instance.
+                if let Some(budget) = config.deadline {
+                    while pool.queue.front().is_some_and(|&arrived| now - arrived > budget) {
+                        pool.queue.pop_front();
+                        report.expired += 1;
+                    }
+                }
                 if let Some(arrived) = pool.queue.pop_front() {
                     // Hand the freed instance to the queue head.
                     pool.busy += 1;
@@ -215,6 +256,7 @@ mod tests {
             keep_warm: KeepWarmPolicy {
                 idle_timeout: SimDuration::from_secs(60),
             },
+            ..RouterConfig::default()
         };
         // Second request arrives 2 minutes later: the instance was
         // reclaimed.
@@ -246,7 +288,7 @@ mod tests {
         // Cap 1: all requests serialize through one instance.
         let config = RouterConfig {
             max_instances: 1,
-            keep_warm: KeepWarmPolicy::default(),
+            ..RouterConfig::default()
         };
         let events: Vec<_> = (0..4).map(|_| ev(0)).collect();
         let r = route_workload(&events, config, &costs());
@@ -259,13 +301,78 @@ mod tests {
     }
 
     #[test]
+    fn defaults_never_shed_and_track_hwm() {
+        // The burst scenario from above: with the historical unbounded
+        // queue nothing is shed or expired, and the high-water mark
+        // reports how deep the backlog got.
+        let events: Vec<_> = (0..12).map(|_| ev(0)).collect();
+        let r = route_workload(&events, RouterConfig::default(), &costs());
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.expired, 0);
+        assert_eq!(r.queue_depth_hwm, 4);
+        assert_eq!(r.goodput(), 12);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_newest() {
+        // Cap 1 instance, queue depth 2: of 5 simultaneous arrivals one
+        // dispatches, two queue, two shed.
+        let config = RouterConfig {
+            max_instances: 1,
+            max_queue_depth: Some(2),
+            ..RouterConfig::default()
+        };
+        let events: Vec<_> = (0..5).map(|_| ev(0)).collect();
+        let r = route_workload(&events, config, &costs());
+        assert_eq!(r.invocations, 3);
+        assert_eq!(r.queued, 2);
+        assert_eq!(r.shed, 2);
+        assert_eq!(r.expired, 0);
+        assert_eq!(r.queue_depth_hwm, 2);
+        assert_eq!(r.invocations + r.shed + r.expired, 5);
+    }
+
+    #[test]
+    fn stale_queue_entries_expire_at_dispatch() {
+        // Cap 1, 100 ms budget: the cold start takes 232 ms, so every
+        // queued request is over-deadline by the time the instance
+        // frees up.
+        let config = RouterConfig {
+            max_instances: 1,
+            deadline: Some(SimDuration::from_millis(100)),
+            ..RouterConfig::default()
+        };
+        let events: Vec<_> = (0..4).map(|_| ev(0)).collect();
+        let r = route_workload(&events, config, &costs());
+        assert_eq!(r.invocations, 1);
+        assert_eq!(r.expired, 3);
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.invocations + r.shed + r.expired, 4);
+    }
+
+    #[test]
+    fn within_deadline_queue_entries_still_dispatch() {
+        // Budget comfortably above the cold start: identical to the
+        // unbounded run.
+        let config = RouterConfig {
+            max_instances: 1,
+            deadline: Some(SimDuration::from_secs(5)),
+            ..RouterConfig::default()
+        };
+        let events: Vec<_> = (0..4).map(|_| ev(0)).collect();
+        let r = route_workload(&events, config, &costs());
+        assert_eq!(r.invocations, 4);
+        assert_eq!(r.expired, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one instance")]
     fn zero_cap_rejected() {
         let _ = route_workload(
             &[ev(0)],
             RouterConfig {
                 max_instances: 0,
-                keep_warm: KeepWarmPolicy::default(),
+                ..RouterConfig::default()
             },
             &costs(),
         );

@@ -7,9 +7,9 @@
 use std::sync::Arc;
 
 use functionbench::FunctionId;
-use sim_core::SimDuration;
+use sim_core::{Deadline, SimDuration, SimTime};
 use sim_storage::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultScope};
-use vhive_core::{ColdPolicy, InvocationOutcome, Orchestrator, RecoveryReport};
+use vhive_core::{ColdPolicy, Disposition, InvocationOutcome, Orchestrator, RecoveryReport};
 
 const F: FunctionId = FunctionId::helloworld;
 
@@ -211,6 +211,117 @@ fn injected_delays_charge_virtual_time_only() {
     assert_eq!(delayed.recovery.retry_delay, SimDuration::from_millis(2));
     assert_eq!(delayed.latency, baseline.latency, "timed pass unaffected");
     assert_eq!(normalized(&delayed), normalized(&baseline));
+}
+
+#[test]
+fn transient_retry_backoff_pushes_a_request_past_its_deadline() {
+    let baseline = prepared(20).invoke_cold(F, ColdPolicy::Reap);
+
+    let mut o = prepared(20);
+    // Two transient faults cost 100µs + 200µs of backoff; a 250µs budget
+    // survives the first retry but cannot commit to the second.
+    attach(
+        &o,
+        FaultRule::new(
+            FaultScope::NameContains("vmm_state".into()),
+            FaultKind::TransientError,
+        )
+        .count(2),
+    );
+    let deadline = Deadline::new(SimTime::ZERO, SimDuration::from_micros(250));
+    let (disposition, outcome) = o.invoke_cold_within(F, ColdPolicy::Reap, Some(deadline));
+    assert_eq!(disposition, Disposition::DeadlineExceeded);
+    assert!(outcome.is_none(), "aborted mid-recovery: no outcome");
+
+    // The consumed seq was rolled back exactly like a shard failover:
+    // with the fault budget spent, the replay completes with the seq —
+    // and bytes — the fault-free run would have had.
+    let replayed = o.invoke_cold(F, ColdPolicy::Reap);
+    assert_eq!(replayed.seq, baseline.seq);
+    assert_eq!(normalized(&replayed), normalized(&baseline));
+}
+
+#[test]
+fn injected_delay_consumes_the_same_budget_as_backoff() {
+    // A 2 ms device delay on the VMM state read (op succeeds, latency
+    // charged) plus one transient fault on the WS prefetch in the same
+    // attempt: when the attempt fails, the drained delay alone exhausts
+    // a 1 ms budget — the 100µs retry backoff never even gets committed.
+    let plan = || {
+        FaultPlan::new()
+            .rule(
+                FaultRule::new(
+                    FaultScope::NameContains("vmm_state".into()),
+                    FaultKind::Delay(SimDuration::from_millis(2)),
+                )
+                .count(1),
+            )
+            .rule(
+                FaultRule::new(
+                    FaultScope::NameContains("ws_pages".into()),
+                    FaultKind::TransientError,
+                )
+                .count(1),
+            )
+    };
+    let mut o = prepared(21);
+    o.fs().attach_injector(Arc::new(FaultInjector::new(plan())));
+    let deadline = Deadline::new(SimTime::ZERO, SimDuration::from_millis(1));
+    let (disposition, outcome) = o.invoke_cold_within(F, ColdPolicy::Reap, Some(deadline));
+    assert_eq!(disposition, Disposition::DeadlineExceeded);
+    assert!(outcome.is_none(), "budget exhausted mid-recovery");
+
+    // Without the deadline, the identical fault schedule recovers and
+    // bills delay + backoff to the recovery ledger.
+    let mut o = prepared(21);
+    o.fs().attach_injector(Arc::new(FaultInjector::new(plan())));
+    let (disposition, outcome) = o.invoke_cold_within(F, ColdPolicy::Reap, None);
+    assert_eq!(disposition, Disposition::Completed);
+    let recovery = outcome.unwrap().recovery;
+    assert_eq!(recovery.transient_retries, 1);
+    assert!(recovery.retry_delay >= SimDuration::from_millis(2) + SimDuration::from_micros(100));
+}
+
+#[test]
+fn late_completion_keeps_its_outcome_but_misses_goodput() {
+    let baseline = prepared(22).invoke_cold(F, ColdPolicy::Reap);
+
+    // A 2 ms injected delay on a clean run drains at completion: the
+    // preparation succeeds, but the virtual completion (timed finish +
+    // recovery delay) lands past a 1 ms budget.
+    let mut o = prepared(22);
+    attach(
+        &o,
+        FaultRule::new(
+            FaultScope::NameContains("vmm_state".into()),
+            FaultKind::Delay(SimDuration::from_millis(2)),
+        )
+        .count(1),
+    );
+    let deadline = Deadline::new(SimTime::ZERO, SimDuration::from_millis(1));
+    let (disposition, outcome) = o.invoke_cold_within(F, ColdPolicy::Reap, Some(deadline));
+    assert_eq!(disposition, Disposition::DeadlineExceeded);
+    let outcome = outcome.expect("late completion still served");
+    // The simulated outcome is byte-identical to the deadline-off run —
+    // the disposition, not the bytes, records the miss.
+    assert_eq!(normalized(&outcome), normalized(&baseline));
+}
+
+#[test]
+fn deadline_off_invoke_matches_the_legacy_path() {
+    let baseline = prepared(23).invoke_cold(F, ColdPolicy::Reap);
+    let (disposition, outcome) = prepared(23).invoke_cold_within(F, ColdPolicy::Reap, None);
+    assert_eq!(disposition, Disposition::Completed);
+    assert_eq!(format!("{:?}", outcome.unwrap()), format!("{baseline:?}"));
+}
+
+#[test]
+fn generous_budget_completes_with_identical_bytes() {
+    let baseline = prepared(24).invoke_cold(F, ColdPolicy::Reap);
+    let deadline = Deadline::new(SimTime::ZERO, SimDuration::from_secs(10));
+    let (disposition, outcome) = prepared(24).invoke_cold_within(F, ColdPolicy::Reap, Some(deadline));
+    assert_eq!(disposition, Disposition::Completed);
+    assert_eq!(format!("{:?}", outcome.unwrap()), format!("{baseline:?}"));
 }
 
 #[test]

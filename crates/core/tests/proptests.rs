@@ -356,3 +356,40 @@ proptest! {
         prop_assert_eq!(run_with(true, Some(64 * 1024)), reference);
     }
 }
+
+proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig { cases: 3 })]
+
+    /// The deadline layer is invisible when off: `invoke_cold_within`
+    /// with no deadline — and with a generous one that can never expire —
+    /// renders byte-identical to the legacy `invoke_cold` path for every
+    /// policy, and always classifies `Completed`.
+    #[test]
+    fn deadline_off_never_changes_outcomes(seed in 0u64..10_000) {
+        use sim_core::Deadline;
+        use vhive_core::Disposition;
+        let f = FunctionId::helloworld;
+        let run = |deadline: Option<SimDuration>| {
+            let mut o = Orchestrator::new(seed);
+            o.register(f);
+            o.invoke_record(f);
+            let mut out = String::new();
+            for policy in ColdPolicy::ALL {
+                let (disposition, outcome) =
+                    o.invoke_cold_within(f, policy, deadline.map(|b| Deadline::new(SimTime::ZERO, b)));
+                assert_eq!(disposition, Disposition::Completed);
+                out.push_str(&format!("\n{:?}", outcome.expect("completed")));
+            }
+            out
+        };
+        let mut legacy = Orchestrator::new(seed);
+        legacy.register(f);
+        legacy.invoke_record(f);
+        let mut reference = String::new();
+        for policy in ColdPolicy::ALL {
+            reference.push_str(&format!("\n{:?}", legacy.invoke_cold(f, policy)));
+        }
+        prop_assert_eq!(run(None), reference.clone());
+        prop_assert_eq!(run(Some(SimDuration::from_secs(3600))), reference);
+    }
+}

@@ -15,6 +15,8 @@
 //!   SSD channels, HDD heads, and host CPU cores.
 //! * [`DetRng`] — a deterministic, dependency-free xoshiro256** RNG so that
 //!   every figure regenerates bit-identically from a seed.
+//! * [`Deadline`] / [`TokenBucket`] — virtual-time latency budgets and the
+//!   admission-control rate limiter behind overload shedding.
 //! * [`stats`] — online statistics, percentiles and histograms used by the
 //!   benchmark harness.
 //! * [`metrics`] — the off-by-default fleet [`MetricsRegistry`] and the
@@ -34,6 +36,7 @@
 //! assert_eq!(t.as_millis_f64(), 1.0);
 //! ```
 
+pub mod deadline;
 pub mod events;
 pub mod hash;
 pub mod lanes;
@@ -45,6 +48,7 @@ pub mod stats;
 pub mod table;
 pub mod time;
 
+pub use deadline::{Deadline, TokenBucket};
 pub use events::EventQueue;
 pub use hash::{fnv1a64, Fnv1a64};
 pub use lanes::{effective_lanes, partition_by_weight, MAX_PREFETCH_LANES};

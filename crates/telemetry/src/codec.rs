@@ -10,12 +10,12 @@
 //! ├──────────────┤ 4
 //! │ rows   u32   │
 //! ├──────────────┤ 8
-//! │ cols   u32   │  (= 24, the fixed span schema)
+//! │ cols   u32   │  (= 25, the fixed span schema)
 //! ├──────────────┤ 12
 //! │ column 0     │  kind u8 │ payload_len u32 │ payload
 //! │ column 1     │  str  payload: per row u32 len + bytes
 //! │  ...         │  u32  payload: rows × 4 B LE
-//! │ column 23    │  u64  payload: rows × 8 B LE
+//! │ column 24    │  u64  payload: rows × 8 B LE
 //! ├──────────────┤  bool payload: rows × 1 B (0/1)
 //! │ checksum u64 │  FNV-1a 64 over every byte above
 //! ├──────────────┤
@@ -69,6 +69,7 @@ const SCHEMA: &[(u8, usize)] = &[
     (KIND_BOOL, 3), // fallback_vanilla
     (KIND_BOOL, 4), // rebuilt
     (KIND_BOOL, 5), // rerouted
+    (KIND_STR, 2),  // disposition
 ];
 
 /// Number of columns in a span batch.
@@ -77,14 +78,16 @@ pub const COLUMNS: usize = SCHEMA.len();
 fn str_col(r: &SpanRecord, i: usize) -> &str {
     match i {
         0 => &r.function,
-        _ => &r.policy,
+        1 => &r.policy,
+        _ => &r.disposition,
     }
 }
 
 fn str_col_mut(r: &mut SpanRecord, i: usize) -> &mut String {
     match i {
         0 => &mut r.function,
-        _ => &mut r.policy,
+        1 => &mut r.policy,
+        _ => &mut r.disposition,
     }
 }
 
@@ -381,6 +384,11 @@ mod tests {
                 fallback_vanilla: i % 13 == 0,
                 rebuilt: i % 17 == 0,
                 rerouted: i % 19 == 0,
+                disposition: if i % 6 == 0 {
+                    "deadline_exceeded".to_string()
+                } else {
+                    "completed".to_string()
+                },
             })
             .collect()
     }

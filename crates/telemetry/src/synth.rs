@@ -71,6 +71,9 @@ pub fn synthesize(sink: &TelemetrySink, seed: u64, n: u64, shards: u32, function
             recorded,
             vt_ns: vt_ns + latency_ns,
             latency_ns,
+            // Stamped without an RNG draw so the seeded stream (and the
+            // CI golden pinned to it) is unchanged by the column.
+            disposition: "completed".to_string(),
             ..SpanRecord::default()
         };
         if cold {

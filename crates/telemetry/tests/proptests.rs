@@ -50,6 +50,16 @@ fn gen_spans(seed: u64, n: usize) -> Vec<SpanRecord> {
                 fallback_vanilla: rng.gen_bool(0.1),
                 rebuilt: rng.gen_bool(0.1),
                 rerouted: rng.gen_bool(0.1),
+                disposition: [
+                    "completed",
+                    "shed_queue_full",
+                    "shed_rate_limited",
+                    "shed_breaker_open",
+                    "shed_brownout",
+                    "deadline_exceeded",
+                    "",
+                ][rng.gen_range(7) as usize]
+                    .to_string(),
             }
         })
         .collect()

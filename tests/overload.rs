@@ -1,0 +1,174 @@
+//! End-to-end overload storm: the acceptance gates of the
+//! overload-resilience layer, driven through the public cluster API.
+//!
+//! A seeded 10× burst of deadline-carrying cold starts hits a two-shard
+//! cluster. With the admission layer **off**, the storm serializes on
+//! the shared timed disk and blows every deadline; with it **on**,
+//! bounded queues and per-function token buckets shed early and the
+//! survivors finish inside budget. The gates:
+//!
+//! * **no hangs** — every offered request resolves to an explicit
+//!   [`Disposition`]; outcomes + shed + expired account for the whole
+//!   batch;
+//! * **goodput** — admission on yields ≥ 1.5× the goodput of admission
+//!   off under the same storm;
+//! * **observability** — every disposition lands in the
+//!   [`MetricsRegistry`] (`overload_shed_total{reason}`,
+//!   `deadline_exceeded_total`, `cluster_goodput`).
+
+use functionbench::FunctionId;
+use sim_core::metrics::labeled;
+use sim_core::{MetricsRegistry, SimDuration, SimTime};
+use vhive_cluster::{
+    AdmissionConfig, ClusterOrchestrator, ColdRequest, Disposition, RateLimit, ShedReason,
+};
+use vhive_core::ColdPolicy;
+
+const FUNCS: [FunctionId; 2] = [FunctionId::helloworld, FunctionId::pyaes];
+const BUDGET: SimDuration = SimDuration::from_millis(250);
+
+/// A 10× storm: `10 × FUNCS.len()` shared requests, 100 µs apart, each
+/// carrying the same deadline budget.
+fn storm() -> Vec<ColdRequest> {
+    (0..10 * FUNCS.len())
+        .map(|i| {
+            let mut r = ColdRequest::shared(FUNCS[i % FUNCS.len()], ColdPolicy::Reap);
+            r.arrival = SimTime::ZERO + SimDuration::from_micros(100 * i as u64);
+            r.deadline = Some(BUDGET);
+            r
+        })
+        .collect()
+}
+
+fn prepared(admission: Option<AdmissionConfig>) -> ClusterOrchestrator {
+    let mut c = ClusterOrchestrator::new(0xC0_FFEE, 2);
+    for f in FUNCS {
+        c.register(f);
+        c.invoke_record(f);
+    }
+    c.set_admission(admission);
+    c
+}
+
+fn tight_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        max_queue_depth: Some(FUNCS.len()),
+        rate_limit: Some(RateLimit {
+            burst: 4.0,
+            per_sec: 200.0,
+        }),
+        ..AdmissionConfig::default()
+    }
+}
+
+#[test]
+fn ten_x_storm_resolves_every_request_and_admission_saves_goodput() {
+    let reqs = storm();
+
+    let mut off = prepared(None);
+    let storm_off = off.invoke_concurrent(&reqs);
+    let mut on = prepared(Some(tight_admission()));
+    let storm_on = on.invoke_concurrent(&reqs);
+
+    for (name, batch) in [("off", &storm_off), ("on", &storm_on)] {
+        // Zero hangs: every request has an explicit disposition, and the
+        // disposition table fully accounts for the batch.
+        assert_eq!(batch.dispositions.len(), reqs.len(), "admission {name}");
+        assert_eq!(batch.served.len(), batch.outcomes.len(), "admission {name}");
+        let shed = batch
+            .dispositions
+            .iter()
+            .filter(|d| matches!(d, Disposition::Shed { .. }))
+            .count();
+        let expired_unserved = batch
+            .dispositions
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| {
+                **d == Disposition::DeadlineExceeded && !batch.served.contains(i)
+            })
+            .count();
+        assert_eq!(
+            batch.outcomes.len() + shed + expired_unserved,
+            reqs.len(),
+            "admission {name}: outcomes + shed + expired must cover the storm"
+        );
+        // Served indices point at non-shed dispositions.
+        for &i in &batch.served {
+            assert!(
+                !matches!(batch.dispositions[i], Disposition::Shed { .. }),
+                "served request {i} cannot be shed"
+            );
+        }
+    }
+
+    // The un-shed storm contends itself past every deadline; admission
+    // sheds early and the survivors complete inside budget.
+    assert!(
+        storm_on.goodput() as f64 >= 1.5 * storm_off.goodput() as f64,
+        "goodput on ({}) must be >= 1.5x goodput off ({})",
+        storm_on.goodput(),
+        storm_off.goodput()
+    );
+    assert!(storm_on.goodput() > 0, "admission must save some requests");
+
+    // Shed requests never consume a sequence number: the served outcomes
+    // carry exactly the first seqs, like a batch of only the admitted
+    // subset would.
+    let on_shed: Vec<usize> = storm_on
+        .dispositions
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| matches!(d, Disposition::Shed { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!on_shed.is_empty(), "a 10x storm must shed something");
+    let subset: Vec<ColdRequest> = storm_on
+        .served
+        .iter()
+        .map(|&i| reqs[i])
+        .collect();
+    let mut replay = prepared(None);
+    let reference = replay.invoke_concurrent(&subset);
+    assert_eq!(
+        format!("{:?}", storm_on.outcomes),
+        format!("{:?}", reference.outcomes),
+        "admitted subset must be served byte-identically to a layer-off run"
+    );
+}
+
+#[test]
+fn storm_dispositions_land_in_the_metrics_registry() {
+    let reqs = storm();
+    let mut c = prepared(Some(tight_admission()));
+    c.set_metrics(Some(MetricsRegistry::new()));
+    let batch = c.invoke_concurrent(&reqs);
+
+    let m = c.metrics().expect("registry attached").clone();
+    let shed_by = |reason: ShedReason| {
+        batch
+            .dispositions
+            .iter()
+            .filter(|d| matches!(d, Disposition::Shed { reason: r, .. } if *r == reason))
+            .count() as u64
+    };
+    assert_eq!(
+        m.counter(&labeled("overload_shed_total", &[("reason", "queue_full")])),
+        shed_by(ShedReason::QueueFull)
+    );
+    assert_eq!(
+        m.counter(&labeled("overload_shed_total", &[("reason", "rate_limited")])),
+        shed_by(ShedReason::RateLimited)
+    );
+    let expired = batch
+        .dispositions
+        .iter()
+        .filter(|d| **d == Disposition::DeadlineExceeded)
+        .count() as u64;
+    assert_eq!(m.counter("deadline_exceeded_total"), expired);
+    assert_eq!(
+        m.gauge("cluster_goodput"),
+        Some(batch.goodput() as i64),
+        "goodput gauge must reflect the batch"
+    );
+}
